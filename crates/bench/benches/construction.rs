@@ -1,0 +1,48 @@
+//! Construction throughput: building 𝒩 (reduced profiles), the
+//! recursive network, and the classical baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::network::FtNetwork;
+use ft_core::params::Params;
+use ft_core::recursive::{RecursiveNet, RecursiveParams};
+use ft_networks::{Benes, Clos};
+use std::hint::black_box;
+
+fn bench_build_ftn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_ftn");
+    for nu in [1u32, 2, 3] {
+        let p = Params::reduced(nu, 8, 8, 1.0);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("nu{nu}")), &p, |b, p| {
+            b.iter(|| black_box(FtNetwork::build(*p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build_recursive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_recursive");
+    for h in [2u32, 3] {
+        let p = RecursiveParams::reduced(h, 4, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("h{h}")), &p, |b, p| {
+            b.iter(|| black_box(RecursiveNet::build(*p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_baselines");
+    g.bench_function("benes_k6", |b| b.iter(|| black_box(Benes::new(6))));
+    g.bench_function("clos_8x8", |b| {
+        b.iter(|| black_box(Clos::strictly_nonblocking(8, 8)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_ftn,
+    bench_build_recursive,
+    bench_build_baselines
+);
+criterion_main!(benches);

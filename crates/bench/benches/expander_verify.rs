@@ -1,0 +1,51 @@
+//! Expander kernels: sampling union-of-permutation graphs, probing
+//! expansion, and the Margulis explicit construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_expander::paper::{sample, sample_probed, ExpanderSpec};
+use ft_expander::{margulis, spectral};
+use ft_graph::gen::rng;
+use std::hint::black_box;
+
+fn bench_sample(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sample_expander");
+    for s in [1usize, 4, 16] {
+        let spec = ExpanderSpec::at_scale(s);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("t{}", spec.t)), &spec, |b, spec| {
+            let mut r = rng(1);
+            b.iter(|| black_box(sample(*spec, &mut r)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_probed(c: &mut Criterion) {
+    let spec = ExpanderSpec::at_scale(2);
+    c.bench_function("sample_probed_t128", |b| {
+        let mut r = rng(2);
+        b.iter(|| black_box(sample_probed(spec, &mut r, 10)))
+    });
+}
+
+fn bench_margulis(c: &mut Criterion) {
+    c.bench_function("gabber_galil_m20", |b| {
+        b.iter(|| black_box(margulis::gabber_galil(20)))
+    });
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let e = sample(ExpanderSpec::at_scale(4), &mut rng(3));
+    c.bench_function("spectral_certificate_t256", |b| {
+        let mut r = rng(4);
+        b.iter(|| black_box(spectral::second_singular_value(&e.graph, 60, &mut r)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sample,
+    bench_probed,
+    bench_margulis,
+    bench_spectral
+);
+criterion_main!(benches);

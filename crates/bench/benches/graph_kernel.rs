@@ -1,0 +1,64 @@
+//! Graph-kernel microbenchmarks: BFS, Dinic max-flow (vertex-disjoint
+//! paths), Hopcroft–Karp matching — the engines behind verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::network::FtNetwork;
+use ft_core::params::Params;
+use ft_graph::gen::{random_bipartite_adjacency, random_dag, rng};
+use ft_graph::matching::hopcroft_karp;
+use ft_graph::menger::max_disjoint_paths;
+use ft_graph::traversal::{bfs, Direction};
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let ftn = FtNetwork::build(Params::reduced(2, 8, 8, 1.0));
+    let src = ftn.input(0);
+    c.bench_function("bfs_forward_ftn_nu2", |b| {
+        b.iter(|| {
+            black_box(bfs(
+                ftn.net(),
+                &[src],
+                Direction::Forward,
+                |_| true,
+                |_| true,
+            ))
+        })
+    });
+}
+
+fn bench_disjoint_paths(c: &mut Criterion) {
+    let ftn = FtNetwork::build(Params::reduced(1, 8, 8, 1.0));
+    let inputs = ftn.net().inputs().to_vec();
+    let outputs = ftn.net().outputs().to_vec();
+    c.bench_function("menger_ftn_nu1_full", |b| {
+        b.iter(|| black_box(max_disjoint_paths(ftn.net(), &inputs, &outputs)))
+    });
+}
+
+fn bench_dinic_random_dag(c: &mut Criterion) {
+    let mut r = rng(7);
+    let g = random_dag(&mut r, 2000, 10_000);
+    let sources: Vec<_> = g.vertices().take(20).collect();
+    let nv = ft_graph::Digraph::num_vertices(&g);
+    let sinks: Vec<_> = g.vertices().skip(nv - 20).collect();
+    c.bench_function("menger_random_dag_2k_10k", |b| {
+        b.iter(|| black_box(max_disjoint_paths(&g, &sources, &sinks)))
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut r = rng(8);
+    let adj = random_bipartite_adjacency(&mut r, 1000, 1000, 8);
+    c.bench_function("hopcroft_karp_1000x1000_d8", |b| {
+        b.iter(|| black_box(hopcroft_karp(&adj, 1000)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_disjoint_paths,
+    bench_dinic_random_dag,
+    bench_matching
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Routing kernels (E11's Criterion counterpart): greedy permutation
+//! routing on 𝒩, the looping algorithm on Beneš, and churn steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::network::FtNetwork;
+use ft_core::params::Params;
+use ft_core::repair::Survivor;
+use ft_core::routing;
+use ft_failure::{FailureInstance, FailureModel};
+use ft_graph::gen::{random_permutation, rng};
+use ft_graph::Digraph;
+use ft_networks::{Benes, CircuitRouter};
+use std::hint::black_box;
+
+fn bench_greedy_perm(c: &mut Criterion) {
+    let ftn = FtNetwork::build(Params::reduced(2, 8, 8, 1.0));
+    let mut r = rng(1);
+    c.bench_function("greedy_perm_ftn_nu2", |b| {
+        b.iter(|| {
+            let perm = random_permutation(&mut r, ftn.n());
+            let mut router = CircuitRouter::new(ftn.net());
+            black_box(routing::route_permutation(&mut router, &ftn, &perm))
+        })
+    });
+}
+
+fn bench_greedy_perm_on_survivor(c: &mut Criterion) {
+    let ftn = FtNetwork::build(Params::reduced(2, 8, 8, 1.0));
+    let model = FailureModel::symmetric(1e-3);
+    let mut r = rng(2);
+    let inst = FailureInstance::sample(&model, &mut r, ftn.net().num_edges());
+    let survivor = Survivor::new(&ftn, &inst);
+    c.bench_function("greedy_perm_survivor_nu2_eps1e-3", |b| {
+        b.iter(|| {
+            let perm = random_permutation(&mut r, ftn.n());
+            let mut router = routing::survivor_router(&survivor);
+            black_box(routing::route_permutation(&mut router, &ftn, &perm))
+        })
+    });
+}
+
+fn bench_looping(c: &mut Criterion) {
+    let benes = Benes::new(6); // 64 terminals
+    let mut r = rng(3);
+    c.bench_function("benes_looping_n64", |b| {
+        b.iter(|| {
+            let perm = random_permutation(&mut r, 64);
+            black_box(benes.route_permutation(&perm))
+        })
+    });
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let ftn = FtNetwork::build(Params::reduced(1, 8, 8, 1.0));
+    let mut r = rng(4);
+    c.bench_function("churn_100_steps_nu1", |b| {
+        b.iter(|| {
+            let mut router = CircuitRouter::new(ftn.net());
+            black_box(routing::churn(&mut router, &ftn, 100, 0.6, &mut r))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_perm,
+    bench_greedy_perm_on_survivor,
+    bench_looping,
+    bench_churn
+);
+criterion_main!(benches);

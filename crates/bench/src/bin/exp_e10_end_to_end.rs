@@ -1,0 +1,265 @@
+//! E10 — Theorem 2 end-to-end: 𝒩 survives random switch failures and
+//! still routes — it contains a nonblocking network w.h.p. — while
+//! every Θ(n log n) baseline collapses under the same failure rates.
+//!
+//! Protocol fairness: each network routes with its *native* protocol.
+//! 𝒩 and the strict Clos are strictly nonblocking, so they route
+//! greedily request-by-request (§4 observation 3). Beneš routes with
+//! the looping algorithm, the butterfly with its unique paths, the
+//! crossbar with its direct switches; for those, a trial succeeds when
+//! the natively-routed circuit set survives the failure instance
+//! (every switch on every path normal). Success = the full random
+//! permutation is carried.
+
+use ft_bench::table::{f, sci, Table};
+use ft_bench::workload::{mc_threads, profile_label, repair_staged, sturdy_params};
+use ft_core::certify::certify_with_budget;
+use ft_core::network::FtNetwork;
+use ft_core::repair::Survivor;
+use ft_core::routing;
+use ft_failure::montecarlo::estimate_probability_parallel;
+use ft_failure::{FailureInstance, FailureModel};
+use ft_graph::gen::random_permutation;
+use ft_graph::{Digraph, VertexId};
+use ft_networks::{Benes, Butterfly, CircuitRouter, Clos};
+
+const TRIALS: u64 = 300;
+
+/// One 𝒩 trial: failures → repair → greedily route a random
+/// permutation in full.
+fn ftn_trial(ftn: &FtNetwork, eps: f64, rng: &mut rand::rngs::SmallRng) -> bool {
+    let model = FailureModel::symmetric(eps);
+    let inst = FailureInstance::sample(&model, rng, ftn.net().num_edges());
+    let survivor = Survivor::new(ftn, &inst);
+    let mut router = routing::survivor_router(&survivor);
+    let perm = routing::random_perm(rng, ftn.n());
+    let (stats, _) = routing::route_permutation(&mut router, ftn, &perm);
+    stats.all_connected()
+}
+
+/// Do the natively-routed vertex-disjoint paths survive the instance?
+/// Conservative repair semantics: every switch on a path must be
+/// normal (checked edge-by-edge along consecutive path vertices).
+fn paths_survive(
+    g: &impl Digraph,
+    inst: &FailureInstance,
+    paths: &[Vec<VertexId>],
+) -> bool {
+    for p in paths {
+        for w in p.windows(2) {
+            let ok = g
+                .out_edge_slice(w[0])
+                .iter()
+                .any(|&e| g.edge_head(e) == w[1] && inst.is_normal(e));
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn main() {
+    println!("E10: Theorem 2 end-to-end -- N routes through failures, baselines collapse\n");
+
+    let eps_sweep = [1e-5, 1e-4, 1e-3, 5e-3, 2e-2];
+
+    for nu in [1u32, 2] {
+        let p = sturdy_params(nu);
+        let ftn = FtNetwork::build(p);
+        let n = ftn.n();
+        let k = n.trailing_zeros();
+        let mut t = Table::new(
+            format!(
+                "P[random permutation carried] (n = {n}, {TRIALS} trials, native protocols)"
+            ),
+            &[
+                "network", "protocol", "size", "eps=1e-5", "1e-4", "1e-3", "5e-3", "2e-2",
+            ],
+        );
+
+        // 𝒩: greedy on the repaired survivor
+        let mut row = vec![
+            format!("N {}", profile_label(&p)),
+            "greedy".into(),
+            ftn.net().size().to_string(),
+        ];
+        for &eps in &eps_sweep {
+            let est = estimate_probability_parallel(TRIALS, mc_threads(), 0xE10, |_| {
+                let ftn = ftn.clone();
+                move |rng: &mut rand::rngs::SmallRng| ftn_trial(&ftn, eps, rng)
+            });
+            row.push(f(est.p(), 3));
+        }
+        t.row(row);
+
+        // Beneš: looping-algorithm routing, then survival of the routed set
+        let benes = Benes::new(k);
+        let mut row = vec![
+            format!("benes({n})"),
+            "looping".into(),
+            benes.net.size().to_string(),
+        ];
+        for &eps in &eps_sweep {
+            let model = FailureModel::symmetric(eps);
+            let est = estimate_probability_parallel(TRIALS, mc_threads(), 0xB10, |_| {
+                let benes = benes.clone();
+                move |rng: &mut rand::rngs::SmallRng| {
+                    let perm = random_permutation(rng, benes.terminals());
+                    let paths = benes.route_permutation(&perm);
+                    let inst =
+                        FailureInstance::sample(&model, rng, benes.net.size());
+                    paths_survive(&benes.net, &inst, &paths)
+                }
+            });
+            row.push(f(est.p(), 3));
+        }
+        t.row(row);
+
+        // Butterfly: unique paths
+        let bf = Butterfly::new(k);
+        let mut row = vec![
+            format!("butterfly({n})"),
+            "unique".into(),
+            bf.net.size().to_string(),
+        ];
+        for &eps in &eps_sweep {
+            let model = FailureModel::symmetric(eps);
+            let est = estimate_probability_parallel(TRIALS, mc_threads(), 0xBF10, |_| {
+                let bf = bf.clone();
+                move |rng: &mut rand::rngs::SmallRng| {
+                    let perm = random_permutation(rng, bf.terminals());
+                    let paths: Vec<Vec<VertexId>> = perm
+                        .iter()
+                        .enumerate()
+                        .map(|(x, &y)| bf.unique_path(x as u32, y))
+                        .collect();
+                    let inst = FailureInstance::sample(&model, rng, bf.net.size());
+                    paths_survive(&bf.net, &inst, &paths)
+                }
+            });
+            row.push(f(est.p(), 3));
+        }
+        t.row(row);
+
+        // Strict Clos: greedy on the repaired survivor (its native
+        // protocol — m = 2n−1 makes greedy complete fault-free)
+        let g = 1usize << (k / 2);
+        let clos = Clos::strictly_nonblocking(g, n / g);
+        let mut row = vec![
+            format!("clos-strict({n})"),
+            "greedy".into(),
+            clos.net.size().to_string(),
+        ];
+        for &eps in &eps_sweep {
+            let model = FailureModel::symmetric(eps);
+            let est = estimate_probability_parallel(TRIALS, mc_threads(), 0xC110, |_| {
+                let net = clos.net.clone();
+                move |rng: &mut rand::rngs::SmallRng| {
+                    let inst = FailureInstance::sample(&model, rng, net.size());
+                    let alive = repair_staged(&net, &inst);
+                    let mut router = CircuitRouter::with_alive_mask(&net, alive);
+                    let perm = random_permutation(rng, net.inputs().len());
+                    perm.iter().enumerate().all(|(i, &o)| {
+                        router
+                            .connect(net.inputs()[i], net.outputs()[o as usize])
+                            .is_ok()
+                    })
+                }
+            });
+            row.push(f(est.p(), 3));
+        }
+        t.row(row);
+
+        // Crossbar: each pair's direct switch must be normal
+        let xbar = ft_networks::crossbar(n);
+        let mut row = vec![
+            format!("crossbar({n})"),
+            "direct".into(),
+            xbar.size().to_string(),
+        ];
+        for &eps in &eps_sweep {
+            let model = FailureModel::symmetric(eps);
+            let est = estimate_probability_parallel(TRIALS, mc_threads(), 0xBA10, |_| {
+                let xbar = xbar.clone();
+                move |rng: &mut rand::rngs::SmallRng| {
+                    let inst = FailureInstance::sample(&model, rng, xbar.size());
+                    let perm = random_permutation(rng, xbar.inputs().len());
+                    let paths: Vec<Vec<VertexId>> = perm
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &o)| {
+                            vec![xbar.inputs()[i], xbar.outputs()[o as usize]]
+                        })
+                        .collect();
+                    paths_survive(&xbar, &inst, &paths)
+                }
+            });
+            row.push(f(est.p(), 3));
+        }
+        t.row(row);
+        t.print();
+    }
+
+    // certification + churn on 𝒩 (nu = 2)
+    let p = sturdy_params(2);
+    let ftn = FtNetwork::build(p);
+    let mut t = Table::new(
+        "N nu=2: certification and churn (300 trials each)",
+        &[
+            "eps",
+            "P[certified (budget 10%)]",
+            "P[perm routed]",
+            "P[churn 200 steps no block]",
+        ],
+    );
+    for &eps in &eps_sweep {
+        let m = ftn.net().num_edges();
+        let cert = estimate_probability_parallel(TRIALS, mc_threads(), 0xC10, |_| {
+            let ftn = ftn.clone();
+            let model = FailureModel::symmetric(eps);
+            move |rng: &mut rand::rngs::SmallRng| {
+                let inst = FailureInstance::sample(&model, rng, m);
+                certify_with_budget(&ftn, &inst, 0.10).implies_nonblocking()
+            }
+        });
+        let route = estimate_probability_parallel(TRIALS, mc_threads(), 0xD10, |_| {
+            let ftn = ftn.clone();
+            move |rng: &mut rand::rngs::SmallRng| ftn_trial(&ftn, eps, rng)
+        });
+        let churn = estimate_probability_parallel(TRIALS, mc_threads(), 0xF10, |_| {
+            let ftn = ftn.clone();
+            let model = FailureModel::symmetric(eps);
+            move |rng: &mut rand::rngs::SmallRng| {
+                let inst = FailureInstance::sample(&model, rng, m);
+                let survivor = Survivor::new(&ftn, &inst);
+                let mut router = routing::survivor_router(&survivor);
+                let stats = routing::churn(&mut router, &ftn, 200, 0.6, rng);
+                stats.blocked == 0
+            }
+        });
+        t.row(vec![
+            sci(eps),
+            f(cert.p(), 3),
+            f(route.p(), 3),
+            f(churn.p(), 3),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "paper: Theorem 2 -- N is a (1e-6, delta)-nonblocking network of\n\
+         size O(n log^2 n). N holds ~1.0 success 1-2 orders of magnitude\n\
+         in eps beyond where Benes/butterfly/Clos collapse, paying the\n\
+         log-factor size premium the Section 5 lower bound proves\n\
+         necessary. The crossbar survives single permutations longer\n\
+         (unique 1-switch paths) but is quadratically larger and fails\n\
+         the (eps, delta) definitions outright: its terminals sit one\n\
+         switch apart, so a single closed failure shorts a terminal\n\
+         pair (E3/E9), and it has no spare paths -- P[carried] =\n\
+         (1-2eps)^n exactly, visibly decaying in the table while N\n\
+         stays at 1.0. Certification is conservative: it drops before\n\
+         routing does (the certificate's per-group budgets bind long\n\
+         before actual access majorities are lost)."
+    );
+}

@@ -1,0 +1,99 @@
+//! E12 — ablation of the `4^γ ≥ 34ν` scale-up (the paper's key design
+//! choice): γ controls the grid rows `l = F·4^γ` and the boundary
+//! group sizes of 𝓜. The Lemma 3/6 failure terms decay like
+//! `e^{−c(ε)·l}`, so at a fixed ε near the hammock threshold, each γ
+//! step (4× more redundancy) crushes the failure probability — below
+//! the paper's scaling the network stops being reliably
+//! fault-tolerant.
+//!
+//! Regenerates: for fixed ν, a sweep of γ × ε with two metrics —
+//! P[every grid keeps majority access] (the Lemma 3 ∧ Lemma 6
+//! precondition, the γ-sensitive event) and P[random permutation
+//! routed] — plus the sizes, showing the reliability-vs-size trade.
+
+use ft_bench::table::{f, sci, Table};
+use ft_bench::workload::mc_threads;
+use ft_core::access::all_grids_majority;
+use ft_core::network::FtNetwork;
+use ft_core::params::Params;
+use ft_core::repair::Survivor;
+use ft_core::routing;
+use ft_core::theory;
+use ft_failure::montecarlo::estimate_probability_parallel;
+use ft_failure::{FailureInstance, FailureModel};
+use ft_graph::Digraph;
+
+/// One trial: (grids all majority, permutation fully routed).
+fn trial(ftn: &FtNetwork, eps: f64, rng: &mut rand::rngs::SmallRng) -> (bool, bool) {
+    let m = ftn.net().num_edges();
+    let model = FailureModel::symmetric(eps);
+    let inst = FailureInstance::sample(&model, rng, m);
+    let survivor = Survivor::new(ftn, &inst);
+    let alive = survivor.routable_alive();
+    let (grids_ok, _) = all_grids_majority(ftn, &alive);
+    let mut router = routing::survivor_router(&survivor);
+    let perm = routing::random_perm(rng, ftn.n());
+    let (stats, _) = routing::route_permutation(&mut router, &ftn, &perm);
+    (grids_ok, stats.all_connected())
+}
+
+fn main() {
+    println!("E12: gamma ablation -- the 4^gamma >= 34nu scale-up is load-bearing\n");
+
+    let nu = 2u32;
+    for &eps in &[0.02, 0.04, 0.06] {
+        let mut t = Table::new(
+            format!("nu={nu}, F=8, d=8, eps={eps}: sweep gamma"),
+            &[
+                "gamma", "l=F*4^g", "size", "trials",
+                "P[grids majority]", "P[perm routed]", "lemma3 term",
+            ],
+        );
+        for gamma in 1..=3u32 {
+            let factor = (1usize << (2 * gamma)) as f64 / nu as f64;
+            let p = Params::reduced(nu, 8, 8, factor);
+            assert_eq!(p.gamma, gamma);
+            let ftn = FtNetwork::build(p);
+            let trials: u64 = if gamma == 3 { 100 } else { 300 };
+            // count both events in one pass: run the grids-majority
+            // event through the estimator and tally routing on the side
+            let routed = std::sync::atomic::AtomicU64::new(0);
+            let est = estimate_probability_parallel(trials, mc_threads(), 0x12A, |_| {
+                let ftn = ftn.clone();
+                let routed = &routed;
+                move |rng: &mut rand::rngs::SmallRng| {
+                    let (grids_ok, perm_ok) = trial(&ftn, eps, rng);
+                    if perm_ok {
+                        routed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    grids_ok
+                }
+            });
+            let routed = routed.load(std::sync::atomic::Ordering::Relaxed);
+            t.row(vec![
+                gamma.to_string(),
+                ftn.rows().to_string(),
+                ftn.net().size().to_string(),
+                trials.to_string(),
+                f(est.p(), 3),
+                f(routed as f64 / trials as f64, 3),
+                sci(theory::lemma3_grid_failure_bound(&p, eps)),
+            ]);
+        }
+        t.print();
+    }
+
+    println!(
+        "paper: Section 6 fixes 4^gamma = Theta(nu) (34nu <= 4^gamma <=\n\
+         136nu), making l = 64*4^gamma = Theta(log n) grid rows -- that\n\
+         Theta(log n) redundancy IS the extra log factor of the\n\
+         Theta(n log^2 n) size. The Lemma 3/6 failure terms decay like\n\
+         e^(-c(eps) l): near the hammock threshold each gamma step (4x\n\
+         the rows, 4x the size) multiplies reliability dramatically --\n\
+         P[grids majority] rises with gamma at every eps while the size\n\
+         column pays 4x per step. Routing a single permutation is the\n\
+         more forgiving end-to-end event (it needs only one idle path\n\
+         per pair, not majorities); the grids-majority column is the\n\
+         certificate event Theorem 2's proof actually consumes."
+    );
+}

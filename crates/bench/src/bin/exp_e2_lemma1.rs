@@ -1,0 +1,67 @@
+//! E2 — Lemma 1 / Corollary 1 (Figs. 1–3): every tree (forest) with
+//! `l` leaves and internal degree ≥ 3 contains at least `l/42`
+//! edge-disjoint leaf-to-leaf paths of length ≤ 3.
+//!
+//! Regenerates: the `l/42` guarantee on three tree families across
+//! three orders of magnitude of `l`, and measures the actual ratio
+//! against the Remark's conjectured `l/4`.
+
+use ft_bench::table::{f, yn, Table};
+use ft_core::lowerbound::lemma1_short_paths;
+use ft_graph::gen::{caterpillar_tree, complete_dary_tree, random_lemma1_tree, rng};
+use ft_graph::tree::leaves;
+use ft_graph::DiGraph;
+
+fn run_family(t: &mut Table, name: &str, tree: &DiGraph) {
+    let l = leaves(tree).len();
+    let r = lemma1_short_paths(tree);
+    assert_eq!(r.num_leaves, l);
+    t.row(vec![
+        name.into(),
+        l.to_string(),
+        r.good_leaves.to_string(),
+        r.paths.len().to_string(),
+        f(r.ratio(), 4),
+        yn(r.meets_l_over_42()),
+        yn(r.ratio() >= 0.25),
+    ]);
+}
+
+fn main() {
+    println!("E2: Lemma 1 edge-disjoint short leaf paths (Figs. 1-3)\n");
+    let mut t = Table::new(
+        "paths >= l/42 (paper); ratio vs conjectured l/4 [L]",
+        &[
+            "family", "leaves", "good", "paths", "paths/l", ">=l/42", ">=l/4",
+        ],
+    );
+    let mut r = rng(0xE2);
+    for &target in &[8usize, 32, 128, 512, 2048, 4096] {
+        run_family(
+            &mut t,
+            &format!("random({target})"),
+            &random_lemma1_tree(&mut r, target),
+        );
+    }
+    for &(spine, legs) in &[(4usize, 2usize), (16, 3), (64, 3), (256, 4)] {
+        run_family(
+            &mut t,
+            &format!("caterpillar({spine},{legs})"),
+            &caterpillar_tree(spine, legs),
+        );
+    }
+    for &height in &[2usize, 4, 6] {
+        run_family(
+            &mut t,
+            &format!("ternary(h={height})"),
+            &complete_dary_tree(3, height),
+        );
+    }
+    t.print();
+    println!(
+        "paper: Lemma 1 guarantees paths/l >= 1/42 ~ 0.0238; the Remark\n\
+         (citing [L]) claims 1/4 with a more elaborate analysis. Every row\n\
+         above must pass the 1/42 column; the measured ratios show how\n\
+         much slack the charging argument leaves."
+    );
+}

@@ -1,0 +1,123 @@
+//! E3 — Lemma 2: in any O(n log n)-size network the inputs are so
+//! close together that closed failures short a pair with probability
+//! ≥ ½ at ε = ¼ — which is why Θ(n log n) networks cannot be
+//! fault-tolerant and the (ε, δ) classes need Ω(n (log n)²).
+//!
+//! Regenerates: nearest-other-input distances on Beneš/butterfly (the
+//! O(n log n) baselines) versus 𝒩; the Lemma 2 pipeline's
+//! edge-disjoint short input-to-input paths; the implied analytic
+//! no-short bound; and a Monte-Carlo estimate of the actual shorting
+//! probability at ε = ¼.
+
+use ft_bench::table::{f, sci, Table};
+use ft_bench::workload::{mc_threads, reduced_params, Baseline};
+use ft_core::lowerbound::short_terminal_paths;
+use ft_core::network::FtNetwork;
+use ft_core::theory;
+use ft_failure::contraction::terminals_shorted;
+use ft_failure::montecarlo::estimate_probability_parallel;
+use ft_failure::{FailureInstance, FailureModel};
+use ft_graph::distance::nearest_other_terminal;
+use ft_graph::StagedNetwork;
+
+fn dist_stats(net: &StagedNetwork) -> (u32, f64) {
+    let d = nearest_other_terminal(net, net.inputs());
+    let min = *d.iter().min().unwrap();
+    let mean = d.iter().map(|&x| x as f64).sum::<f64>() / d.len() as f64;
+    (min, mean)
+}
+
+fn mc_short(net: &StagedNetwork, eps_close: f64, trials: u64) -> f64 {
+    let m = net.graph().num_edges();
+    let model = FailureModel::new(0.0, eps_close);
+    let terminals: Vec<_> = net.inputs().to_vec();
+    let est = estimate_probability_parallel(trials, mc_threads(), 0xE3, |_| {
+        let net = net.clone();
+        let terminals = terminals.clone();
+        let model = model;
+        move |rng: &mut rand::rngs::SmallRng| {
+            let inst = FailureInstance::sample(&model, rng, m);
+            terminals_shorted(&net, &inst, &terminals)
+        }
+    });
+    est.p()
+}
+
+fn main() {
+    println!("E3: Lemma 2 -- input closeness forces shorting at eps=1/4\n");
+
+    let mut t = Table::new(
+        "input-to-input distances and Lemma 2 pipeline",
+        &[
+            "network", "n", "size", "min dist", "mean dist", "thresh (lg n)/8",
+            "l2 paths", "max len", "P[no short] bound", "MC P[short] e2=1/4",
+        ],
+    );
+    for &n in &[8usize, 16, 32, 64] {
+        for b in [Baseline::Benes, Baseline::Butterfly] {
+            let net = b.build(n);
+            let (dmin, dmean) = dist_stats(&net);
+            let max_j = theory::lemma2_distance_threshold(n).ceil() as u32 + 2;
+            let l2 = short_terminal_paths(&net, net.inputs(), max_j);
+            let bound = theory::lemma2_no_short_probability(
+                l2.paths.len(),
+                l2.max_len.max(1),
+                0.25,
+            );
+            let mc = mc_short(&net, 0.25, 2000);
+            t.row(vec![
+                b.name().into(),
+                n.to_string(),
+                net.size().to_string(),
+                dmin.to_string(),
+                f(dmean, 2),
+                f(theory::lemma2_distance_threshold(n), 2),
+                l2.paths.len().to_string(),
+                l2.max_len.to_string(),
+                sci(bound),
+                f(mc, 4),
+            ]);
+        }
+    }
+    t.print();
+
+    // 𝒩 for contrast: the grids push input-input distances up, so the
+    // shorting threshold moves orders of magnitude in eps2 (at the
+    // Lemma 2 stress point eps2 = 1/4 EVERY network of this size
+    // shorts; the crossover lives at moderate eps2)
+    let mut t = Table::new(
+        "contrast: P[input pair shorts] across eps2 (N vs Benes, n = 16)",
+        &["network", "min dist", "e2=0.005", "e2=0.02", "e2=0.05", "e2=0.1"],
+    );
+    let eps_sweep = [0.005, 0.02, 0.05, 0.1];
+    {
+        let ftn = FtNetwork::build(reduced_params(2));
+        let (dmin, _) = dist_stats(ftn.net());
+        let mut row = vec![format!("N reduced nu=2"), dmin.to_string()];
+        for &e in &eps_sweep {
+            row.push(f(mc_short(ftn.net(), e, 1000), 4));
+        }
+        t.row(row);
+    }
+    {
+        let net = Baseline::Benes.build(16);
+        let (dmin, _) = dist_stats(&net);
+        let mut row = vec!["benes(16)".into(), dmin.to_string()];
+        for &e in &eps_sweep {
+            row.push(f(mc_short(&net, e, 1000), 4));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    println!(
+        "paper: Lemma 2 shows a (1/4,1/2)-superconcentrator needs >= n/2\n\
+         inputs pairwise further than (log2 n)/8 apart. Benes/butterfly\n\
+         inputs sit at distance 2-4 (two inputs share a first-stage\n\
+         switch), the Lemma 2 pipeline extracts many short disjoint\n\
+         input-input paths, and at eps2 = 1/4 Monte Carlo shorting\n\
+         probabilities are near 1 -- these networks cannot tolerate\n\
+         closed failures. N's grids push the distances up and the MC\n\
+         shorting probability down, at a log^2 n size premium."
+    );
+}

@@ -1,0 +1,74 @@
+//! E4 — Theorem 1: the zone audit. Around every *good* input (far
+//! from all other inputs) the edge zones `B_h(v)` must each hold
+//! Ω(log n) switches, and the disjoint balls sum to Ω(n (log n)²).
+//!
+//! Regenerates: good-input counts, minimum zone sizes and ball totals
+//! on 𝒩 versus the O(n log n) baselines, and the Theorem 1 size/depth
+//! lower-bound columns.
+
+use ft_bench::table::{f, sci, Table};
+use ft_bench::workload::{reduced_params, Baseline};
+use ft_core::lowerbound::{zone_audit_with, ZoneAudit};
+use ft_core::network::FtNetwork;
+use ft_core::theory;
+use ft_graph::StagedNetwork;
+
+fn audit_row(t: &mut Table, name: &str, net: &StagedNetwork, thresh: u32, h_max: u32) {
+    let a: ZoneAudit = zone_audit_with(net, net.inputs(), thresh, h_max);
+    let n = net.inputs().len();
+    t.row(vec![
+        name.into(),
+        n.to_string(),
+        net.size().to_string(),
+        net.depth().to_string(),
+        a.good_terminals.to_string(),
+        a.min_zone_edges.map_or("-".into(), |m| m.to_string()),
+        f(a.mean_min_zone, 1),
+        a.ball_edges_total.to_string(),
+        sci(theory::theorem1_size_lower_bound(n)),
+        f(theory::theorem1_depth_lower_bound(n), 2),
+    ]);
+}
+
+fn main() {
+    println!("E4: Theorem 1 zone audit (good inputs, B_h(v) zones)\n");
+
+    // Use explicit thresholds beyond the degenerate small-n paper
+    // values so the structural difference is visible: good = nearest
+    // other input at distance >= 4; zones out to h_max = 2.
+    let (thresh, h_max) = (4u32, 2u32);
+    let mut t = Table::new(
+        format!("zone audit (good dist >= {thresh}, zones h <= {h_max})"),
+        &[
+            "network", "n", "size", "depth", "good", "min zone", "mean min",
+            "ball total", "thm1 size lb", "thm1 depth lb",
+        ],
+    );
+    for nu in [1u32, 2] {
+        let ftn = FtNetwork::build(reduced_params(nu));
+        audit_row(
+            &mut t,
+            &format!("N reduced nu={nu}"),
+            ftn.net(),
+            thresh,
+            h_max,
+        );
+    }
+    for &n in &[16usize, 64, 256] {
+        for b in [Baseline::Benes, Baseline::Butterfly] {
+            let net = b.build(n);
+            audit_row(&mut t, &format!("{}({n})", b.name()), &net, thresh, h_max);
+        }
+    }
+    t.print();
+
+    println!(
+        "paper: Theorem 1 -- every (1/4,1/2)-n-superconcentrator has\n\
+         >= n/2 good inputs, each zone B_h(v) carrying Omega(log n)\n\
+         switches, so size >= n(log2 n)^2/2688 and depth >= (log2 n)/16.\n\
+         N keeps every input good with wide zones (the grids realise\n\
+         exactly the Omega(log n)-per-zone structure); Benes/butterfly\n\
+         have NO good inputs at threshold 4 -- the structure Theorem 1\n\
+         says fault tolerance requires is simply absent there."
+    );
+}

@@ -1,0 +1,87 @@
+//! E5 — Theorem 2 size/depth census: 𝒩 has `1408ν·4^{ν+γ}` switches
+//! (paper census) and `4ν + 1` stages, i.e. `Θ(n (log n)²)` size and
+//! `Θ(log n)` depth.
+//!
+//! Regenerates: the per-ν census (formula and, where feasible, a
+//! physically built network), the paper's census column, the size
+//! constant `size/(n (log₄ n)²)`, and the depth against the
+//! `5 log₄ n` bound. Documents the two transcription deltas: our
+//! grids carry their diagonal switches (`(2l−1)` per gap where the
+//! paper counts `l`), and the printed constant "49" does not follow
+//! from the paper's own census (see ft-core::theory docs).
+
+use ft_bench::table::{f, sci, Table};
+use ft_core::network::FtNetwork;
+use ft_core::params::Params;
+use ft_core::theory;
+
+fn main() {
+    println!("E5: Theorem 2 size/depth census (paper-exact profile)\n");
+
+    let mut t = Table::new(
+        "paper-exact census: F=64, d=10, 4^gamma in [34nu, 136nu]",
+        &[
+            "nu", "n", "gamma", "predicted", "paper 1408nu4^(nu+g)", "built",
+            "size/(n nu^2)", "depth", "5log4 n",
+        ],
+    );
+    for nu in 1..=6u32 {
+        let p = Params::paper_exact(nu);
+        let n = p.n();
+        // building beyond nu = 2 exceeds laptop memory (documented
+        // DESIGN.md substitution): census comes from the formulas,
+        // which the built columns validate at nu <= 2.
+        let built = if nu <= 2 {
+            let ftn = FtNetwork::build(p);
+            assert_eq!(ftn.census().total(), p.predicted_size());
+            assert_eq!(ftn.net().depth() as usize + 1, p.num_stages());
+            ftn.census().total().to_string()
+        } else {
+            "-".into()
+        };
+        t.row(vec![
+            nu.to_string(),
+            n.to_string(),
+            p.gamma.to_string(),
+            p.predicted_size().to_string(),
+            p.paper_census().to_string(),
+            built,
+            f(p.size_constant(), 1),
+            p.depth().to_string(),
+            f(theory::theorem2_depth_bound(n), 1),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "reduced profile scaling (F=8, d=4): size stays Theta(n log^2 n)",
+        &["nu", "n", "gamma", "size", "size/(n nu^2)", "depth"],
+    );
+    for nu in 1..=6u32 {
+        let p = Params::reduced(nu, 8, 4, 1.0);
+        t.row(vec![
+            nu.to_string(),
+            p.n().to_string(),
+            p.gamma.to_string(),
+            p.predicted_size().to_string(),
+            f(p.size_constant(), 2),
+            p.depth().to_string(),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "theorem 2 failure bound at eps = 1e-6 (per profile):\n  nu=2: {}\n  nu=4: {}",
+        sci(theory::theorem2_failure_bound(&Params::paper_exact(2), 1e-6)),
+        sci(theory::theorem2_failure_bound(&Params::paper_exact(4), 1e-6)),
+    );
+    println!(
+        "\npaper: size <= '49 n (log4 n)^2' as printed; the census\n\
+         1408nu4^(nu+gamma) with 4^gamma <= 136nu gives constant\n\
+         1408*136 ~ 1.9e5 -- the '49' is a transcription casualty.\n\
+         Our measured census exceeds the paper's 1408nu by the grid\n\
+         diagonals the paper's count omits ((2l-1) vs l per grid gap);\n\
+         both are Theta(n log^2 n). Depth: 4nu switches (4nu+1 stages)\n\
+         <= 5 log4 n as claimed."
+    );
+}

@@ -1,0 +1,106 @@
+//! E6 — Lemma 3: an idle input keeps access to strictly more than
+//! half of its grid's boundary stage w.h.p.; the failure probability
+//! is at most `c₁ν(144ε)^l` (`l` = grid rows).
+//!
+//! Regenerates: Monte-Carlo estimates of the grid majority-access
+//! failure probability across ε and grid sizes, next to the Lemma 3
+//! analytic bound, plus the access-count distribution that shows the
+//! hammock's sharp threshold.
+
+use ft_bench::table::{f, sci, Table};
+use ft_bench::workload::{mc_threads, profile_label};
+use ft_core::access::grid_access_count;
+use ft_core::network::{FtNetwork, Side};
+use ft_core::params::Params;
+use ft_core::repair::Survivor;
+use ft_core::theory;
+use ft_failure::montecarlo::estimate_probability_parallel;
+use ft_failure::{FailureInstance, FailureModel};
+use ft_graph::Digraph;
+
+/// P[input 0 loses strict-majority access to its grid boundary].
+fn mc_grid_failure(ftn: &FtNetwork, eps: f64, trials: u64) -> f64 {
+    let m = ftn.net().num_edges();
+    let l = ftn.rows();
+    let model = FailureModel::symmetric(eps);
+    let est = estimate_probability_parallel(trials, mc_threads(), 0xE6, |_| {
+        let ftn = ftn.clone();
+        move |rng: &mut rand::rngs::SmallRng| {
+            let inst = FailureInstance::sample(&model, rng, m);
+            let survivor = Survivor::new(&ftn, &inst);
+            let alive = survivor.routable_alive();
+            let c = grid_access_count(&ftn, &alive, Side::Input, 0);
+            2 * c <= l
+        }
+    });
+    est.p()
+}
+
+fn main() {
+    println!("E6: Lemma 3 grid majority access\n");
+
+    let profiles = [
+        Params::reduced(1, 8, 8, 1.0),  // l = 32
+        Params::reduced(2, 8, 8, 1.0),  // l = 32, deeper grid
+        Params::reduced(2, 16, 8, 1.0), // l = 64
+    ];
+    let mut t = Table::new(
+        "P[grid access <= l/2] (MC, 2000 trials) vs Lemma 3 bound",
+        &["profile", "l", "eps", "MC failure", "lemma3 bound"],
+    );
+    for p in profiles {
+        let ftn = FtNetwork::build(p);
+        for &eps in &[0.005, 0.02, 0.05, 0.1, 0.15] {
+            let mc = mc_grid_failure(&ftn, eps, 2000);
+            t.row(vec![
+                profile_label(&p),
+                ftn.rows().to_string(),
+                f(eps, 3),
+                f(mc, 4),
+                sci(theory::lemma3_grid_failure_bound(&p, eps)),
+            ]);
+        }
+    }
+    t.print();
+
+    // Access-count distribution at one stressed point: the hammock
+    // degrades gracefully (median stays near l) until it collapses.
+    let p = Params::reduced(2, 8, 8, 1.0);
+    let ftn = FtNetwork::build(p);
+    let m = ftn.net().num_edges();
+    let mut t = Table::new(
+        "grid access count distribution (nu=2, F=8, d=8: l=32, 400 trials)",
+        &["eps", "min", "p25", "median", "p75", "max"],
+    );
+    for &eps in &[0.01, 0.05, 0.1, 0.2] {
+        let model = FailureModel::symmetric(eps);
+        let mut counts: Vec<usize> = Vec::with_capacity(400);
+        let mut rng = ft_graph::gen::rng(0x6E6);
+        for _ in 0..400 {
+            let inst = FailureInstance::sample(&model, &mut rng, m);
+            let survivor = Survivor::new(&ftn, &inst);
+            let alive = survivor.routable_alive();
+            counts.push(grid_access_count(&ftn, &alive, Side::Input, 0));
+        }
+        counts.sort_unstable();
+        t.row(vec![
+            f(eps, 2),
+            counts[0].to_string(),
+            counts[100].to_string(),
+            counts[200].to_string(),
+            counts[300].to_string(),
+            counts[399].to_string(),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "paper: Lemma 3 bounds the failure by c1*nu*(144 eps)^l -- at the\n\
+         paper's eps = 1e-6 and l = 64*4^gamma >= 4096 the bound (and the\n\
+         MC estimate) is indistinguishable from zero, so the sweep uses\n\
+         stress eps. The bound is vacuous (>= 1) once 144 eps >= 1; the\n\
+         MC columns show the true threshold sits near eps ~ 1/10 for\n\
+         small grids: below it access fails with probability -> 0, in\n\
+         the paper's asymptotic regime doubly-exponentially fast in l."
+    );
+}

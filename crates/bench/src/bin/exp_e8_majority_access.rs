@@ -1,0 +1,142 @@
+//! E8 — Lemma 6 / Corollary 2: 𝒩ₗ (and its mirror) is a
+//! majority-access network — every idle terminal keeps access to a
+//! strict majority of the stage-2ν vertices, for any pattern of busy
+//! circuits.
+//!
+//! Regenerates: Monte-Carlo majority-access probabilities under
+//! random failures *and* random busy circuits (both directions — the
+//! Corollary 2 mirror), the per-stage access profile that the Lemma 6
+//! induction lower-bounds, and the Lemma 6 analytic bound.
+
+use ft_bench::table::{f, sci, Table};
+use ft_bench::workload::{mc_threads, profile_label};
+use ft_core::access::{access_profile, busy_mask, majority_access_report};
+use ft_core::network::{FtNetwork, Side};
+use ft_core::params::Params;
+use ft_core::repair::Survivor;
+use ft_core::routing;
+use ft_core::theory;
+use ft_failure::montecarlo::estimate_probability_parallel;
+use ft_failure::{FailureInstance, FailureModel};
+use ft_graph::Digraph;
+use rand::Rng;
+
+/// One trial: sample failures, repair, route a random partial
+/// permutation (each pair kept with probability ½) as the busy
+/// pattern, then test majority access of every idle terminal on both
+/// sides.
+fn trial(ftn: &FtNetwork, eps: f64, rng: &mut rand::rngs::SmallRng) -> bool {
+    let m = ftn.net().num_edges();
+    let model = FailureModel::symmetric(eps);
+    let inst = FailureInstance::sample(&model, rng, m);
+    let survivor = Survivor::new(ftn, &inst);
+    let alive = survivor.routable_alive();
+    // busy pattern: greedy-route a random partial permutation
+    let mut router = routing::survivor_router(&survivor);
+    let perm = routing::random_perm(rng, ftn.n());
+    let mut paths: Vec<Vec<ft_graph::VertexId>> = Vec::new();
+    for (i, &o) in perm.iter().enumerate() {
+        if rng.random::<f64>() < 0.5 {
+            continue;
+        }
+        if let Ok(id) = router.connect(ftn.input(i), ftn.output(o as usize)) {
+            paths.push(router.session_path(id).unwrap().to_vec());
+        }
+    }
+    let busy = busy_mask(ftn.net().num_vertices(), &paths);
+    let fwd = majority_access_report(ftn, &alive, &busy, Side::Input);
+    let bwd = majority_access_report(ftn, &alive, &busy, Side::Output);
+    fwd.all_majority() && bwd.all_majority()
+}
+
+fn main() {
+    println!("E8: Lemma 6 majority access under faults + busy circuits\n");
+
+    let mut t = Table::new(
+        "P[majority access holds, both sides] (MC 400 trials)",
+        &["profile", "eps", "MC P[holds]", "1 - lemma6 bound"],
+    );
+    for p in [Params::reduced(1, 8, 8, 1.0), Params::reduced(2, 8, 8, 1.0)] {
+        let ftn = FtNetwork::build(p);
+        for &eps in &[1e-4, 1e-3, 5e-3, 2e-2, 5e-2] {
+            let est = estimate_probability_parallel(400, mc_threads(), 0xE8, |_| {
+                let ftn = ftn.clone();
+                move |rng: &mut rand::rngs::SmallRng| trial(&ftn, eps, rng)
+            });
+            t.row(vec![
+                profile_label(&p),
+                sci(eps),
+                f(est.p(), 4),
+                sci(1.0 - theory::lemma6_majority_failure_bound(&p, eps)),
+            ]);
+        }
+    }
+    t.print();
+
+    // The Lemma 6 induction, visualised: per-stage access counts of
+    // one idle input while half the terminals are busy.
+    let p = Params::reduced(2, 8, 8, 1.0);
+    let ftn = FtNetwork::build(p);
+    let mut rng = ft_graph::gen::rng(0x8E8);
+    let model = FailureModel::symmetric(1e-3);
+    let inst = FailureInstance::sample(&model, &mut rng, ftn.net().num_edges());
+    let survivor = Survivor::new(&ftn, &inst);
+    let alive = survivor.routable_alive();
+    let mut router = routing::survivor_router(&survivor);
+    let mut paths = Vec::new();
+    for i in 1..ftn.n() / 2 {
+        if let Ok(id) = router.connect(ftn.input(i), ftn.output(i)) {
+            paths.push(router.session_path(id).unwrap().to_vec());
+        }
+    }
+    let busy = busy_mask(ftn.net().num_vertices(), &paths);
+    let prof = access_profile(&ftn, &alive, &busy, Side::Input, 0);
+    let mut t = Table::new(
+        "access profile of idle input 0 (nu=2, eps=1e-3, 7 busy circuits)",
+        &["stage", "kind", "stage width", "accessed", "fraction"],
+    );
+    for (s, &c) in prof.iter().enumerate() {
+        let w = ftn.net().stage_range(s).len();
+        t.row(vec![
+            s.to_string(),
+            format!("{:?}", ftn.stage_kind(s)),
+            w.to_string(),
+            c.to_string(),
+            f(c as f64 / w as f64, 3),
+        ]);
+    }
+    t.print();
+
+    // Degree ablation: the Lemma 6 access recurrence
+    // r' = 1 - e^(-d r / 4) is subcritical at d <= 4 (the accessed
+    // fraction decays with nu) and supercritical above -- the paper's
+    // d = 10 sits deep in the safe region. Swept at nu = 2, eps = 1e-3.
+    let mut t = Table::new(
+        "degree ablation (nu=2, F=8, eps=1e-3, 200 trials): why d = 10",
+        &["d", "fixed point of r'=1-e^(-dr/4)", "MC P[majority access]"],
+    );
+    for d in [3usize, 4, 5, 6, 8, 10] {
+        let p = Params::reduced(2, 8, d, 1.0);
+        let ftn = FtNetwork::build(p);
+        let est = estimate_probability_parallel(200, mc_threads(), 0xE8D, |_| {
+            let ftn = ftn.clone();
+            move |rng: &mut rand::rngs::SmallRng| trial(&ftn, 1e-3, rng)
+        });
+        // iterate the recurrence from r = 1
+        let mut r = 1.0f64;
+        for _ in 0..200 {
+            r = 1.0 - (-(d as f64) * r / 4.0).exp();
+        }
+        t.row(vec![d.to_string(), f(r, 3), f(est.p(), 3)]);
+    }
+    t.print();
+
+    println!(
+        "paper: Lemma 6's induction keeps the accessed share of each\n\
+         recursive group above 1/2; the profile shows the share rising\n\
+         through the expander stages (union-of-permutation expansion)\n\
+         exactly as the induction predicts, and staying > 0.5 at stage\n\
+         2nu despite faults and busy circuits. Corollary 2 (the mirror)\n\
+         is the backward direction of the same table."
+    );
+}

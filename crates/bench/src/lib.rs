@@ -1,0 +1,33 @@
+//! # ft-bench — experiment harness regenerating every quantitative
+//! claim of the paper
+//!
+//! One binary per experiment (see DESIGN.md §5 for the index):
+//!
+//! | bin | paper object |
+//! |-----|--------------|
+//! | `exp_e1_moore_shannon` | Proposition 1 (ε, ε′)-1-networks |
+//! | `exp_e2_lemma1` | Lemma 1 / Corollary 1 edge-disjoint leaf paths |
+//! | `exp_e3_shorting_lb` | Lemma 2 closeness ⇒ shorting |
+//! | `exp_e4_zones` | Theorem 1 zone audit |
+//! | `exp_e5_size_depth` | Theorem 2 size/depth census |
+//! | `exp_e6_grid_access` | Lemma 3 grid majority access |
+//! | `exp_e7_expander_faults` | Lemmas 4–5 outlet-fault tails |
+//! | `exp_e8_majority_access` | Lemma 6 / Corollary 2 |
+//! | `exp_e9_terminal_short` | Lemma 7 terminal shorting |
+//! | `exp_e10_end_to_end` | Theorem 2 end-to-end + baselines |
+//! | `exp_e11_routing_cost` | §4 greedy routing cost |
+//! | `exp_e12_gamma_ablation` | 4^γ ≥ 34ν scale ablation |
+//! | `exp_e13_invariance` | §3 ε-invariance via edge substitution |
+//! | `exp_figures` | Figures 1–5 structural renders |
+//!
+//! Criterion benches live in `benches/`. The [`table`] module prints
+//! the aligned text tables the binaries emit; [`workload`] holds the
+//! shared experiment plumbing (profiles, baselines, Monte-Carlo
+//! glue).
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workload;
+
+pub use table::Table;

@@ -1,0 +1,371 @@
+//! Access and majority-access machinery (§6, Lemmas 3 and 6).
+//!
+//! Given a set of vertex-disjoint paths from inputs to outputs, a vertex
+//! that is neither faulty nor on a path is *idle*; vertex `η₁` *has
+//! access to* `η₂` if a directed path of idle vertices leads from `η₁`
+//! to `η₂`. The network is a **majority-access network** if every idle
+//! input has access to strictly more than half of the middle-stage
+//! vertices (the paper phrases this against "the outputs" of the
+//! left-hand half 𝒩ₗ, which are the stage-2ν vertices).
+//!
+//! Majority access of 𝒩ₗ together with majority access of the mirror
+//! (idle outputs reaching backwards) is what makes the survivor
+//! nonblocking: an idle input and an idle output each access a strict
+//! majority of stage 2ν, so they share an idle middle vertex and can be
+//! joined by a path of idle vertices — greedily, by any path finder.
+//!
+//! This module computes access sets exactly by BFS restricted to idle
+//! vertices. [`grid_access_count`] is Lemma 3's quantity (grids are
+//! private to their terminal, so only faults matter there);
+//! [`majority_access_report`] checks Lemma 6's conclusion for a concrete
+//! busy pattern; [`access_profile`] exposes the per-stage counts that
+//! the Lemma 6 induction tracks.
+
+use crate::network::{FtNetwork, Side};
+use ft_graph::{Digraph, VertexId};
+use std::collections::VecDeque;
+
+/// Direction of an access computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessDir {
+    /// Follow edges forward (input side).
+    Forward,
+    /// Follow edges backward (output side / mirror image).
+    Backward,
+}
+
+/// BFS from `source` through vertices accepted by `idle`, following
+/// `dir`. The source itself is always allowed (terminals are never
+/// faulty; a busy terminal would simply not be queried). Returns the
+/// reached mask, including the source.
+pub fn access_set<G: Digraph>(
+    g: &G,
+    source: VertexId,
+    dir: AccessDir,
+    idle: impl Fn(VertexId) -> bool,
+) -> Vec<bool> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let edges = match dir {
+            AccessDir::Forward => g.out_edge_slice(u),
+            AccessDir::Backward => g.in_edge_slice(u),
+        };
+        for &e in edges {
+            let v = match dir {
+                AccessDir::Forward => g.edge_head(e),
+                AccessDir::Backward => g.edge_tail(e),
+            };
+            if !seen[v.index()] && idle(v) {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Number of reached vertices whose ids lie in `range`.
+pub fn count_in_range(mask: &[bool], range: std::ops::Range<u32>) -> usize {
+    range.filter(|&i| mask[i as usize]).count()
+}
+
+/// Lemma 3's quantity: how many vertices of grid `j`'s **boundary
+/// stage** (stage ν for input grids, stage 3ν for output grids) the
+/// terminal has access to, when only faults (no busy paths) block the
+/// way. Grids are private to their terminal — no path of another
+/// terminal enters Φⱼ/Ψⱼ — so this is exactly the Lemma 3 event.
+///
+/// `alive[v]` must be false at faulty vertices.
+pub fn grid_access_count(ftn: &FtNetwork, alive: &[bool], side: Side, j: usize) -> usize {
+    let nu = ftn.params().nu as usize;
+    let (source, dir, boundary_stage) = match side {
+        Side::Input => (ftn.input(j), AccessDir::Forward, nu),
+        Side::Output => (ftn.output(j), AccessDir::Backward, 3 * nu),
+    };
+    let l = ftn.rows();
+    // Restrict the BFS to the grid's own vertex band so the walk cannot
+    // stray into 𝓜 and come back (it cannot anyway — the graph is
+    // staged — but the restriction also keeps the scan cheap).
+    let lo = j * l;
+    let hi = (j + 1) * l;
+    let in_grid = |v: VertexId| -> bool {
+        // stage bands of the grid, including the shared boundary stage
+        for g in 0..nu {
+            let s = match side {
+                Side::Input => 1 + g,
+                Side::Output => 3 * nu + g,
+            };
+            let base = ftn.stage_base(s);
+            if v.0 >= base + lo as u32 && v.0 < base + hi as u32 {
+                return true;
+            }
+        }
+        false
+    };
+    let mask = access_set(ftn.net(), source, dir, |v| {
+        alive[v.index()] && in_grid(v)
+    });
+    let base = ftn.stage_base(boundary_stage);
+    count_in_range(&mask, base + lo as u32..base + hi as u32)
+}
+
+/// Whether every terminal's grid keeps **majority access** (strictly
+/// more than half of its `l` boundary vertices reachable through
+/// non-faulty grid vertices). Returns the minimum access fraction seen.
+pub fn all_grids_majority(ftn: &FtNetwork, alive: &[bool]) -> (bool, f64) {
+    let l = ftn.rows();
+    let mut ok = true;
+    let mut min_frac = 1.0_f64;
+    for side in [Side::Input, Side::Output] {
+        for j in 0..ftn.n() {
+            let c = grid_access_count(ftn, alive, side, j);
+            let frac = c as f64 / l as f64;
+            min_frac = min_frac.min(frac);
+            if 2 * c <= l {
+                ok = false;
+            }
+        }
+    }
+    (ok, min_frac)
+}
+
+/// Report of a majority-access check over all idle terminals of one
+/// side, for a concrete busy pattern.
+#[derive(Clone, Debug)]
+pub struct MajorityReport {
+    /// Terminals that were idle (queried).
+    pub idle_terminals: usize,
+    /// How many of them reached a strict majority of stage 2ν.
+    pub with_majority: usize,
+    /// Minimum accessed fraction of the middle stage over idle
+    /// terminals (1.0 when none are idle).
+    pub min_fraction: f64,
+}
+
+impl MajorityReport {
+    /// True when every idle terminal has majority access.
+    pub fn all_majority(&self) -> bool {
+        self.idle_terminals == self.with_majority
+    }
+}
+
+/// Checks Lemma 6's conclusion for a concrete instance: every idle
+/// terminal of `side` has access (through vertices that are alive and
+/// not busy) to strictly more than half of the stage-2ν vertices.
+///
+/// `busy[v]` marks vertices used by established paths; terminals on
+/// established paths are skipped (they are busy, not idle).
+pub fn majority_access_report(
+    ftn: &FtNetwork,
+    alive: &[bool],
+    busy: &[bool],
+    side: Side,
+) -> MajorityReport {
+    let nu = ftn.params().nu as usize;
+    let mid_base = ftn.stage_base(2 * nu);
+    let mid = mid_base..mid_base + ftn.width() as u32;
+    let half = ftn.width() / 2;
+    let mut idle_terminals = 0;
+    let mut with_majority = 0;
+    let mut min_fraction = 1.0_f64;
+    for j in 0..ftn.n() {
+        let (t, dir) = match side {
+            Side::Input => (ftn.input(j), AccessDir::Forward),
+            Side::Output => (ftn.output(j), AccessDir::Backward),
+        };
+        if busy[t.index()] {
+            continue;
+        }
+        idle_terminals += 1;
+        let mask = access_set(ftn.net(), t, dir, |v| {
+            alive[v.index()] && !busy[v.index()]
+        });
+        let c = count_in_range(&mask, mid.clone());
+        if c > half {
+            with_majority += 1;
+        }
+        min_fraction = min_fraction.min(c as f64 / ftn.width() as f64);
+    }
+    MajorityReport {
+        idle_terminals,
+        with_majority,
+        min_fraction,
+    }
+}
+
+/// Per-stage accessed counts from one terminal — the quantity Lemma 6's
+/// induction lower-bounds stage by stage. Entry `s` is the number of
+/// stage-`s` vertices the terminal has access to.
+pub fn access_profile(
+    ftn: &FtNetwork,
+    alive: &[bool],
+    busy: &[bool],
+    side: Side,
+    j: usize,
+) -> Vec<usize> {
+    let (t, dir) = match side {
+        Side::Input => (ftn.input(j), AccessDir::Forward),
+        Side::Output => (ftn.output(j), AccessDir::Backward),
+    };
+    let mask = access_set(ftn.net(), t, dir, |v| {
+        alive[v.index()] && !busy[v.index()]
+    });
+    let stages = ftn.num_stages();
+    let mut profile = Vec::with_capacity(stages);
+    for s in 0..stages {
+        let r = ftn.net().stage_range(s);
+        profile.push(count_in_range(&mask, r));
+    }
+    profile
+}
+
+/// Marks the vertices of a set of paths as busy. Paths must be
+/// vertex-disjoint; this is asserted in debug builds.
+pub fn busy_mask(num_vertices: usize, paths: &[Vec<VertexId>]) -> Vec<bool> {
+    let mut busy = vec![false; num_vertices];
+    for p in paths {
+        for &v in p {
+            debug_assert!(!busy[v.index()], "paths not vertex-disjoint at {v:?}");
+            busy[v.index()] = true;
+        }
+    }
+    busy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn tiny() -> FtNetwork {
+        FtNetwork::build(Params::reduced(1, 8, 4, 1.0))
+    }
+
+    fn small() -> FtNetwork {
+        FtNetwork::build(Params::reduced(2, 8, 4, 1.0))
+    }
+
+    #[test]
+    fn fault_free_grid_access_is_full() {
+        let f = small();
+        let alive = vec![true; f.net().num_vertices()];
+        for j in 0..f.n() {
+            assert_eq!(grid_access_count(&f, &alive, Side::Input, j), f.rows());
+            assert_eq!(grid_access_count(&f, &alive, Side::Output, j), f.rows());
+        }
+        let (ok, frac) = all_grids_majority(&f, &alive);
+        assert!(ok);
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn fault_free_majority_access_is_full() {
+        let f = tiny();
+        let alive = vec![true; f.net().num_vertices()];
+        let busy = vec![false; f.net().num_vertices()];
+        for side in [Side::Input, Side::Output] {
+            let rep = majority_access_report(&f, &alive, &busy, side);
+            assert_eq!(rep.idle_terminals, 4);
+            // the union of d random permutations reaches a strict
+            // majority of the middle stage (≈ 1 − e^{−d/4}), not all
+            // of it — Lemma 6 only ever claims a majority
+            assert!(rep.all_majority());
+            assert!(rep.min_fraction > 0.5, "{}", rep.min_fraction);
+        }
+    }
+
+    #[test]
+    fn profile_monotone_structure() {
+        let f = small();
+        let alive = vec![true; f.net().num_vertices()];
+        let busy = vec![false; f.net().num_vertices()];
+        let prof = access_profile(&f, &alive, &busy, Side::Input, 0);
+        // stage 0: the input itself
+        assert_eq!(prof[0], 1);
+        // stage 1: the full fan-out l
+        assert_eq!(prof[1], f.rows());
+        // a strict majority of the middle stage is accessible
+        assert!(prof[4] > f.width() / 2);
+        // the backward profile of an output mirrors
+        let bprof = access_profile(&f, &alive, &busy, Side::Output, 0);
+        assert_eq!(bprof[8], 1);
+        assert!(bprof[4] > f.width() / 2);
+    }
+
+    #[test]
+    fn dead_grid_row_reduces_access() {
+        let f = tiny();
+        let mut alive = vec![true; f.net().num_vertices()];
+        // kill rows 0..=15 (half the grid) of input grid 0 at its only
+        // interior stage (stage 1 = boundary for ν=1: boundary stage is
+        // stage ν = 1, so killing boundary vertices directly)
+        for r in 0..16 {
+            alive[f.grid_vertex(Side::Input, 0, r, 0).index()] = false;
+        }
+        let c = grid_access_count(&f, &alive, Side::Input, 0);
+        assert_eq!(c, 16);
+        // exactly half is NOT a strict majority
+        let (ok, _) = all_grids_majority(&f, &alive);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn busy_paths_block_access() {
+        let f = tiny();
+        let alive = vec![true; f.net().num_vertices()];
+        // mark the whole middle stage busy except one vertex: no
+        // majority possible
+        let nu = 1;
+        let mut busy = vec![false; f.net().num_vertices()];
+        let base = f.stage_base(2 * nu);
+        for i in 0..f.width() - 1 {
+            busy[(base + i as u32) as usize] = true;
+        }
+        let rep = majority_access_report(&f, &alive, &busy, Side::Input);
+        assert_eq!(rep.with_majority, 0);
+        assert!(rep.min_fraction <= 1.0 / f.width() as f64);
+    }
+
+    #[test]
+    fn busy_terminal_not_queried() {
+        let f = tiny();
+        let alive = vec![true; f.net().num_vertices()];
+        let mut busy = vec![false; f.net().num_vertices()];
+        busy[f.input(2).index()] = true;
+        let rep = majority_access_report(&f, &alive, &busy, Side::Input);
+        assert_eq!(rep.idle_terminals, 3);
+    }
+
+    #[test]
+    fn busy_mask_rejects_overlap() {
+        let f = tiny();
+        let p1 = vec![f.input(0), f.internal(1, 0)];
+        let m = busy_mask(f.net().num_vertices(), &[p1.clone()]);
+        assert!(m[f.input(0).index()]);
+        assert!(!m[f.input(1).index()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not vertex-disjoint")]
+    #[cfg(debug_assertions)]
+    fn busy_mask_panics_on_overlap() {
+        let f = tiny();
+        let p1 = vec![f.input(0), f.internal(1, 0)];
+        let p2 = vec![f.internal(1, 0), f.internal(2, 0)];
+        busy_mask(f.net().num_vertices(), &[p1, p2]);
+    }
+
+    #[test]
+    fn backward_access_respects_direction() {
+        let f = tiny();
+        let alive = vec![true; f.net().num_vertices()];
+        // forward from an output reaches nothing (no out-edges)
+        let mask = access_set(f.net(), f.output(0), AccessDir::Forward, |v| {
+            alive[v.index()]
+        });
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 1);
+    }
+}

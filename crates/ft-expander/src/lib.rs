@@ -1,0 +1,28 @@
+//! # ft-expander — expanding graphs for fault-tolerant switching
+//!
+//! The §6 construction of Pippenger & Lin is built from
+//! `(c, c′, t)`-**expanding graphs**: bipartite graphs in which every
+//! set of `c` inlets reaches at least `c′` outlets. This crate provides:
+//!
+//! * [`bipartite`] — the shared representation;
+//! * [`random`] — the probabilistic construction the paper cites
+//!   (Bassalygo–Pinsker): unions of random perfect matchings;
+//! * [`margulis`] — the explicit Margulis/Gabber–Galil expander the
+//!   paper references for constructivity;
+//! * [`verify`] — exhaustive / sampled / adversarial expansion checks;
+//! * [`spectral`] — Tanner-bound certificates from the second singular
+//!   value;
+//! * [`paper`] — the exact `(32s, 33.07s, 64s)` degree-10
+//!   parameterisation consumed by the §6 network.
+
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod margulis;
+pub mod paper;
+pub mod random;
+pub mod spectral;
+pub mod verify;
+
+pub use bipartite::BipartiteGraph;
+pub use paper::{ExpanderSpec, PaperExpander};

@@ -1,0 +1,167 @@
+//! The paper's expanding graphs: `(32s, 33.07s, 64s)`, degree 10.
+//!
+//! §6 consumes, between consecutive stages of the recursive network,
+//! disjoint `(32·4^i, 32(1 + (2−√3)/8)·4^i, 64·4^i)`-expanding graphs in
+//! which every inlet has ten out-edges and every outlet ten in-edges.
+//! `32(1 + (2−√3)/8) ≈ 33.07` — the paper rounds it to 33.07 throughout
+//! (`(2−√3)/4` is the Gabber–Galil expansion constant; at half-full sets
+//! it contributes `(2−√3)/8`).
+//! This module packages that exact parameterisation: construction (union
+//! of ten random permutations), requirement computation, and probe-based
+//! acceptance testing used when a sampled graph must be retried.
+
+use crate::bipartite::BipartiteGraph;
+use crate::random::union_of_permutations;
+use crate::verify::min_neighborhood_greedy;
+use rand::rngs::SmallRng;
+
+/// The paper's expander degree (ten out-edges per inlet, ten in-edges
+/// per outlet).
+pub const PAPER_DEGREE: usize = 10;
+
+/// The expansion factor `1 + (2 − √3)/8` relating `c` to `c′`.
+pub fn expansion_factor() -> f64 {
+    1.0 + (2.0 - 3.0f64.sqrt()) / 8.0
+}
+
+/// Parameters of a `(c, c′, t)`-expanding graph at scale `s` (the
+/// paper's `4^i`): `c = 32s`, `c′ = ⌈32·(1+(2−√2)/8)·s⌉`, `t = 64s`
+/// vertices per side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpanderSpec {
+    /// Inlet-subset size whose expansion is guaranteed (`32s`).
+    pub c: usize,
+    /// Guaranteed neighbourhood size (`≈ 33.07s`).
+    pub c_prime: usize,
+    /// Vertices per side (`64s`).
+    pub t: usize,
+}
+
+impl ExpanderSpec {
+    /// Spec at scale `s` (the paper's `4^i`; any positive integer works
+    /// for reduced profiles).
+    pub fn at_scale(s: usize) -> Self {
+        assert!(s >= 1);
+        ExpanderSpec {
+            c: 32 * s,
+            c_prime: (expansion_factor() * 32.0 * s as f64).ceil() as usize,
+            t: 64 * s,
+        }
+    }
+
+    /// A reduced spec with side `t` (halving rules preserved:
+    /// `c = t/2`, `c′ = ⌈factor·t/2⌉`). Used by laptop-scale profiles
+    /// where `t` is not a multiple of 64.
+    pub fn with_side(t: usize) -> Self {
+        assert!(t >= 2 && t % 2 == 0, "side must be even, got {t}");
+        let c = t / 2;
+        ExpanderSpec {
+            c,
+            c_prime: (expansion_factor() * c as f64).ceil() as usize,
+            t,
+        }
+    }
+}
+
+/// A constructed paper expander: the bipartite graph plus its spec.
+#[derive(Clone, Debug)]
+pub struct PaperExpander {
+    /// Expansion specification the graph is meant to satisfy.
+    pub spec: ExpanderSpec,
+    /// The degree-10 biregular bipartite graph.
+    pub graph: BipartiteGraph,
+}
+
+/// Samples a degree-10 union-of-permutations graph for `spec`.
+/// No acceptance test is run (Lemma 5 budgets failure probability for
+/// the whole family); use [`sample_probed`] when a stronger guarantee
+/// per instance is wanted.
+pub fn sample(spec: ExpanderSpec, rng: &mut SmallRng) -> PaperExpander {
+    PaperExpander {
+        spec,
+        graph: union_of_permutations(rng, spec.t, PAPER_DEGREE),
+    }
+}
+
+/// Samples and retries until greedy adversarial probing finds no
+/// violation of the spec (at most `max_attempts` tries).
+///
+/// # Panics
+/// Panics if no sample passes — with degree 10 and the paper's ratios
+/// this is overwhelmingly unlikely for `t ≥ 8`.
+pub fn sample_probed(spec: ExpanderSpec, rng: &mut SmallRng, max_attempts: usize) -> PaperExpander {
+    for _ in 0..max_attempts {
+        let cand = sample(spec, rng);
+        let probes = (spec.t.min(64)).max(4);
+        let worst = min_neighborhood_greedy(&cand.graph, spec.c, probes, rng);
+        if worst.size >= spec.c_prime {
+            return cand;
+        }
+    }
+    panic!("no degree-10 sample satisfied {spec:?} after {max_attempts} attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::rng;
+
+    #[test]
+    fn factor_matches_paper_constant() {
+        // 32·(1+(2−√2)/8) ≈ 33.0745 — the paper writes 33.07
+        let f = expansion_factor() * 32.0;
+        assert!((f - 33.07).abs() < 0.01, "factor {f}");
+    }
+
+    #[test]
+    fn spec_at_paper_scales() {
+        let s1 = ExpanderSpec::at_scale(1);
+        assert_eq!(s1, ExpanderSpec { c: 32, c_prime: 34, t: 64 });
+        let s4 = ExpanderSpec::at_scale(4);
+        assert_eq!(s4.c, 128);
+        assert_eq!(s4.t, 256);
+        // ⌈33.0745·4⌉ = ⌈132.3⌉ = 133
+        assert_eq!(s4.c_prime, 133);
+    }
+
+    #[test]
+    fn reduced_spec() {
+        let s = ExpanderSpec::with_side(16);
+        assert_eq!(s.c, 8);
+        assert_eq!(s.t, 16);
+        assert_eq!(s.c_prime, 9); // ⌈8·1.0336⌉ = ⌈8.26⌉
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn reduced_spec_rejects_odd() {
+        ExpanderSpec::with_side(7);
+    }
+
+    #[test]
+    fn sampled_expander_is_degree_10() {
+        let spec = ExpanderSpec::at_scale(1);
+        let e = sample(spec, &mut rng(1));
+        assert_eq!(e.graph.num_inlets(), 64);
+        for i in 0..64 {
+            assert_eq!(e.graph.degree(i), PAPER_DEGREE);
+        }
+        assert!(e.graph.outlet_degrees().iter().all(|&d| d == PAPER_DEGREE));
+    }
+
+    #[test]
+    fn probed_sampling_succeeds_at_scale_1() {
+        let spec = ExpanderSpec::at_scale(1);
+        let e = sample_probed(spec, &mut rng(2), 10);
+        assert_eq!(e.spec, spec);
+    }
+
+    #[test]
+    fn probed_sampling_succeeds_reduced() {
+        let spec = ExpanderSpec::with_side(8);
+        // t=8, c=4, degree 10 > t means permutations repeat outlets;
+        // still fine: c'=5 ≤ 8
+        let e = sample_probed(spec, &mut rng(3), 20);
+        assert!(e.graph.num_outlets() == 8);
+    }
+}

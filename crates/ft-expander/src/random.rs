@@ -1,0 +1,106 @@
+//! Random regular bipartite expanders (the Bassalygo–Pinsker route).
+//!
+//! The standard probabilistic construction the paper cites \[BP\]: a
+//! `d`-regular bipartite graph obtained as the union of `d` uniformly
+//! random perfect matchings is, with high probability, an excellent
+//! expander. The §6 construction needs `(32s, 33.07s, 64s)`-expanding
+//! graphs of degree 10 on `64s + 64s` vertices; random degree-10 unions
+//! exceed that expansion with overwhelming probability (Lemma 5 of the
+//! paper budgets for it).
+
+use crate::bipartite::BipartiteGraph;
+use ft_graph::gen::random_permutation;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// Union of `d` random permutations: a `d`-regular bipartite multigraph
+/// on `n + n` vertices (both sides exactly degree `d`).
+pub fn union_of_permutations(rng: &mut SmallRng, n: usize, d: usize) -> BipartiteGraph {
+    let mut adj = vec![Vec::with_capacity(d); n];
+    for _ in 0..d {
+        let p = random_permutation(rng, n);
+        for (i, &o) in p.iter().enumerate() {
+            adj[i].push(o);
+        }
+    }
+    BipartiteGraph::new(adj, n)
+}
+
+/// Random bipartite graph where each of `inlets` picks `d` outlets
+/// without replacement (left-regular only).
+pub fn random_left_regular(
+    rng: &mut SmallRng,
+    inlets: usize,
+    outlets: usize,
+    d: usize,
+) -> BipartiteGraph {
+    assert!(d <= outlets, "degree exceeds outlet count");
+    let mut pool: Vec<u32> = (0..outlets as u32).collect();
+    let mut adj = Vec::with_capacity(inlets);
+    for _ in 0..inlets {
+        pool.partial_shuffle(rng, d);
+        let mut nbrs = pool[..d].to_vec();
+        nbrs.sort_unstable();
+        adj.push(nbrs);
+    }
+    BipartiteGraph::new(adj, outlets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::rng;
+
+    #[test]
+    fn permutation_union_is_biregular() {
+        let mut r = rng(1);
+        let b = union_of_permutations(&mut r, 50, 10);
+        assert_eq!(b.num_inlets(), 50);
+        assert_eq!(b.num_outlets(), 50);
+        assert_eq!(b.num_edges(), 500);
+        for i in 0..50 {
+            assert_eq!(b.degree(i), 10);
+        }
+        assert!(b.outlet_degrees().iter().all(|&d| d == 10));
+    }
+
+    #[test]
+    fn left_regular_shape() {
+        let mut r = rng(2);
+        let b = random_left_regular(&mut r, 20, 30, 5);
+        assert_eq!(b.num_inlets(), 20);
+        assert_eq!(b.num_outlets(), 30);
+        for i in 0..20 {
+            assert_eq!(b.degree(i), 5);
+            // distinct outlets
+            let mut nbrs = b.neighbors(i).to_vec();
+            nbrs.dedup();
+            assert_eq!(nbrs.len(), 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = union_of_permutations(&mut rng(7), 16, 3);
+        let b = union_of_permutations(&mut rng(7), 16, 3);
+        for i in 0..16 {
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn random_graphs_expand_in_practice() {
+        // degree-10 union on 64 vertices: every 32-subset sampled should
+        // see well over 33 outlets (the paper's requirement at s = 1)
+        let mut r = rng(3);
+        let b = union_of_permutations(&mut r, 64, 10);
+        let mut scratch = Vec::new();
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..64).collect();
+        for _ in 0..200 {
+            idx.shuffle(&mut r);
+            let nb = b.neighborhood_size(&idx[..32], &mut scratch);
+            assert!(nb >= 34, "expansion too small: {nb}");
+        }
+    }
+}

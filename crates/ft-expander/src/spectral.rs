@@ -1,0 +1,178 @@
+//! Spectral expansion certificates (Tanner's bound).
+//!
+//! For a `d`-biregular bipartite graph on `n + n` vertices with second
+//! singular value `λ` of its adjacency matrix, Tanner's theorem gives,
+//! for every inlet set `S`,
+//!
+//! ```text
+//! |Γ(S)| ≥ d²·|S| / (λ² + (d² − λ²)·|S|/n)
+//! ```
+//!
+//! — a *certificate* of `(c, c′, t)`-expansion that, unlike subset
+//! sampling, holds for all sets at once. λ is estimated by power
+//! iteration on `AᵀA` with deflation of the top singular vector (which
+//! is the all-ones vector for biregular graphs, with σ₁ = d).
+
+use crate::bipartite::BipartiteGraph;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Estimates the second singular value of the (biregular) adjacency
+/// matrix by deflated power iteration.
+///
+/// # Panics
+/// Panics if the graph is not biregular (top singular vector would not
+/// be all-ones, invalidating the deflation).
+pub fn second_singular_value(b: &BipartiteGraph, iters: usize, rng: &mut SmallRng) -> f64 {
+    let n = b.num_inlets();
+    assert_eq!(n, b.num_outlets(), "spectral bound needs equal sides");
+    assert!(n >= 2, "need at least two inlets");
+    let d = b.degree(0);
+    assert!(
+        (0..n).all(|i| b.degree(i) == d) && b.outlet_degrees().iter().all(|&x| x == d),
+        "graph must be d-biregular"
+    );
+
+    // x lives on inlets; repeatedly apply AᵀA and project out 1-vector.
+    let mut x: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    let mut y = vec![0.0f64; n]; // outlet workspace
+    let mut sigma2 = 0.0f64;
+    for _ in 0..iters {
+        // deflate: x ← x − mean(x)
+        let mean = x.iter().sum::<f64>() / n as f64;
+        for v in x.iter_mut() {
+            *v -= mean;
+        }
+        // y = A x (outlet o accumulates inlet values)
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..n {
+            let xi = x[i];
+            for &o in b.neighbors(i) {
+                y[o as usize] += xi;
+            }
+        }
+        // x' = Aᵀ y
+        let mut x2 = vec![0.0f64; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for &o in b.neighbors(i) {
+                acc += y[o as usize];
+            }
+            x2[i] = acc;
+        }
+        let norm_x = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let norm_x2 = x2.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm_x <= 1e-300 || norm_x2 <= 1e-300 {
+            return 0.0; // numerically disconnected from the 2nd eigenspace
+        }
+        sigma2 = norm_x2 / norm_x; // Rayleigh estimate of λ²
+        let inv = 1.0 / norm_x2;
+        x = x2;
+        x.iter_mut().for_each(|v| *v *= inv);
+    }
+    sigma2.max(0.0).sqrt()
+}
+
+/// Tanner's lower bound on `|Γ(S)|` for `|S| = s` in a `d`-biregular
+/// graph on `n + n` vertices with second singular value `lambda`.
+pub fn tanner_bound(d: usize, lambda: f64, n: usize, s: usize) -> f64 {
+    let d2 = (d * d) as f64;
+    let l2 = lambda * lambda;
+    let frac = s as f64 / n as f64;
+    d2 * s as f64 / (l2 + (d2 - l2) * frac)
+}
+
+/// Certified expansion `(c, c′)` implied by the spectral estimate:
+/// returns the `c′` that Tanner guarantees for sets of size `c`
+/// (rounded down), using a λ estimate inflated by `slack` to absorb
+/// power-iteration error.
+pub fn certified_c_prime(
+    b: &BipartiteGraph,
+    c: usize,
+    iters: usize,
+    slack: f64,
+    rng: &mut SmallRng,
+) -> usize {
+    let d = b.degree(0);
+    let lambda = second_singular_value(b, iters, rng) * (1.0 + slack);
+    let lambda = lambda.min(d as f64);
+    tanner_bound(d, lambda, b.num_inlets(), c).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::margulis::gabber_galil;
+    use crate::random::union_of_permutations;
+    use ft_graph::gen::rng;
+
+    #[test]
+    fn complete_bipartite_has_zero_lambda2() {
+        // K_{n,n}: rank-1 adjacency, λ₂ = 0
+        let n = 8;
+        let adj = vec![(0..n as u32).collect::<Vec<_>>(); n];
+        let b = BipartiteGraph::new(adj, n);
+        let mut r = rng(1);
+        let l = second_singular_value(&b, 60, &mut r);
+        assert!(l < 1e-6, "λ₂ = {l}");
+        // Tanner then certifies full expansion
+        assert!(tanner_bound(n, l, n, 2) > (n - 1) as f64);
+    }
+
+    #[test]
+    fn disjoint_matchings_have_lambda2_equal_d() {
+        // identity matching (d=1): A = I, all singular values 1 = d —
+        // no expansion, and Tanner degenerates to |S|
+        let n = 8;
+        let adj: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
+        let b = BipartiteGraph::new(adj, n);
+        let mut r = rng(2);
+        let l = second_singular_value(&b, 60, &mut r);
+        assert!((l - 1.0).abs() < 1e-6, "λ₂ = {l}");
+        let t = tanner_bound(1, l, n, 3);
+        assert!((t - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_expander_beats_trivial_bound() {
+        let mut r = rng(3);
+        let b = union_of_permutations(&mut r, 64, 10);
+        let l = second_singular_value(&b, 120, &mut r);
+        assert!(l < 10.0, "λ₂ must be below d");
+        // random d-regular graphs approach Ramanujan: λ ≈ 2√(d−1) = 6
+        assert!(l < 8.5, "λ₂ = {l} too large for a random 10-regular graph");
+        // Tanner certificate at the paper's operating point (c = n/2)
+        let guaranteed = tanner_bound(10, l, 64, 32);
+        assert!(
+            guaranteed >= 34.0,
+            "spectral certificate {guaranteed} below paper requirement"
+        );
+    }
+
+    #[test]
+    fn gabber_galil_is_biregular_and_spectral_runs() {
+        let b = gabber_galil(6);
+        let mut r = rng(4);
+        let l = second_singular_value(&b, 100, &mut r);
+        assert!(l < 5.0, "λ₂ = {l} must be < d = 5");
+        assert!(l > 0.5, "GG is not complete bipartite");
+    }
+
+    #[test]
+    fn certified_c_prime_is_conservative() {
+        let mut r = rng(5);
+        let b = union_of_permutations(&mut r, 64, 10);
+        let cert = certified_c_prime(&b, 32, 120, 0.05, &mut r);
+        // certificate must never exceed what sampling observes
+        let observed = crate::verify::min_neighborhood_sampled(&b, 32, 300, &mut r);
+        assert!(cert <= observed.size, "certificate {cert} > observed {}", observed.size);
+        assert!(cert >= 32, "certificate uselessly small: {cert}");
+    }
+
+    #[test]
+    #[should_panic(expected = "biregular")]
+    fn rejects_irregular() {
+        let b = BipartiteGraph::new(vec![vec![0, 1], vec![0]], 2);
+        second_singular_value(&b, 10, &mut rng(6));
+    }
+}

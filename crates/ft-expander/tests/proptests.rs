@@ -1,0 +1,116 @@
+//! Property-based tests for the expander constructions.
+
+use ft_expander::bipartite::BipartiteGraph;
+use ft_expander::margulis::gabber_galil;
+use ft_expander::paper::{expansion_factor, sample, ExpanderSpec, PAPER_DEGREE};
+use ft_expander::random::union_of_permutations;
+use ft_expander::spectral::{second_singular_value, tanner_bound};
+use ft_expander::verify::min_neighborhood_greedy;
+use ft_graph::gen::rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Union of d permutations is exactly d-regular on both sides.
+    #[test]
+    fn union_of_perms_biregular(t_exp in 1u32..6, d in 1usize..12, seed in 0u64..50_000) {
+        let t = 1usize << t_exp;
+        let mut r = rng(seed);
+        let g = union_of_permutations(&mut r, t, d);
+        prop_assert_eq!(g.num_inlets(), t);
+        prop_assert_eq!(g.num_outlets(), t);
+        prop_assert_eq!(g.num_edges(), t * d);
+        for i in 0..t {
+            prop_assert_eq!(g.degree(i), d);
+        }
+        for &od in g.outlet_degrees().iter() {
+            prop_assert_eq!(od, d);
+        }
+    }
+
+    /// Spec arithmetic: c = t/2, c′ = ⌈factor·c⌉, and the paper scale.
+    #[test]
+    fn spec_arithmetic(s in 1usize..200) {
+        let spec = ExpanderSpec::at_scale(s);
+        prop_assert_eq!(spec.t, 64 * s);
+        prop_assert_eq!(spec.c, 32 * s);
+        prop_assert_eq!(spec.c_prime,
+            (expansion_factor() * 32.0 * s as f64).ceil() as usize);
+        prop_assert!(spec.c_prime > spec.c);
+        prop_assert!(spec.c_prime <= spec.t);
+    }
+
+    /// Greedy adversarial probing never reports a neighborhood larger
+    /// than brute force allows (it is a lower-bounding adversary), and
+    /// the reported set size is within [1, t].
+    #[test]
+    fn probe_reports_sane_sizes(seed in 0u64..20_000) {
+        let spec = ExpanderSpec::with_side(32);
+        let mut r = rng(seed);
+        let e = sample(spec, &mut r);
+        let worst = min_neighborhood_greedy(&e.graph, spec.c, 16, &mut r);
+        prop_assert!(worst.size >= 1);
+        prop_assert!(worst.size <= spec.t);
+        prop_assert_eq!(worst.inlets.len(), spec.c);
+        // verify the reported neighborhood size by recomputation
+        let mut seen = vec![false; spec.t];
+        let mut count = 0;
+        for &i in &worst.inlets {
+            for &o in e.graph.neighbors(i as usize) {
+                if !seen[o as usize] {
+                    seen[o as usize] = true;
+                    count += 1;
+                }
+            }
+        }
+        prop_assert_eq!(count, worst.size);
+    }
+
+    /// Paper-degree samples have degree 10 everywhere.
+    #[test]
+    fn paper_sample_degree(seed in 0u64..20_000) {
+        let spec = ExpanderSpec::at_scale(1);
+        let e = sample(spec, &mut rng(seed));
+        for i in 0..spec.t {
+            prop_assert_eq!(e.graph.degree(i), PAPER_DEGREE);
+        }
+    }
+
+    /// Gabber–Galil is 5-regular on inlets with m² vertices per side.
+    #[test]
+    fn gabber_galil_structure(m in 2usize..12) {
+        let g = gabber_galil(m);
+        prop_assert_eq!(g.num_inlets(), m * m);
+        prop_assert_eq!(g.num_outlets(), m * m);
+        for i in 0..m * m {
+            prop_assert_eq!(g.degree(i), 5);
+        }
+    }
+
+    /// The spectral certificate is a valid singular-value estimate:
+    /// 0 ≤ λ₂ ≤ d, and the Tanner bound it implies is ≥ the subset
+    /// size (expansion ≥ 1 at λ < d).
+    #[test]
+    fn spectral_certificate_range(seed in 0u64..10_000) {
+        let mut r = rng(seed);
+        let g = union_of_permutations(&mut r, 64, 6);
+        let lam = second_singular_value(&g, 40, &mut r);
+        prop_assert!(lam >= -1e-9);
+        prop_assert!(lam <= 6.0 + 1e-6, "lambda {lam} > d");
+        let guaranteed = tanner_bound(6, lam.max(0.0), 64, 32);
+        prop_assert!(guaranteed <= 64.0);
+    }
+
+    /// Bipartite adjacency construction round-trips.
+    #[test]
+    fn bipartite_roundtrip(t in 1usize..40) {
+        let adj: Vec<Vec<u32>> = (0..t).map(|i| vec![(i as u32 + 1) % t as u32]).collect();
+        let g = BipartiteGraph::new(adj, t);
+        prop_assert_eq!(g.num_inlets(), t);
+        prop_assert_eq!(g.num_edges(), t);
+        for i in 0..t {
+            prop_assert_eq!(g.neighbors(i), &[(i as u32 + 1) % t as u32]);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! A sampled failure instance and views of the stricken network.
+//!
+//! §3 of the paper defines the event space Ω as the set of graphs
+//! obtained from the network by independently assigning each edge one of
+//! the three states. [`FailureInstance`] is one point of Ω: it wraps the
+//! per-edge state vector and answers the queries the rest of the pipeline
+//! needs (normal/usable filters, failure counts, faulty-vertex marks).
+
+use crate::model::{FailureModel, SwitchState};
+use ft_graph::ids::{EdgeId, VertexId};
+use ft_graph::Digraph;
+use rand::rngs::SmallRng;
+
+/// One sampled assignment of a state to every switch of a network.
+#[derive(Clone, Debug)]
+pub struct FailureInstance {
+    states: Vec<SwitchState>,
+}
+
+impl FailureInstance {
+    /// Samples an instance for a network with `num_edges` switches.
+    pub fn sample(model: &FailureModel, rng: &mut SmallRng, num_edges: usize) -> Self {
+        FailureInstance {
+            states: model.sample(rng, num_edges),
+        }
+    }
+
+    /// Re-samples in place, reusing the allocation (hot Monte Carlo path).
+    pub fn resample(&mut self, model: &FailureModel, rng: &mut SmallRng, num_edges: usize) {
+        let mut states = std::mem::take(&mut self.states);
+        model.sample_into(rng, num_edges, &mut states);
+        self.states = states;
+    }
+
+    /// Wraps an explicit state vector (tests, adversarial instances).
+    pub fn from_states(states: Vec<SwitchState>) -> Self {
+        FailureInstance { states }
+    }
+
+    /// An all-normal instance.
+    pub fn perfect(num_edges: usize) -> Self {
+        FailureInstance {
+            states: vec![SwitchState::Normal; num_edges],
+        }
+    }
+
+    /// Number of switches covered.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the instance covers zero switches.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// State of switch `e`.
+    #[inline]
+    pub fn state(&self, e: EdgeId) -> SwitchState {
+        self.states[e.index()]
+    }
+
+    /// Whether switch `e` is in the normal state.
+    #[inline]
+    pub fn is_normal(&self, e: EdgeId) -> bool {
+        self.states[e.index()] == SwitchState::Normal
+    }
+
+    /// Whether switch `e` still *exists* as a conductor (normal or
+    /// closed — an open-failed switch is gone).
+    #[inline]
+    pub fn is_usable(&self, e: EdgeId) -> bool {
+        self.states[e.index()] != SwitchState::Open
+    }
+
+    /// Whether switch `e` is closed-failed (its endpoints contract).
+    #[inline]
+    pub fn is_closed(&self, e: EdgeId) -> bool {
+        self.states[e.index()] == SwitchState::Closed
+    }
+
+    /// `(open, closed, normal)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut open = 0;
+        let mut closed = 0;
+        for &s in &self.states {
+            match s {
+                SwitchState::Open => open += 1,
+                SwitchState::Closed => closed += 1,
+                SwitchState::Normal => {}
+            }
+        }
+        (open, closed, self.states.len() - open - closed)
+    }
+
+    /// Ids of all failed (non-normal) switches.
+    pub fn failed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s != SwitchState::Normal)
+            .map(|(i, _)| EdgeId::from(i))
+    }
+
+    /// Marks every vertex incident with a failed switch — the paper's
+    /// **faulty vertices** (§6: "say a vertex η of 𝒩 is faulty if an edge
+    /// (ξ, η) or (η, ξ) is in open failure or closed failure state").
+    pub fn faulty_vertices<G: Digraph>(&self, g: &G) -> Vec<bool> {
+        let mut faulty = vec![false; g.num_vertices()];
+        for e in self.failed_edges() {
+            let (t, h) = g.endpoints(e);
+            faulty[t.index()] = true;
+            faulty[h.index()] = true;
+        }
+        faulty
+    }
+
+    /// The vertices marked faulty, as a list.
+    pub fn faulty_vertex_list<G: Digraph>(&self, g: &G) -> Vec<VertexId> {
+        self.faulty_vertices(g)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, f)| f)
+            .map(|(i, _)| VertexId::from(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::rng;
+    use ft_graph::ids::{e, v};
+    use ft_graph::DiGraph;
+
+    fn chain3() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_vertices(4);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(2), v(3));
+        g
+    }
+
+    #[test]
+    fn perfect_instance() {
+        let inst = FailureInstance::perfect(5);
+        assert_eq!(inst.len(), 5);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.counts(), (0, 0, 5));
+        assert!(inst.is_normal(e(0)));
+        assert!(inst.is_usable(e(4)));
+        assert_eq!(inst.failed_edges().count(), 0);
+    }
+
+    #[test]
+    fn explicit_states() {
+        let inst = FailureInstance::from_states(vec![
+            SwitchState::Normal,
+            SwitchState::Open,
+            SwitchState::Closed,
+        ]);
+        assert!(inst.is_normal(e(0)));
+        assert!(!inst.is_normal(e(1)));
+        assert!(!inst.is_usable(e(1)));
+        assert!(inst.is_usable(e(2)));
+        assert!(inst.is_closed(e(2)));
+        assert_eq!(inst.counts(), (1, 1, 1));
+        let failed: Vec<_> = inst.failed_edges().collect();
+        assert_eq!(failed, vec![e(1), e(2)]);
+    }
+
+    #[test]
+    fn faulty_vertices_touch_failed_edges() {
+        let g = chain3();
+        // fail the middle edge e1 = (1, 2)
+        let inst = FailureInstance::from_states(vec![
+            SwitchState::Normal,
+            SwitchState::Closed,
+            SwitchState::Normal,
+        ]);
+        let faulty = inst.faulty_vertices(&g);
+        assert_eq!(faulty, vec![false, true, true, false]);
+        assert_eq!(inst.faulty_vertex_list(&g), vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn resample_reuses_and_differs() {
+        let model = FailureModel::symmetric(0.3);
+        let mut r = rng(9);
+        let mut inst = FailureInstance::sample(&model, &mut r, 100);
+        let first = inst.counts();
+        inst.resample(&model, &mut r, 100);
+        assert_eq!(inst.len(), 100);
+        // overwhelmingly likely to differ
+        assert_ne!(first, inst.counts());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = FailureInstance::perfect(0);
+        assert!(inst.is_empty());
+        let g = DiGraph::new();
+        assert!(inst.faulty_vertex_list(&g).is_empty());
+    }
+}

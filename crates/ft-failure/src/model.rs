@@ -1,0 +1,240 @@
+//! The random switch failure model (§1, §3).
+//!
+//! Every switch (edge) is independently in one of three states:
+//!
+//! * **open failure** with probability ε₁ — the switch is permanently off;
+//!   the edge *ceases to exist*;
+//! * **closed failure** with probability ε₂ — the switch is permanently
+//!   on; the edge's endpoints *contract to one vertex*;
+//! * **normal** otherwise — the switch functions correctly.
+//!
+//! The paper takes ε₁ = ε₂ = ε for notational simplicity; the model here
+//! keeps them separate (the invariance arguments of §3 need asymmetric
+//! instances).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// State of a single switch in a failure instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SwitchState {
+    /// Functioning correctly: conducts when on, isolates when off.
+    Normal = 0,
+    /// Open failure: permanently off (edge removed).
+    Open = 1,
+    /// Closed failure: permanently on (endpoints contracted).
+    Closed = 2,
+}
+
+/// Failure probabilities of the model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureModel {
+    /// Open-failure probability ε₁ ∈ [0, ½).
+    pub eps_open: f64,
+    /// Closed-failure probability ε₂ ∈ [0, ½).
+    pub eps_close: f64,
+}
+
+impl FailureModel {
+    /// Symmetric model ε₁ = ε₂ = ε, the paper's default.
+    pub fn symmetric(eps: f64) -> Self {
+        FailureModel {
+            eps_open: eps,
+            eps_close: eps,
+        }
+    }
+
+    /// Creates a model, validating the probability ranges.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ ε₁, ε₂` and `ε₁ + ε₂ ≤ 1`.
+    pub fn new(eps_open: f64, eps_close: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&eps_open)
+                && (0.0..=1.0).contains(&eps_close)
+                && eps_open + eps_close <= 1.0,
+            "invalid failure probabilities ({eps_open}, {eps_close})"
+        );
+        FailureModel {
+            eps_open,
+            eps_close,
+        }
+    }
+
+    /// A fault-free model (every switch normal) — useful as a baseline.
+    pub fn perfect() -> Self {
+        FailureModel {
+            eps_open: 0.0,
+            eps_close: 0.0,
+        }
+    }
+
+    /// Total failure probability ε₁ + ε₂ (the paper's `2ε`).
+    pub fn total(&self) -> f64 {
+        self.eps_open + self.eps_close
+    }
+
+    /// Samples the state of one switch.
+    #[inline]
+    pub fn sample_one(&self, rng: &mut SmallRng) -> SwitchState {
+        let u: f64 = rng.random();
+        if u < self.eps_open {
+            SwitchState::Open
+        } else if u < self.eps_open + self.eps_close {
+            SwitchState::Closed
+        } else {
+            SwitchState::Normal
+        }
+    }
+
+    /// Samples states for `m` switches into `out` (resized to `m`).
+    ///
+    /// For small total failure probability this uses geometric gap
+    /// sampling: only the failed positions are visited, so a trial on a
+    /// 10⁷-edge network with ε = 10⁻⁶ costs ~tens of RNG draws, not 10⁷.
+    pub fn sample_into(&self, rng: &mut SmallRng, m: usize, out: &mut Vec<SwitchState>) {
+        out.clear();
+        out.resize(m, SwitchState::Normal);
+        let p = self.total();
+        if p <= 0.0 {
+            return;
+        }
+        if p >= 0.25 {
+            // dense regime: per-edge draw is cheaper than the log() calls
+            for s in out.iter_mut() {
+                *s = self.sample_one(rng);
+            }
+            return;
+        }
+        // geometric gaps: position of next failure
+        let open_share = self.eps_open / p;
+        let ln_q = (1.0 - p).ln();
+        let mut i = 0usize;
+        loop {
+            let u: f64 = rng.random();
+            // skip ~ Geometric(p): number of non-failures before the next failure
+            let skip = (u.ln() / ln_q).floor();
+            if skip >= (m - i) as f64 {
+                break;
+            }
+            i += skip as usize;
+            out[i] = if rng.random::<f64>() < open_share {
+                SwitchState::Open
+            } else {
+                SwitchState::Closed
+            };
+            i += 1;
+            if i >= m {
+                break;
+            }
+        }
+    }
+
+    /// Samples a fresh state vector for `m` switches.
+    pub fn sample(&self, rng: &mut SmallRng, m: usize) -> Vec<SwitchState> {
+        let mut out = Vec::new();
+        self.sample_into(rng, m, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::rng;
+
+    #[test]
+    fn symmetric_model() {
+        let m = FailureModel::symmetric(0.1);
+        assert_eq!(m.eps_open, 0.1);
+        assert_eq!(m.eps_close, 0.1);
+        assert!((m.total() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid failure probabilities")]
+    fn invalid_model_rejected() {
+        FailureModel::new(0.7, 0.7);
+    }
+
+    #[test]
+    fn perfect_model_never_fails() {
+        let m = FailureModel::perfect();
+        let mut r = rng(1);
+        let states = m.sample(&mut r, 1000);
+        assert!(states.iter().all(|&s| s == SwitchState::Normal));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = FailureModel::symmetric(0.3);
+        let a = m.sample(&mut rng(7), 500);
+        let b = m.sample(&mut rng(7), 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_frequencies_match() {
+        // dense regime (total ≥ 0.25)
+        let m = FailureModel::new(0.2, 0.15);
+        let mut r = rng(42);
+        let n = 200_000;
+        let states = m.sample(&mut r, n);
+        let open = states.iter().filter(|&&s| s == SwitchState::Open).count() as f64 / n as f64;
+        let closed = states.iter().filter(|&&s| s == SwitchState::Closed).count() as f64 / n as f64;
+        assert!((open - 0.2).abs() < 0.01, "open rate {open}");
+        assert!((closed - 0.15).abs() < 0.01, "closed rate {closed}");
+    }
+
+    #[test]
+    fn sparse_frequencies_match() {
+        // sparse regime (geometric skipping)
+        let m = FailureModel::new(0.01, 0.02);
+        let mut r = rng(43);
+        let n = 1_000_000;
+        let states = m.sample(&mut r, n);
+        let open = states.iter().filter(|&&s| s == SwitchState::Open).count() as f64 / n as f64;
+        let closed = states.iter().filter(|&&s| s == SwitchState::Closed).count() as f64 / n as f64;
+        assert!((open - 0.01).abs() < 0.002, "open rate {open}");
+        assert!((closed - 0.02).abs() < 0.002, "closed rate {closed}");
+    }
+
+    #[test]
+    fn sparse_positions_are_spread() {
+        // guard against off-by-one in geometric skipping: failures must be
+        // able to land on the first and last positions
+        let m = FailureModel::symmetric(0.05);
+        let mut first_hit = false;
+        let mut last_hit = false;
+        let mut r = rng(44);
+        for _ in 0..2000 {
+            let states = m.sample(&mut r, 10);
+            if states[0] != SwitchState::Normal {
+                first_hit = true;
+            }
+            if states[9] != SwitchState::Normal {
+                last_hit = true;
+            }
+        }
+        assert!(first_hit && last_hit);
+    }
+
+    #[test]
+    fn asymmetric_sparse_split() {
+        let m = FailureModel::new(0.03, 0.0);
+        let mut r = rng(45);
+        let states = m.sample(&mut r, 100_000);
+        assert!(states.iter().all(|&s| s != SwitchState::Closed));
+        let m = FailureModel::new(0.0, 0.03);
+        let states = m.sample(&mut r, 100_000);
+        assert!(states.iter().all(|&s| s != SwitchState::Open));
+    }
+
+    #[test]
+    fn zero_length_sample() {
+        let m = FailureModel::symmetric(0.1);
+        let mut r = rng(46);
+        assert!(m.sample(&mut r, 0).is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! Two-terminal reliability: exact (state enumeration) and Monte Carlo.
+//!
+//! A *two-terminal network* (Moore & Shannon's relay network, and the
+//! paper's `(ε, ε′)-1-network` of §3) is a graph with one input and one
+//! output. Under a failure instance it can fail two ways:
+//!
+//! * **short** — input and output contract into one vertex: they are
+//!   connected by closed-failed switches alone;
+//! * **open** — no usable (normal or closed) path connects input to
+//!   output.
+//!
+//! Proposition 1 asks for both probabilities to be < ε′.
+
+use crate::instance::FailureInstance;
+use crate::model::{FailureModel, SwitchState};
+use crate::montecarlo::{estimate_probability, Estimate};
+use ft_graph::ids::{EdgeId, VertexId};
+use ft_graph::traversal::{bfs, Direction};
+use ft_graph::{DiGraph, Digraph, UnionFind};
+use rand::rngs::SmallRng;
+
+/// A graph with a single input and a single output terminal.
+#[derive(Clone, Debug)]
+pub struct TwoTerminal {
+    /// The network graph.
+    pub graph: DiGraph,
+    /// Input terminal.
+    pub source: VertexId,
+    /// Output terminal.
+    pub sink: VertexId,
+}
+
+/// How connectivity is interpreted for the *open* failure event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Connectivity {
+    /// Electrical (relay-network) semantics: a chain of conducting
+    /// switches regardless of edge orientation. The Moore–Shannon default.
+    #[default]
+    Undirected,
+    /// Staged-network semantics: a directed input → output path.
+    Directed,
+}
+
+/// The two failure probabilities of a two-terminal network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureProbs {
+    /// Probability the network is open (terminals disconnected).
+    pub p_open: f64,
+    /// Probability the network is shorted (terminals contracted).
+    pub p_short: f64,
+}
+
+impl FailureProbs {
+    /// A single switch: opens with ε₁, shorts with ε₂.
+    pub fn single_switch(model: &FailureModel) -> Self {
+        FailureProbs {
+            p_open: model.eps_open,
+            p_short: model.eps_close,
+        }
+    }
+
+    /// The worse of the two probabilities.
+    pub fn max(&self) -> f64 {
+        self.p_open.max(self.p_short)
+    }
+}
+
+impl TwoTerminal {
+    /// Whether the instance shorts the terminals (closed edges alone
+    /// connect them, ignoring direction).
+    pub fn is_shorted(&self, inst: &FailureInstance) -> bool {
+        let mut uf = UnionFind::new(self.graph.num_vertices());
+        for e in 0..self.graph.num_edges() {
+            let e = EdgeId::from(e);
+            if inst.is_closed(e) {
+                let (t, h) = self.graph.endpoints(e);
+                uf.union(t.0, h.0);
+            }
+        }
+        uf.same(self.source.0, self.sink.0)
+    }
+
+    /// Whether the instance leaves the terminals connected by usable
+    /// (normal or closed) switches.
+    pub fn is_connected(&self, inst: &FailureInstance, conn: Connectivity) -> bool {
+        let dir = match conn {
+            Connectivity::Undirected => Direction::Undirected,
+            Connectivity::Directed => Direction::Forward,
+        };
+        let b = bfs(
+            &self.graph,
+            &[self.source],
+            dir,
+            |e| inst.is_usable(e),
+            |_| true,
+        );
+        b.reached(self.sink)
+    }
+
+    /// Exact failure probabilities by enumerating all `3^m` switch-state
+    /// assignments. Exponential: intended for gadgets (m ≤ 13).
+    ///
+    /// # Panics
+    /// Panics if the network has more than 13 switches.
+    pub fn exact_failure_probs(&self, model: &FailureModel, conn: Connectivity) -> FailureProbs {
+        let m = self.graph.num_edges();
+        assert!(m <= 13, "exact enumeration limited to 13 switches, got {m}");
+        let probs = [
+            1.0 - model.total(),  // Normal
+            model.eps_open,       // Open
+            model.eps_close,      // Closed
+        ];
+        let mut p_open = 0.0;
+        let mut p_short = 0.0;
+        let mut states = vec![SwitchState::Normal; m];
+        let mut idx = vec![0u8; m];
+        loop {
+            let mut p = 1.0;
+            for i in 0..m {
+                states[i] = match idx[i] {
+                    0 => SwitchState::Normal,
+                    1 => SwitchState::Open,
+                    _ => SwitchState::Closed,
+                };
+                p *= probs[idx[i] as usize];
+            }
+            if p > 0.0 {
+                let inst = FailureInstance::from_states(states.clone());
+                if self.is_shorted(&inst) {
+                    p_short += p;
+                }
+                if !self.is_connected(&inst, conn) {
+                    p_open += p;
+                }
+            }
+            // increment base-3 counter
+            let mut i = 0;
+            loop {
+                if i == m {
+                    return FailureProbs { p_open, p_short };
+                }
+                idx[i] += 1;
+                if idx[i] < 3 {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Monte Carlo estimates of `(p_open, p_short)`.
+    pub fn mc_failure_probs(
+        &self,
+        model: &FailureModel,
+        conn: Connectivity,
+        trials: u64,
+        seed: u64,
+    ) -> (Estimate, Estimate) {
+        let m = self.graph.num_edges();
+        let mut inst = FailureInstance::perfect(m);
+        let mut opens = 0u64;
+        let mut shorts = 0u64;
+        let mut rng = ft_graph::gen::rng(seed);
+        for _ in 0..trials {
+            inst.resample(model, &mut rng, m);
+            if !self.is_connected(&inst, conn) {
+                opens += 1;
+            }
+            if self.is_shorted(&inst) {
+                shorts += 1;
+            }
+        }
+        (
+            Estimate {
+                successes: opens,
+                trials,
+            },
+            Estimate {
+                successes: shorts,
+                trials,
+            },
+        )
+    }
+}
+
+/// The Wheatstone **bridge**: terminals s, t; interior a, b; switches
+/// s–a, s–b, a–t, b–t and the cross switch a–b. Self-dual, so with
+/// ε₁ = ε₂ = ε < ½ one substitution level strictly decreases both failure
+/// probabilities — the amplification gadget behind our full-range
+/// Proposition 1 construction.
+pub fn bridge() -> TwoTerminal {
+    let mut g = DiGraph::new();
+    let s = g.add_vertex();
+    let a = g.add_vertex();
+    let b = g.add_vertex();
+    let t = g.add_vertex();
+    g.add_edge(s, a);
+    g.add_edge(s, b);
+    g.add_edge(a, t);
+    g.add_edge(b, t);
+    g.add_edge(a, b); // cross switch (undirected semantics)
+    TwoTerminal {
+        graph: g,
+        source: s,
+        sink: t,
+    }
+}
+
+/// Exact failure probabilities of the bridge when each switch
+/// independently opens with `probs.p_open` and shorts with
+/// `probs.p_short` — the one-level substitution map `(o, s) ↦ (o', s')`.
+pub fn bridge_map(probs: FailureProbs) -> FailureProbs {
+    bridge().exact_failure_probs(
+        &FailureModel::new(probs.p_open, probs.p_short),
+        Connectivity::Undirected,
+    )
+}
+
+/// A single switch as a two-terminal network.
+pub fn single_switch() -> TwoTerminal {
+    let mut g = DiGraph::new();
+    let s = g.add_vertex();
+    let t = g.add_vertex();
+    g.add_edge(s, t);
+    TwoTerminal {
+        graph: g,
+        source: s,
+        sink: t,
+    }
+}
+
+/// Monte Carlo helper: probability that `event` holds over failure
+/// instances of a network with `num_edges` switches.
+pub fn mc_event_probability<G: Digraph>(
+    g: &G,
+    model: &FailureModel,
+    trials: u64,
+    seed: u64,
+    mut event: impl FnMut(&G, &FailureInstance) -> bool,
+) -> Estimate {
+    let m = g.num_edges();
+    let mut inst = FailureInstance::perfect(m);
+    estimate_probability(trials, seed, move |rng: &mut SmallRng| {
+        inst.resample(model, rng, m);
+        event(g, &inst)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_probs() {
+        let sw = single_switch();
+        let model = FailureModel::new(0.1, 0.2);
+        let p = sw.exact_failure_probs(&model, Connectivity::Undirected);
+        assert!((p.p_open - 0.1).abs() < 1e-12);
+        assert!((p.p_short - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_in_series_exact() {
+        // series: open = 1-(1-ε₁)², short = ε₂²
+        let mut g = DiGraph::new();
+        let s = g.add_vertex();
+        let mid = g.add_vertex();
+        let t = g.add_vertex();
+        g.add_edge(s, mid);
+        g.add_edge(mid, t);
+        let tt = TwoTerminal {
+            graph: g,
+            source: s,
+            sink: t,
+        };
+        let model = FailureModel::new(0.1, 0.2);
+        let p = tt.exact_failure_probs(&model, Connectivity::Undirected);
+        assert!((p.p_open - (1.0 - 0.9 * 0.9)).abs() < 1e-12);
+        assert!((p.p_short - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_in_parallel_exact() {
+        // parallel: open = ε₁², short = 1-(1-ε₂)²
+        let mut g = DiGraph::new();
+        let s = g.add_vertex();
+        let t = g.add_vertex();
+        g.add_edge(s, t);
+        g.add_edge(s, t);
+        let tt = TwoTerminal {
+            graph: g,
+            source: s,
+            sink: t,
+        };
+        let model = FailureModel::new(0.1, 0.2);
+        let p = tt.exact_failure_probs(&model, Connectivity::Undirected);
+        assert!((p.p_open - 0.01).abs() < 1e-12);
+        assert!((p.p_short - (1.0 - 0.8 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bridge_is_self_dual_at_symmetric_eps() {
+        for eps in [0.05, 0.2, 0.4] {
+            let p = bridge_map(FailureProbs {
+                p_open: eps,
+                p_short: eps,
+            });
+            assert!(
+                (p.p_open - p.p_short).abs() < 1e-12,
+                "self-duality violated at ε={eps}: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_amplifies_below_half() {
+        // f(ε) < ε for 0 < ε < 1/2 — the crummy-relay theorem
+        for eps in [0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.49] {
+            let p = bridge_map(FailureProbs {
+                p_open: eps,
+                p_short: eps,
+            });
+            assert!(
+                p.p_open < eps && p.p_short < eps,
+                "no amplification at ε={eps}: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_map_is_monotone_in_eps() {
+        let mut last = FailureProbs {
+            p_open: 0.0,
+            p_short: 0.0,
+        };
+        for eps in [0.1, 0.2, 0.3, 0.4] {
+            let p = bridge_map(FailureProbs {
+                p_open: eps,
+                p_short: eps,
+            });
+            assert!(p.p_open > last.p_open && p.p_short > last.p_short);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn mc_agrees_with_exact_on_bridge() {
+        let b = bridge();
+        let model = FailureModel::symmetric(0.3);
+        let exact = b.exact_failure_probs(&model, Connectivity::Undirected);
+        let (open, short) = b.mc_failure_probs(&model, Connectivity::Undirected, 40_000, 99);
+        assert!((open.p() - exact.p_open).abs() < 0.01, "{} vs {}", open.p(), exact.p_open);
+        assert!((short.p() - exact.p_short).abs() < 0.01);
+    }
+
+    #[test]
+    fn directed_vs_undirected_connectivity() {
+        // s -> t and a "wrong way" edge t -> s in parallel: if the forward
+        // edge opens, undirected connectivity survives via the other edge
+        // but directed does not.
+        let mut g = DiGraph::new();
+        let s = g.add_vertex();
+        let t = g.add_vertex();
+        g.add_edge(s, t);
+        g.add_edge(t, s);
+        let tt = TwoTerminal {
+            graph: g,
+            source: s,
+            sink: t,
+        };
+        let inst = FailureInstance::from_states(vec![SwitchState::Open, SwitchState::Normal]);
+        assert!(tt.is_connected(&inst, Connectivity::Undirected));
+        assert!(!tt.is_connected(&inst, Connectivity::Directed));
+    }
+
+    #[test]
+    fn perfect_instance_is_connected_not_shorted() {
+        let b = bridge();
+        let inst = FailureInstance::perfect(5);
+        assert!(b.is_connected(&inst, Connectivity::Undirected));
+        assert!(!b.is_shorted(&inst));
+    }
+}

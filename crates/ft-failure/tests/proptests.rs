@@ -1,0 +1,168 @@
+//! Property-based tests for the failure model and reliability theory.
+
+use ft_failure::contraction::{contract, contraction_classes};
+use ft_failure::edge_replace::substitute;
+use ft_failure::onenet::{construct_onenet, quad_map};
+use ft_failure::reliability::{bridge, single_switch, Connectivity, FailureProbs};
+use ft_failure::sp::SpNetwork;
+use ft_failure::{FailureInstance, FailureModel, Hammock, SwitchState};
+use ft_graph::gen::{random_dag, rng};
+use ft_graph::traversal::{bfs, Direction};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sampling is deterministic per seed and respects the edge count.
+    #[test]
+    fn sampling_deterministic(seed in 0u64..50_000, m in 0usize..5000,
+                              eps_mil in 0u32..400_000) {
+        let eps = eps_mil as f64 / 1_000_000.0;
+        let model = FailureModel::symmetric(eps);
+        let a = FailureInstance::sample(&model, &mut rng(seed), m);
+        let b = FailureInstance::sample(&model, &mut rng(seed), m);
+        prop_assert_eq!(a.len(), m);
+        for e in 0..m {
+            let e = ft_graph::ids::EdgeId::from(e);
+            prop_assert_eq!(a.state(e), b.state(e));
+        }
+    }
+
+    /// Contraction classes agree with BFS over closed edges only.
+    #[test]
+    fn contraction_matches_closed_bfs(seed in 0u64..20_000) {
+        let mut r = rng(seed);
+        let g = random_dag(&mut r, 30, 60);
+        let model = FailureModel::new(0.1, 0.3);
+        let inst = FailureInstance::sample(&model, &mut r, g.num_edges());
+        let mut uf = contraction_classes(&g, &inst);
+        // BFS restricted to closed edges, undirected
+        let closed_ok = |e: ft_graph::ids::EdgeId| inst.is_closed(e);
+        for v in g.vertices() {
+            let b = bfs(&g, &[v], Direction::Undirected, closed_ok, |_| true);
+            for w in g.vertices() {
+                prop_assert_eq!(b.reached(w), uf.same(v.0, w.0),
+                    "class mismatch for {:?} {:?}", v, w);
+            }
+        }
+    }
+
+    /// The contracted network preserves normal-edge counts between
+    /// distinct classes and never exceeds the original edge count.
+    #[test]
+    fn contract_structure(seed in 0u64..20_000) {
+        let mut r = rng(seed);
+        let g = random_dag(&mut r, 40, 100);
+        let model = FailureModel::new(0.05, 0.2);
+        let inst = FailureInstance::sample(&model, &mut r, g.num_edges());
+        let c = contract(&g, &inst);
+        prop_assert!(c.graph.num_vertices() <= g.num_vertices());
+        prop_assert!(c.graph.num_edges() <= g.num_edges());
+        prop_assert_eq!(c.edge_origin.len(), c.graph.num_edges());
+        for &orig in &c.edge_origin {
+            prop_assert!(inst.is_normal(orig));
+        }
+    }
+
+    /// Substitution arithmetic: edges multiply by the gadget size,
+    /// original vertex ids are preserved.
+    #[test]
+    fn substitution_arithmetic(seed in 0u64..20_000) {
+        let mut r = rng(seed);
+        let g = random_dag(&mut r, 20, 40);
+        let gadget = bridge();
+        let s = substitute(&g, &gadget);
+        prop_assert_eq!(s.graph.num_edges(),
+                        g.num_edges() * gadget.graph.num_edges());
+        prop_assert_eq!(s.edge_origin.len(), s.graph.num_edges());
+        // interior vertices added per original edge
+        let interior = gadget.graph.num_vertices() - 2;
+        prop_assert_eq!(s.graph.num_vertices(),
+                        g.num_vertices() + interior * g.num_edges());
+    }
+
+    /// Series-parallel failure probabilities are valid probabilities,
+    /// monotone in ε, and degrade toward the respective limits.
+    #[test]
+    fn sp_probs_valid_and_monotone(l in 1usize..6, w in 1usize..6,
+                                   e1 in 1u32..400, e2 in 1u32..400) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let (lo, hi) = (lo as f64 / 1000.0, hi as f64 / 1000.0);
+        let net = SpNetwork::ladder(l, w);
+        let a = net.failure_probs(&FailureModel::symmetric(lo));
+        let b = net.failure_probs(&FailureModel::symmetric(hi));
+        for p in [a, b] {
+            prop_assert!((0.0..=1.0).contains(&p.p_open));
+            prop_assert!((0.0..=1.0).contains(&p.p_short));
+        }
+        prop_assert!(a.p_open <= b.p_open + 1e-12);
+        prop_assert!(a.p_short <= b.p_short + 1e-12);
+    }
+
+    /// The quad map squares the short mode and keeps probabilities in
+    /// range (the amplification engine of Proposition 1).
+    #[test]
+    fn quad_map_contracts(po in 0u32..200, ps in 0u32..200) {
+        let p = FailureProbs { p_open: po as f64 / 1000.0, p_short: ps as f64 / 1000.0 };
+        let q = quad_map(p);
+        prop_assert!((0.0..=1.0).contains(&q.p_open));
+        prop_assert!((0.0..=1.0).contains(&q.p_short));
+        // short mode strictly squares then doubles-parallel:
+        // q.short = 1-(1-s^2)^2 ≤ 2 s^2
+        prop_assert!(q.p_short <= 2.0 * p.p_short * p.p_short + 1e-12);
+    }
+
+    /// Hammock analytic bounds are monotone in both dimensions'
+    /// failure effect: more stages ⇒ larger open bound; more rows ⇒
+    /// smaller open bound.
+    #[test]
+    fn hammock_bound_shape(l in 2usize..20, w in 2usize..20) {
+        let model = FailureModel::symmetric(0.01);
+        let base = Hammock::new(l, w).bounds(&model);
+        let wider = Hammock::new(l + 1, w).bounds(&model);
+        let longer = Hammock::new(l, w + 1).bounds(&model);
+        prop_assert!(wider.p_open <= base.p_open + 1e-12);
+        prop_assert!(longer.p_open >= base.p_open - 1e-12);
+        prop_assert!(wider.p_short >= base.p_short - 1e-12);
+    }
+
+    /// Exact enumeration and SP calculus agree on the single switch.
+    #[test]
+    fn exact_vs_sp_single_switch(e1 in 0u32..400, e2 in 0u32..400) {
+        prop_assume!(e1 + e2 <= 900);
+        let model = FailureModel::new(e1 as f64 / 1000.0, e2 as f64 / 1000.0);
+        let sw = single_switch();
+        let exact = sw.exact_failure_probs(&model, Connectivity::Undirected);
+        prop_assert!((exact.p_open - model.eps_open).abs() < 1e-12);
+        prop_assert!((exact.p_short - model.eps_close).abs() < 1e-12);
+    }
+
+    /// Every constructed 1-network certifies below its target, across
+    /// the (ε, ε′) plane.
+    #[test]
+    fn onenet_always_certifies(ei in 1u32..40, ti in 2u32..6) {
+        let eps = ei as f64 / 100.0;      // 0.01 .. 0.39
+        let target = 10f64.powi(-(ti as i32)); // 1e-2 .. 1e-5
+        prop_assume!(target < eps);
+        let net = construct_onenet(eps, target);
+        prop_assert!(net.certified.p_open < target);
+        prop_assert!(net.certified.p_short < target);
+        prop_assert!(net.size() >= 1);
+    }
+
+    /// Perfect instances never mark anything faulty; all-open
+    /// instances mark every touched vertex.
+    #[test]
+    fn faulty_vertex_extremes(seed in 0u64..10_000) {
+        let mut r = rng(seed);
+        let g = random_dag(&mut r, 25, 50);
+        let perfect = FailureInstance::perfect(g.num_edges());
+        prop_assert!(perfect.faulty_vertices(&g).iter().all(|&f| !f));
+        let broken = FailureInstance::from_states(
+            vec![SwitchState::Open; g.num_edges()]);
+        let faulty = broken.faulty_vertices(&g);
+        for v in g.vertices() {
+            prop_assert_eq!(faulty[v.index()], g.degree(v) > 0);
+        }
+    }
+}

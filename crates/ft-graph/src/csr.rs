@@ -1,0 +1,247 @@
+//! Frozen compressed-sparse-row (CSR) snapshot of a digraph.
+//!
+//! Monte Carlo experiments traverse the same topology millions of times
+//! with different failure instances; [`Csr`] stores adjacency in two flat
+//! arrays (out- and in-) so BFS over a 10⁷-edge network touches contiguous
+//! memory instead of chasing one heap allocation per vertex.
+
+use crate::digraph::DiGraph;
+use crate::ids::{EdgeId, VertexId};
+use crate::Digraph;
+
+/// Immutable CSR adjacency (both directions) for a [`DiGraph`].
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `out_start[v]..out_start[v+1]` indexes `out_list`.
+    out_start: Vec<u32>,
+    /// Edge ids leaving each vertex, grouped by tail.
+    out_list: Vec<EdgeId>,
+    in_start: Vec<u32>,
+    in_list: Vec<EdgeId>,
+    /// `(tail, head)` per edge, shared with the builder graph.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl Csr {
+    /// Freezes `g` into CSR form. Edge and vertex ids are preserved.
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut out_start = vec![0u32; n + 1];
+        let mut in_start = vec![0u32; n + 1];
+        let mut edges = Vec::with_capacity(m);
+        for (_, t, h) in g.edges() {
+            out_start[t.index() + 1] += 1;
+            in_start[h.index() + 1] += 1;
+            edges.push((t, h));
+        }
+        for i in 0..n {
+            out_start[i + 1] += out_start[i];
+            in_start[i + 1] += in_start[i];
+        }
+        let mut out_list = vec![EdgeId::NONE; m];
+        let mut in_list = vec![EdgeId::NONE; m];
+        let mut out_fill = out_start.clone();
+        let mut in_fill = in_start.clone();
+        for (e, &(t, h)) in edges.iter().enumerate() {
+            let e = EdgeId::from(e);
+            out_list[out_fill[t.index()] as usize] = e;
+            out_fill[t.index()] += 1;
+            in_list[in_fill[h.index()] as usize] = e;
+            in_fill[h.index()] += 1;
+        }
+        Csr {
+            out_start,
+            out_list,
+            in_start,
+            in_list,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_start.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `(tail, head)` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.index()]
+    }
+
+    /// Tail of edge `e`.
+    #[inline]
+    pub fn tail(&self, e: EdgeId) -> VertexId {
+        self.edges[e.index()].0
+    }
+
+    /// Head of edge `e`.
+    #[inline]
+    pub fn head(&self, e: EdgeId) -> VertexId {
+        self.edges[e.index()].1
+    }
+
+    /// Edges leaving `v`.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        let lo = self.out_start[v.index()] as usize;
+        let hi = self.out_start[v.index() + 1] as usize;
+        &self.out_list[lo..hi]
+    }
+
+    /// Edges entering `v`.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        let lo = self.in_start[v.index()] as usize;
+        let hi = self.in_start[v.index() + 1] as usize;
+        &self.in_list[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Total (undirected) degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> + '_ {
+        (0..self.num_vertices()).map(VertexId::from)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.num_edges()).map(EdgeId::from)
+    }
+}
+
+impl From<&DiGraph> for Csr {
+    fn from(g: &DiGraph) -> Self {
+        Csr::from_digraph(g)
+    }
+}
+
+impl Digraph for Csr {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Csr::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Csr::num_edges(self)
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        Csr::endpoints(self, e)
+    }
+
+    #[inline]
+    fn out_edge_slice(&self, v: VertexId) -> &[EdgeId] {
+        Csr::out_edges(self, v)
+    }
+
+    #[inline]
+    fn in_edge_slice(&self, v: VertexId) -> &[EdgeId] {
+        Csr::in_edges(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rng;
+    use crate::ids::v;
+    use rand::Rng;
+
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_vertices(4);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(1), v(3));
+        g.add_edge(v(2), v(3));
+        g
+    }
+
+    #[test]
+    fn csr_matches_digraph_on_diamond() {
+        let g = diamond();
+        let c = Csr::from_digraph(&g);
+        assert_eq!(c.num_vertices(), g.num_vertices());
+        assert_eq!(c.num_edges(), g.num_edges());
+        for u in g.vertices() {
+            let mut a: Vec<_> = g.out_edges(u).to_vec();
+            let mut b: Vec<_> = c.out_edges(u).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "out edges of {u:?}");
+            let mut a: Vec<_> = g.in_edges(u).to_vec();
+            let mut b: Vec<_> = c.in_edges(u).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "in edges of {u:?}");
+        }
+        for e in g.edge_ids() {
+            assert_eq!(g.endpoints(e), c.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn csr_matches_digraph_on_random_graphs() {
+        let mut r = rng(0xC5A0);
+        for _ in 0..20 {
+            let n = r.random_range(1..40usize);
+            let m = r.random_range(0..120usize);
+            let mut g = DiGraph::new();
+            g.add_vertices(n);
+            for _ in 0..m {
+                let a = VertexId::from(r.random_range(0..n));
+                let b = VertexId::from(r.random_range(0..n));
+                g.add_edge(a, b);
+            }
+            let c = Csr::from_digraph(&g);
+            for u in g.vertices() {
+                assert_eq!(c.out_degree(u), g.out_degree(u));
+                assert_eq!(c.in_degree(u), g.in_degree(u));
+            }
+            let deg_sum: usize = c.vertices().map(|u| c.out_degree(u)).sum();
+            assert_eq!(deg_sum, m);
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = DiGraph::new();
+        let c = Csr::from_digraph(&g);
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.num_edges(), 0);
+
+        let mut g = DiGraph::new();
+        g.add_vertices(3);
+        let c = Csr::from_digraph(&g);
+        assert_eq!(c.num_vertices(), 3);
+        assert!(c.out_edges(v(1)).is_empty());
+        assert!(c.in_edges(v(1)).is_empty());
+    }
+}

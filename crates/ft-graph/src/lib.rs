@@ -1,0 +1,89 @@
+//! # ft-graph — directed-graph kernel for circuit-switching networks
+//!
+//! This crate is the substrate on which the entire reproduction of
+//! Pippenger & Lin, *Fault-Tolerant Circuit-Switching Networks* (SPAA 1992
+//! / SIAM J. Disc. Math. 1994) is built. The paper describes every network
+//! as an acyclic directed graph whose **edges are switches** and whose
+//! distinguished vertices are the input/output terminals; proofs reason
+//! about undirected distances, vertex-disjoint paths (Menger), trees with
+//! high-degree internal nodes, and staged (levelled) networks.
+//!
+//! Provided here:
+//!
+//! * [`DiGraph`] — growable directed multigraph builder, and [`Csr`] — a
+//!   frozen compressed-sparse-row snapshot for traversal-heavy Monte Carlo.
+//! * [`StagedNetwork`] — a digraph with terminals and stage structure, the
+//!   shape of every network in the paper (Beneš, Clos, grids, network 𝒩).
+//! * [`traversal`] / [`distance`] — BFS machinery, directed and undirected
+//!   (the paper's `dist` ignores edge direction), zone decompositions
+//!   `B_h(v)` used by the Theorem 1 lower bound.
+//! * [`maxflow`] — Dinic's algorithm with vertex splitting, the engine for
+//!   vertex-disjoint path questions; [`matching`] — Hopcroft–Karp;
+//!   [`menger`] — disjoint-path helpers phrased for network verification.
+//! * [`unionfind`] — quotient construction for *closed* switch failures
+//!   (edge contraction).
+//! * [`tree`] — tree/forest utilities for the Lemma 1/2 lower-bound
+//!   machinery (stretch contraction, leaf analysis).
+//! * [`gen`] — seeded random generators used by tests and experiments.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod digraph;
+pub mod distance;
+pub mod gen;
+pub mod ids;
+pub mod matching;
+pub mod maxflow;
+pub mod menger;
+pub mod paths;
+pub mod staged;
+pub mod traversal;
+pub mod tree;
+pub mod unionfind;
+
+pub use csr::Csr;
+pub use digraph::DiGraph;
+pub use ids::{EdgeId, VertexId};
+pub use paths::Path;
+pub use staged::{StagedBuilder, StagedNetwork};
+pub use unionfind::UnionFind;
+
+/// Minimal read-only digraph interface implemented by both [`DiGraph`] and
+/// [`Csr`], so traversal and flow algorithms are written once.
+pub trait Digraph {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// Number of edges.
+    fn num_edges(&self) -> usize;
+    /// `(tail, head)` of an edge.
+    fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId);
+    /// Edges leaving `v`.
+    fn out_edge_slice(&self, v: VertexId) -> &[EdgeId];
+    /// Edges entering `v`.
+    fn in_edge_slice(&self, v: VertexId) -> &[EdgeId];
+
+    /// Tail of `e`.
+    #[inline]
+    fn edge_tail(&self, e: EdgeId) -> VertexId {
+        self.endpoints(e).0
+    }
+
+    /// Head of `e`.
+    #[inline]
+    fn edge_head(&self, e: EdgeId) -> VertexId {
+        self.endpoints(e).1
+    }
+
+    /// The endpoint of `e` that is not `v` (for undirected walks); if `e`
+    /// is a self-loop this returns `v` itself.
+    #[inline]
+    fn other_endpoint(&self, e: EdgeId, v: VertexId) -> VertexId {
+        let (t, h) = self.endpoints(e);
+        if t == v {
+            h
+        } else {
+            t
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Dinic's maximum-flow algorithm and vertex-disjoint path extraction.
+//!
+//! Vertex-disjoint paths are the currency of the paper: nonblocking,
+//! rearrangeable and superconcentrator properties (§2) are all statements
+//! about the existence of vertex-disjoint input→output path families, and
+//! Menger's theorem (used in Lemma 3) converts their absence into vertex
+//! cuts. We reduce vertex-disjointness to edge capacities by the standard
+//! **vertex splitting** transform: each vertex `v` becomes `v_in → v_out`
+//! with capacity 1, and each original edge `(u, w)` becomes
+//! `u_out → w_in`.
+//!
+//! Dinic runs in O(E·√V) on unit-capacity networks, which is what every
+//! use in this workspace is.
+
+use crate::ids::{EdgeId, VertexId};
+use crate::Digraph;
+use std::collections::VecDeque;
+
+/// A flow arc in the residual network.
+#[derive(Clone, Debug)]
+struct Arc {
+    to: u32,
+    /// Index of the reverse arc in `arcs`.
+    rev: u32,
+    cap: u32,
+}
+
+/// Max-flow problem builder/solver (Dinic).
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    first: Vec<Vec<u32>>, // arc indices per node
+    arcs: Vec<Arc>,
+}
+
+impl FlowNetwork {
+    /// Creates a flow network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            first: vec![Vec::new(); n],
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.first.len()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self) -> u32 {
+        self.first.push(Vec::new());
+        (self.first.len() - 1) as u32
+    }
+
+    /// Adds a directed arc `u → v` with capacity `cap`; returns the arc
+    /// index (its residual twin is `index + 1`).
+    pub fn add_arc(&mut self, u: u32, v: u32, cap: u32) -> u32 {
+        let idx = self.arcs.len() as u32;
+        let rev = idx + 1;
+        self.arcs.push(Arc { to: v, rev, cap });
+        self.arcs.push(Arc {
+            to: u,
+            rev: idx,
+            cap: 0,
+        });
+        self.first[u as usize].push(idx);
+        self.first[v as usize].push(rev);
+        idx
+    }
+
+    /// Flow currently pushed through arc `idx` (i.e. residual capacity of
+    /// its twin).
+    pub fn flow_on(&self, idx: u32) -> u32 {
+        self.arcs[self.arcs[idx as usize].rev as usize].cap
+    }
+
+    /// Computes the maximum `s → t` flow, optionally stopping once `limit`
+    /// units have been pushed (useful for "are there at least r disjoint
+    /// paths?" questions).
+    pub fn max_flow(&mut self, s: u32, t: u32, limit: Option<u32>) -> u32 {
+        assert_ne!(s, t, "source equals sink");
+        let n = self.num_nodes();
+        let limit = limit.unwrap_or(u32::MAX);
+        let mut flow = 0u32;
+        let mut level = vec![u32::MAX; n];
+        let mut iter = vec![0u32; n];
+        while flow < limit {
+            // BFS: build level graph.
+            level.fill(u32::MAX);
+            level[s as usize] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                for &ai in &self.first[u as usize] {
+                    let a = &self.arcs[ai as usize];
+                    if a.cap > 0 && level[a.to as usize] == u32::MAX {
+                        level[a.to as usize] = level[u as usize] + 1;
+                        q.push_back(a.to);
+                    }
+                }
+            }
+            if level[t as usize] == u32::MAX {
+                break;
+            }
+            // DFS blocking flow.
+            iter.fill(0);
+            loop {
+                let pushed = self.dfs(s, t, limit - flow, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+                if flow >= limit {
+                    break;
+                }
+            }
+        }
+        flow
+    }
+
+    fn dfs(&mut self, u: u32, t: u32, up_to: u32, level: &[u32], iter: &mut [u32]) -> u32 {
+        if u == t {
+            return up_to;
+        }
+        while (iter[u as usize] as usize) < self.first[u as usize].len() {
+            let ai = self.first[u as usize][iter[u as usize] as usize];
+            let (to, cap) = {
+                let a = &self.arcs[ai as usize];
+                (a.to, a.cap)
+            };
+            if cap > 0 && level[to as usize] == level[u as usize] + 1 {
+                let pushed = self.dfs(to, t, up_to.min(cap), level, iter);
+                if pushed > 0 {
+                    self.arcs[ai as usize].cap -= pushed;
+                    let rev = self.arcs[ai as usize].rev;
+                    self.arcs[rev as usize].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[u as usize] += 1;
+        }
+        0
+    }
+
+    /// Nodes reachable from `s` in the residual graph — the source side of
+    /// a minimum cut after [`Self::max_flow`] has run.
+    pub fn min_cut_source_side(&self, s: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut q = VecDeque::new();
+        seen[s as usize] = true;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &ai in &self.first[u as usize] {
+                let a = &self.arcs[ai as usize];
+                if a.cap > 0 && !seen[a.to as usize] {
+                    seen[a.to as usize] = true;
+                    q.push_back(a.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Result of a vertex-disjoint path computation.
+#[derive(Clone, Debug)]
+pub struct DisjointPaths {
+    /// Number of vertex-disjoint paths found (the max-flow value).
+    pub count: u32,
+    /// The paths, each a sequence of original vertex ids from a source to
+    /// a sink.
+    pub paths: Vec<Vec<VertexId>>,
+}
+
+/// Options for [`vertex_disjoint_paths`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DisjointOptions {
+    /// Stop as soon as this many paths are found.
+    pub limit: Option<u32>,
+    /// If `true`, only count the flow; skip path extraction.
+    pub count_only: bool,
+}
+
+/// Maximum family of vertex-disjoint directed paths from `sources` to
+/// `sinks`, using only vertices with `vertex_ok` and edges with `edge_ok`.
+///
+/// Sources and sinks are themselves capacity-1 (each source starts at most
+/// one path), matching the paper's definitions where paths must be
+/// vertex-disjoint *including* endpoints. A vertex listed in both
+/// `sources` and `sinks` yields a trivial length-0 path.
+pub fn vertex_disjoint_paths<G: Digraph>(
+    g: &G,
+    sources: &[VertexId],
+    sinks: &[VertexId],
+    mut edge_ok: impl FnMut(EdgeId) -> bool,
+    mut vertex_ok: impl FnMut(VertexId) -> bool,
+    opts: DisjointOptions,
+) -> DisjointPaths {
+    let n = g.num_vertices();
+    // Node layout: v_in = 2v, v_out = 2v+1, super-source = 2n, super-sink = 2n+1.
+    let mut fnet = FlowNetwork::new(2 * n + 2);
+    let (ss, tt) = ((2 * n) as u32, (2 * n + 1) as u32);
+    // split arcs enforce vertex capacity 1
+    for vid in 0..n {
+        let v = VertexId::from(vid);
+        if vertex_ok(v) {
+            fnet.add_arc(2 * vid as u32, 2 * vid as u32 + 1, 1);
+        }
+    }
+    let mut sink_arc = vec![u32::MAX; n];
+    for &t in sinks {
+        if sink_arc[t.index()] == u32::MAX {
+            sink_arc[t.index()] = fnet.add_arc(2 * t.index() as u32 + 1, tt, 1);
+        }
+    }
+    let mut source_arc = vec![u32::MAX; n];
+    for &s in sources {
+        if source_arc[s.index()] == u32::MAX {
+            source_arc[s.index()] = fnet.add_arc(ss, 2 * s.index() as u32, 1);
+        }
+    }
+    // graph arcs: u_out -> w_in
+    let mut graph_arc = vec![u32::MAX; g.num_edges()];
+    for eid in 0..g.num_edges() {
+        let e = EdgeId::from(eid);
+        if !edge_ok(e) {
+            continue;
+        }
+        let (t, h) = g.endpoints(e);
+        graph_arc[eid] = fnet.add_arc(2 * t.index() as u32 + 1, 2 * h.index() as u32, 1);
+    }
+
+    let count = fnet.max_flow(ss, tt, opts.limit);
+    if opts.count_only {
+        return DisjointPaths {
+            count,
+            paths: Vec::new(),
+        };
+    }
+
+    // Extract paths by walking saturated graph arcs from each used source.
+    // Unit vertex capacity ⇒ every vertex has at most one saturated
+    // outgoing graph arc, so the walk is deterministic.
+    let mut next_vertex: Vec<VertexId> = vec![VertexId::NONE; n];
+    for eid in 0..g.num_edges() {
+        let ai = graph_arc[eid];
+        if ai != u32::MAX && fnet.flow_on(ai) > 0 {
+            let (t, h) = g.endpoints(EdgeId::from(eid));
+            debug_assert!(next_vertex[t.index()].is_none(), "vertex capacity violated");
+            next_vertex[t.index()] = h;
+        }
+    }
+    let mut paths = Vec::with_capacity(count as usize);
+    for &s in sources {
+        let sa = source_arc[s.index()];
+        if sa == u32::MAX || fnet.flow_on(sa) == 0 {
+            continue;
+        }
+        source_arc[s.index()] = u32::MAX; // don't start the same path twice
+        let mut path = vec![s];
+        let mut cur = s;
+        loop {
+            let sk = sink_arc[cur.index()];
+            if sk != u32::MAX && fnet.flow_on(sk) > 0 {
+                break; // the flow unit through `cur` terminates here
+            }
+            let nxt = next_vertex[cur.index()];
+            assert!(
+                !nxt.is_none() && path.len() <= n,
+                "flow decomposition failed (non-DAG input?)"
+            );
+            next_vertex[cur.index()] = VertexId::NONE; // consume
+            path.push(nxt);
+            cur = nxt;
+        }
+        paths.push(path);
+    }
+    debug_assert_eq!(paths.len(), count as usize);
+    DisjointPaths { count, paths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::v;
+    use crate::DiGraph;
+
+    #[test]
+    fn simple_max_flow() {
+        // classic 4-node example
+        let mut f = FlowNetwork::new(4);
+        f.add_arc(0, 1, 2);
+        f.add_arc(0, 2, 1);
+        f.add_arc(1, 2, 1);
+        f.add_arc(1, 3, 1);
+        f.add_arc(2, 3, 2);
+        assert_eq!(f.max_flow(0, 3, None), 3);
+    }
+
+    #[test]
+    fn max_flow_respects_limit() {
+        let mut f = FlowNetwork::new(2);
+        for _ in 0..5 {
+            f.add_arc(0, 1, 1);
+        }
+        assert_eq!(f.max_flow(0, 1, Some(3)), 3);
+    }
+
+    #[test]
+    fn min_cut_matches_flow() {
+        let mut f = FlowNetwork::new(4);
+        let a = f.add_arc(0, 1, 3);
+        let b = f.add_arc(1, 2, 1);
+        let c = f.add_arc(2, 3, 3);
+        let flow = f.max_flow(0, 3, None);
+        assert_eq!(flow, 1);
+        let side = f.min_cut_source_side(0);
+        assert!(side[0] && side[1] && !side[2] && !side[3]);
+        assert_eq!(f.flow_on(a), 1);
+        assert_eq!(f.flow_on(b), 1);
+        assert_eq!(f.flow_on(c), 1);
+    }
+
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_vertices(4);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(1), v(3));
+        g.add_edge(v(2), v(3));
+        g
+    }
+
+    #[test]
+    fn disjoint_paths_diamond() {
+        let g = diamond();
+        // 0 and 3 are both terminals: one path 0..3, vertex-disjointness
+        // allows only one since both paths share 0 and 3.
+        let r = vertex_disjoint_paths(
+            &g,
+            &[v(0)],
+            &[v(3)],
+            |_| true,
+            |_| true,
+            DisjointOptions::default(),
+        );
+        assert_eq!(r.count, 1);
+        assert_eq!(r.paths.len(), 1);
+        let p = &r.paths[0];
+        assert_eq!(p.first(), Some(&v(0)));
+        assert_eq!(p.last(), Some(&v(3)));
+    }
+
+    #[test]
+    fn disjoint_paths_parallel_chains() {
+        // two disjoint chains: 0->2->4, 1->3->5
+        let mut g = DiGraph::new();
+        g.add_vertices(6);
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(2), v(4));
+        g.add_edge(v(1), v(3));
+        g.add_edge(v(3), v(5));
+        let r = vertex_disjoint_paths(
+            &g,
+            &[v(0), v(1)],
+            &[v(4), v(5)],
+            |_| true,
+            |_| true,
+            DisjointOptions::default(),
+        );
+        assert_eq!(r.count, 2);
+        assert_eq!(r.paths.len(), 2);
+        // verify vertex-disjointness
+        let mut seen = std::collections::HashSet::new();
+        for p in &r.paths {
+            for u in p {
+                assert!(seen.insert(*u), "vertex {u:?} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_vertex_limits_count() {
+        // 0 -> 2, 1 -> 2, 2 -> 3, 2 -> 4: all paths pass through 2
+        let mut g = DiGraph::new();
+        g.add_vertices(5);
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(2), v(3));
+        g.add_edge(v(2), v(4));
+        let r = vertex_disjoint_paths(
+            &g,
+            &[v(0), v(1)],
+            &[v(3), v(4)],
+            |_| true,
+            |_| true,
+            DisjointOptions::default(),
+        );
+        assert_eq!(r.count, 1, "vertex 2 is a 1-cut");
+    }
+
+    #[test]
+    fn filters_apply() {
+        let g = diamond();
+        // forbid vertex 1: path must go through 2
+        let r = vertex_disjoint_paths(
+            &g,
+            &[v(0)],
+            &[v(3)],
+            |_| true,
+            |x| x != v(1),
+            DisjointOptions::default(),
+        );
+        assert_eq!(r.count, 1);
+        assert!(r.paths[0].contains(&v(2)));
+        // forbid both middle vertices: no path
+        let r = vertex_disjoint_paths(
+            &g,
+            &[v(0)],
+            &[v(3)],
+            |_| true,
+            |x| x != v(1) && x != v(2),
+            DisjointOptions::default(),
+        );
+        assert_eq!(r.count, 0);
+    }
+
+    #[test]
+    fn count_only_skips_paths() {
+        let g = diamond();
+        let r = vertex_disjoint_paths(
+            &g,
+            &[v(0)],
+            &[v(3)],
+            |_| true,
+            |_| true,
+            DisjointOptions {
+                count_only: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.count, 1);
+        assert!(r.paths.is_empty());
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let mut g = DiGraph::new();
+        g.add_vertices(8);
+        for i in 0..4 {
+            g.add_edge(v(i), v(i + 4));
+        }
+        let sources: Vec<_> = (0..4).map(v).collect();
+        let sinks: Vec<_> = (4..8).map(v).collect();
+        let r = vertex_disjoint_paths(
+            &g,
+            &sources,
+            &sinks,
+            |_| true,
+            |_| true,
+            DisjointOptions {
+                limit: Some(2),
+                count_only: true,
+            },
+        );
+        assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn source_equals_sink_trivial_path() {
+        let mut g = DiGraph::new();
+        g.add_vertices(1);
+        let r = vertex_disjoint_paths(
+            &g,
+            &[v(0)],
+            &[v(0)],
+            |_| true,
+            |_| true,
+            DisjointOptions::default(),
+        );
+        assert_eq!(r.count, 1);
+        assert_eq!(r.paths, vec![vec![v(0)]]);
+    }
+}

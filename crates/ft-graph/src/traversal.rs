@@ -1,0 +1,389 @@
+//! Breadth-first traversal, topological order and DAG depth.
+//!
+//! Algorithms are generic over [`Digraph`] and accept an *edge filter* so
+//! the same code traverses a pristine network, a failure-stricken survivor
+//! (open failures remove edges) or a repaired network (faulty vertices
+//! removed) without materialising a new graph per Monte Carlo trial.
+
+use crate::ids::{EdgeId, VertexId};
+use crate::Digraph;
+use std::collections::VecDeque;
+
+/// Distance value meaning "unreached".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Result of a BFS sweep.
+#[derive(Clone, Debug)]
+pub struct Bfs {
+    /// `dist[v]` = number of edges from the nearest source (`UNREACHED` if none).
+    pub dist: Vec<u32>,
+    /// `parent_edge[v]` = edge by which `v` was discovered (NONE for sources).
+    pub parent_edge: Vec<EdgeId>,
+    /// Vertices in discovery order.
+    pub order: Vec<VertexId>,
+}
+
+impl Bfs {
+    /// Whether `v` was reached.
+    pub fn reached(&self, v: VertexId) -> bool {
+        self.dist[v.index()] != UNREACHED
+    }
+
+    /// Reconstructs a path from some source to `v` (inclusive), following
+    /// parent edges backwards. Returns `None` if `v` was not reached.
+    /// `g` must be the graph the BFS ran on.
+    pub fn path_to(&self, g: &impl Digraph, v: VertexId) -> Option<Vec<VertexId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while !self.parent_edge[cur.index()].is_none() {
+            let e = self.parent_edge[cur.index()];
+            cur = g.other_endpoint(e, cur);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Direction in which BFS follows edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges tail → head.
+    Forward,
+    /// Follow edges head → tail.
+    Backward,
+    /// Ignore orientation (the paper's `dist`, §5).
+    Undirected,
+}
+
+/// BFS from `sources`, following edges per `dir`, visiting only edges for
+/// which `edge_ok` holds and vertices for which `vertex_ok` holds.
+/// Sources failing `vertex_ok` are skipped.
+pub fn bfs<G: Digraph>(
+    g: &G,
+    sources: &[VertexId],
+    dir: Direction,
+    mut edge_ok: impl FnMut(EdgeId) -> bool,
+    mut vertex_ok: impl FnMut(VertexId) -> bool,
+) -> Bfs {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    let mut parent_edge = vec![EdgeId::NONE; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] == UNREACHED && vertex_ok(s) {
+            dist[s.index()] = 0;
+            order.push(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        let visit = |edges: &[EdgeId],
+                         dist: &mut Vec<u32>,
+                         parent_edge: &mut Vec<EdgeId>,
+                         order: &mut Vec<VertexId>,
+                         queue: &mut VecDeque<VertexId>,
+                         edge_ok: &mut dyn FnMut(EdgeId) -> bool,
+                         vertex_ok: &mut dyn FnMut(VertexId) -> bool| {
+            for &e in edges {
+                if !edge_ok(e) {
+                    continue;
+                }
+                let w = g.other_endpoint(e, u);
+                if dist[w.index()] == UNREACHED && vertex_ok(w) {
+                    dist[w.index()] = du + 1;
+                    parent_edge[w.index()] = e;
+                    order.push(w);
+                    queue.push_back(w);
+                }
+            }
+        };
+        match dir {
+            Direction::Forward => visit(
+                g.out_edge_slice(u),
+                &mut dist,
+                &mut parent_edge,
+                &mut order,
+                &mut queue,
+                &mut edge_ok,
+                &mut vertex_ok,
+            ),
+            Direction::Backward => visit(
+                g.in_edge_slice(u),
+                &mut dist,
+                &mut parent_edge,
+                &mut order,
+                &mut queue,
+                &mut edge_ok,
+                &mut vertex_ok,
+            ),
+            Direction::Undirected => {
+                visit(
+                    g.out_edge_slice(u),
+                    &mut dist,
+                    &mut parent_edge,
+                    &mut order,
+                    &mut queue,
+                    &mut edge_ok,
+                    &mut vertex_ok,
+                );
+                visit(
+                    g.in_edge_slice(u),
+                    &mut dist,
+                    &mut parent_edge,
+                    &mut order,
+                    &mut queue,
+                    &mut edge_ok,
+                    &mut vertex_ok,
+                );
+            }
+        }
+    }
+    Bfs {
+        dist,
+        parent_edge,
+        order,
+    }
+}
+
+/// BFS forward from a single source with no filters.
+pub fn bfs_forward<G: Digraph>(g: &G, source: VertexId) -> Bfs {
+    bfs(g, &[source], Direction::Forward, |_| true, |_| true)
+}
+
+/// BFS ignoring direction from a single source with no filters.
+pub fn bfs_undirected<G: Digraph>(g: &G, source: VertexId) -> Bfs {
+    bfs(g, &[source], Direction::Undirected, |_| true, |_| true)
+}
+
+/// Set of vertices reachable (forward) from `sources` through `edge_ok`
+/// edges and `vertex_ok` vertices, as a boolean mask.
+pub fn reachable<G: Digraph>(
+    g: &G,
+    sources: &[VertexId],
+    edge_ok: impl FnMut(EdgeId) -> bool,
+    vertex_ok: impl FnMut(VertexId) -> bool,
+) -> Vec<bool> {
+    let b = bfs(g, sources, Direction::Forward, edge_ok, vertex_ok);
+    b.dist.iter().map(|&d| d != UNREACHED).collect()
+}
+
+/// Topological order of a DAG; `None` if the graph has a directed cycle.
+pub fn topo_order<G: Digraph>(g: &G) -> Option<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|v| g.in_edge_slice(VertexId::from(v)).len() as u32)
+        .collect();
+    let mut queue: VecDeque<VertexId> = (0..n)
+        .map(VertexId::from)
+        .filter(|&v| indeg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &e in g.out_edge_slice(u) {
+            let w = g.edge_head(e);
+            indeg[w.index()] -= 1;
+            if indeg[w.index()] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Whether the digraph is acyclic. All networks in the paper are DAGs.
+pub fn is_acyclic<G: Digraph>(g: &G) -> bool {
+    topo_order(g).is_some()
+}
+
+/// Length (in edges) of the longest directed path in a DAG — the paper's
+/// **depth** when measured from inputs to outputs.
+///
+/// # Panics
+/// Panics if the graph has a directed cycle.
+pub fn dag_depth<G: Digraph>(g: &G) -> u32 {
+    let order = topo_order(g).expect("dag_depth requires an acyclic graph");
+    let mut depth = vec![0u32; g.num_vertices()];
+    let mut best = 0;
+    for u in order {
+        let du = depth[u.index()];
+        best = best.max(du);
+        for &e in g.out_edge_slice(u) {
+            let w = g.edge_head(e);
+            depth[w.index()] = depth[w.index()].max(du + 1);
+        }
+    }
+    best
+}
+
+/// Longest directed path from any vertex of `from` to any vertex of `to`
+/// (in edges); `None` if no such path exists. This is the paper's depth
+/// measure restricted to input→output paths.
+pub fn dag_depth_between<G: Digraph>(g: &G, from: &[VertexId], to: &[VertexId]) -> Option<u32> {
+    let order = topo_order(g).expect("dag_depth_between requires an acyclic graph");
+    const MINF: i64 = i64::MIN;
+    let mut depth = vec![MINF; g.num_vertices()];
+    for &s in from {
+        depth[s.index()] = 0;
+    }
+    for u in order {
+        let du = depth[u.index()];
+        if du == MINF {
+            continue;
+        }
+        for &e in g.out_edge_slice(u) {
+            let w = g.edge_head(e);
+            if depth[w.index()] < du + 1 {
+                depth[w.index()] = du + 1;
+            }
+        }
+    }
+    to.iter()
+        .map(|t| depth[t.index()])
+        .filter(|&d| d != MINF)
+        .max()
+        .map(|d| d as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{e, v};
+    use crate::DiGraph;
+
+    fn chain(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_vertices(n);
+        for i in 0..n - 1 {
+            g.add_edge(v(i as u32), v(i as u32 + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_chain_distances() {
+        let g = chain(5);
+        let b = bfs_forward(&g, v(0));
+        assert_eq!(b.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.order.len(), 5);
+        let p = b.path_to(&g, v(4)).unwrap();
+        assert_eq!(p, vec![v(0), v(1), v(2), v(3), v(4)]);
+    }
+
+    #[test]
+    fn bfs_backward_and_undirected() {
+        let g = chain(4);
+        let fwd = bfs(&g, &[v(3)], Direction::Forward, |_| true, |_| true);
+        assert!(!fwd.reached(v(0)));
+        let bwd = bfs(&g, &[v(3)], Direction::Backward, |_| true, |_| true);
+        assert_eq!(bwd.dist[0], 3);
+        let und = bfs(&g, &[v(1)], Direction::Undirected, |_| true, |_| true);
+        assert_eq!(und.dist, vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_edge_filter_blocks() {
+        let g = chain(4);
+        // block the middle edge e1 (v1 -> v2)
+        let b = bfs(&g, &[v(0)], Direction::Forward, |x| x != e(1), |_| true);
+        assert!(b.reached(v(1)));
+        assert!(!b.reached(v(2)));
+    }
+
+    #[test]
+    fn bfs_vertex_filter_blocks() {
+        let g = chain(4);
+        let b = bfs(&g, &[v(0)], Direction::Forward, |_| true, |x| x != v(2));
+        assert!(b.reached(v(1)));
+        assert!(!b.reached(v(2)));
+        assert!(!b.reached(v(3)));
+    }
+
+    #[test]
+    fn bfs_filtered_source() {
+        let g = chain(3);
+        let b = bfs(&g, &[v(0)], Direction::Forward, |_| true, |x| x != v(0));
+        assert!(!b.reached(v(0)));
+        assert!(b.order.is_empty());
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let g = chain(6);
+        let b = bfs(&g, &[v(0), v(4)], Direction::Forward, |_| true, |_| true);
+        assert_eq!(b.dist[5], 1, "nearest source wins");
+        assert_eq!(b.dist[3], 3);
+    }
+
+    #[test]
+    fn topo_order_on_dag() {
+        let mut g = DiGraph::new();
+        g.add_vertices(4);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(1), v(3));
+        g.add_edge(v(2), v(3));
+        let order = topo_order(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, u) in order.iter().enumerate() {
+                p[u.index()] = i;
+            }
+            p
+        };
+        for (_, t, h) in g.edges() {
+            assert!(pos[t.index()] < pos[h.index()]);
+        }
+        assert!(is_acyclic(&g));
+        assert_eq!(dag_depth(&g), 2);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = DiGraph::new();
+        g.add_vertices(3);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(2), v(0));
+        assert!(topo_order(&g).is_none());
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn depth_between_terminals() {
+        // diamond with a long tail not between terminals
+        let mut g = DiGraph::new();
+        g.add_vertices(6);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(3), v(4)); // disconnected tail
+        g.add_edge(v(4), v(5));
+        assert_eq!(dag_depth_between(&g, &[v(0)], &[v(2)]), Some(2));
+        assert_eq!(dag_depth_between(&g, &[v(2)], &[v(0)]), None);
+        assert_eq!(dag_depth_between(&g, &[v(0), v(3)], &[v(2), v(5)]), Some(2));
+        assert_eq!(dag_depth(&g), 2);
+    }
+
+    #[test]
+    fn reachable_mask() {
+        let g = chain(4);
+        let m = reachable(&g, &[v(1)], |_| true, |_| true);
+        assert_eq!(m, vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn works_on_csr_too() {
+        let g = chain(5);
+        let c = crate::Csr::from_digraph(&g);
+        let b = bfs_forward(&c, v(0));
+        assert_eq!(b.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(dag_depth(&c), 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! Union–find (disjoint set union) with path halving and union by size.
+//!
+//! Closed switch failures contract the two endpoints of an edge into a
+//! single electrical node (§2 of the paper: "two vertices of the edge
+//! contract to one"). A failure instance therefore induces a quotient of
+//! the vertex set, which is exactly a union–find structure; the paper's
+//! *shorting* events (Lemma 2, Lemma 7 — two terminals becoming one node)
+//! are queries against it.
+
+/// Disjoint-set forest over `0..len`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    /// Parent pointer; roots point at themselves.
+    parent: Vec<u32>,
+    /// Component size, valid only at roots.
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+
+    /// Compacts the quotient: returns `(class_of, num_classes)` where
+    /// `class_of[x]` is a dense index in `0..num_classes`, equal for
+    /// elements in the same set. Used to build contracted graphs.
+    pub fn quotient(&mut self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut class_of = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            if class_of[r as usize] == u32::MAX {
+                class_of[r as usize] = next;
+                next += 1;
+            }
+            class_of[x as usize] = class_of[r as usize];
+        }
+        (class_of, next as usize)
+    }
+
+    /// Resets every element to a singleton without reallocating —
+    /// Monte Carlo loops reuse one structure across trials.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.size.fill(1);
+        self.components = self.parent.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rng;
+    use rand::Rng;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.component_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.component_size(1), 2);
+        uf.union(2, 3);
+        uf.union(0, 3);
+        assert_eq!(uf.num_components(), 1);
+        assert_eq!(uf.component_size(0), 4);
+    }
+
+    #[test]
+    fn quotient_dense() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(2, 4);
+        uf.union(1, 5);
+        let (class_of, k) = uf.quotient();
+        assert_eq!(k, 3);
+        assert_eq!(class_of[0], class_of[2]);
+        assert_eq!(class_of[2], class_of[4]);
+        assert_eq!(class_of[1], class_of[5]);
+        assert_ne!(class_of[0], class_of[1]);
+        assert_ne!(class_of[0], class_of[3]);
+        assert!(class_of.iter().all(|&c| (c as usize) < k));
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.reset();
+        assert_eq!(uf.num_components(), 4);
+        assert!(!uf.same(0, 1));
+    }
+
+    #[test]
+    fn empty() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.quotient().1, 0);
+    }
+
+    /// Cross-check against naive connectivity on random union sequences.
+    #[test]
+    fn matches_naive_connectivity() {
+        let mut r = rng(0x0F0F);
+        for _ in 0..20 {
+            let n = r.random_range(2..30usize);
+            let ops = r.random_range(0..40usize);
+            let mut uf = UnionFind::new(n);
+            // naive: adjacency + BFS
+            let mut adj = vec![Vec::new(); n];
+            for _ in 0..ops {
+                let a = r.random_range(0..n);
+                let b = r.random_range(0..n);
+                uf.union(a as u32, b as u32);
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            let reach = |s: usize| {
+                let mut seen = vec![false; n];
+                let mut stack = vec![s];
+                seen[s] = true;
+                while let Some(u) = stack.pop() {
+                    for &w in &adj[u] {
+                        if !seen[w] {
+                            seen[w] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+                seen
+            };
+            for a in 0..n {
+                let seen = reach(a);
+                for b in 0..n {
+                    assert_eq!(uf.same(a as u32, b as u32), seen[b], "n={n} a={a} b={b}");
+                }
+            }
+        }
+    }
+}

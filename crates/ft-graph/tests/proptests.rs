@@ -1,0 +1,173 @@
+//! Property-based tests for the graph kernel invariants.
+
+use ft_graph::gen;
+use ft_graph::ids::VertexId;
+use ft_graph::matching::hopcroft_karp;
+use ft_graph::maxflow::{vertex_disjoint_paths, DisjointOptions, FlowNetwork};
+use ft_graph::menger::max_disjoint_paths;
+use ft_graph::paths::are_vertex_disjoint;
+use ft_graph::traversal::{bfs_forward, dag_depth, is_acyclic, topo_order};
+use ft_graph::tree::{contract_stretches, is_forest, leaves, min_internal_degree_3, reduce_to_degree_3};
+use ft_graph::{Csr, DiGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG described by (n, edge list of (a, b) with a < b).
+fn dag_strategy() -> impl Strategy<Value = DiGraph> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n - 1).prop_flat_map(move |a| (Just(a), a + 1..n));
+        proptest::collection::vec(edge, 0..80).prop_map(move |edges| {
+            let mut g = DiGraph::new();
+            g.add_vertices(n);
+            for (a, b) in edges {
+                g.add_edge(VertexId::from(a), VertexId::from(b));
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dags_are_acyclic_and_topo_sorted(g in dag_strategy()) {
+        prop_assert!(is_acyclic(&g));
+        let order = topo_order(&g).unwrap();
+        let mut pos = vec![0usize; g.num_vertices()];
+        for (i, u) in order.iter().enumerate() {
+            pos[u.index()] = i;
+        }
+        for (_, t, h) in g.edges() {
+            prop_assert!(pos[t.index()] < pos[h.index()]);
+        }
+    }
+
+    #[test]
+    fn csr_preserves_adjacency(g in dag_strategy()) {
+        let c = Csr::from_digraph(&g);
+        prop_assert_eq!(c.num_vertices(), g.num_vertices());
+        prop_assert_eq!(c.num_edges(), g.num_edges());
+        for u in g.vertices() {
+            let mut a: Vec<_> = g.out_edges(u).to_vec();
+            let mut b: Vec<_> = c.out_edges(u).to_vec();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+        // BFS agrees between representations
+        let bg = bfs_forward(&g, VertexId(0));
+        let bc = bfs_forward(&c, VertexId(0));
+        prop_assert_eq!(bg.dist, bc.dist);
+    }
+
+    #[test]
+    fn depth_is_max_bfs_layer_on_trees(seed in 0u64..500, n in 2usize..40) {
+        // On a tree all root->leaf paths are unique, so DAG depth from the
+        // root equals the max BFS distance.
+        let mut r = gen::rng(seed);
+        let g = gen::random_tree(&mut r, n);
+        let b = bfs_forward(&g, VertexId(0));
+        let max_d = b.dist.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap();
+        prop_assert_eq!(dag_depth(&g), max_d);
+    }
+
+    #[test]
+    fn disjoint_paths_are_disjoint_and_count_matches(g in dag_strategy()) {
+        let n = g.num_vertices();
+        let sources: Vec<_> = (0..n / 2).map(VertexId::from).collect();
+        let sinks: Vec<_> = (n / 2..n).map(VertexId::from).collect();
+        let r = vertex_disjoint_paths(&g, &sources, &sinks, |_| true, |_| true,
+            DisjointOptions::default());
+        prop_assert_eq!(r.paths.len(), r.count as usize);
+        prop_assert!(are_vertex_disjoint(r.paths.iter().map(|p| p.as_slice())));
+        // every path is a real directed path from a source to a sink
+        for p in &r.paths {
+            prop_assert!(sources.contains(&p[0]));
+            prop_assert!(sinks.contains(p.last().unwrap()));
+            for w in p.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+        // count-only agrees
+        prop_assert_eq!(max_disjoint_paths(&g, &sources, &sinks), r.count);
+    }
+
+    #[test]
+    fn matching_equals_flow(seed in 0u64..500) {
+        let mut r = gen::rng(seed);
+        use rand::Rng;
+        let left = r.random_range(1..12usize);
+        let right = r.random_range(1..12usize);
+        let deg = r.random_range(0..=right.min(5));
+        let adj = gen::random_bipartite_adjacency(&mut r, left, right, deg);
+        let m = hopcroft_karp(&adj, right);
+        let mut f = FlowNetwork::new(left + right + 2);
+        let s = (left + right) as u32;
+        let t = s + 1;
+        for l in 0..left {
+            f.add_arc(s, l as u32, 1);
+            for &rr in &adj[l] {
+                f.add_arc(l as u32, left as u32 + rr, 1);
+            }
+        }
+        for rr in 0..right {
+            f.add_arc((left + rr) as u32, t, 1);
+        }
+        prop_assert_eq!(m.size as u32, f.max_flow(s, t, None));
+    }
+
+    #[test]
+    fn lemma1_trees_survive_reduction(seed in 0u64..300, l in 3usize..60) {
+        let mut r = gen::rng(seed);
+        let g = gen::random_lemma1_tree(&mut r, l);
+        prop_assert!(min_internal_degree_3(&g));
+        let (h, origin) = reduce_to_degree_3(&g);
+        prop_assert!(min_internal_degree_3(&h));
+        prop_assert_eq!(leaves(&h).len(), leaves(&g).len());
+        prop_assert_eq!(origin.len(), h.num_vertices());
+        for u in h.vertices() {
+            prop_assert!(h.degree(u) <= 3);
+        }
+    }
+
+    #[test]
+    fn stretch_contraction_partitions_edges(seed in 0u64..300, n in 1usize..50) {
+        let mut r = gen::rng(seed);
+        let g = gen::random_tree(&mut r, n);
+        prop_assert!(is_forest(&g));
+        let c = contract_stretches(&g);
+        let total: usize = c.edge_paths.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, g.num_edges());
+        prop_assert!(is_forest(&c.graph));
+        // each stretch is a connected original path: consecutive edges share a vertex
+        for stretch in &c.edge_paths {
+            for w in stretch.windows(2) {
+                let (a1, b1) = g.endpoints(w[0]);
+                let (a2, b2) = g.endpoints(w[1]);
+                prop_assert!(a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_disconnects(g in dag_strategy()) {
+        let n = g.num_vertices();
+        let sources = [VertexId(0)];
+        let sinks = [VertexId::from(n - 1)];
+        let cut = ft_graph::menger::min_vertex_cut(&g, &sources, &sinks, |_| true);
+        // removing the cut really disconnects source from sink
+        let mask: std::collections::HashSet<_> = cut.iter().copied().collect();
+        let b = ft_graph::traversal::bfs(
+            &g,
+            &sources,
+            ft_graph::traversal::Direction::Forward,
+            |_| true,
+            |v| !mask.contains(&v),
+        );
+        prop_assert!(!b.reached(sinks[0]), "cut {:?} fails to disconnect", cut);
+        // and the cut size matches Menger: max #internally-disjoint paths
+        // (sources/sinks uncuttable here, so compare against flow where
+        // only interior vertices are capacity-limited) — at minimum the
+        // number of fully vertex-disjoint paths cannot exceed the cut size + 1
+        let k = max_disjoint_paths(&g, &sources, &sinks);
+        prop_assert!(k <= cut.len() as u32 + 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Multibutterfly networks (Upfal; Leighton & Maggs).
+//!
+//! The paper cites Leighton & Maggs \[LM\] — "expanders might be
+//! practical: fast algorithms for routing around faults on
+//! multibutterflies" — as the routing-around-faults tradition its
+//! construction descends from, and the reproduction notes flag the
+//! absence of any open-source multibutterfly router. A `d`-multibutterfly
+//! replaces each butterfly column's deterministic exchange with
+//! *splitters*: in stage `j`, each block of `M = N/2^j` links feeds the
+//! upper and lower half-blocks of the next stage through degree-`d`
+//! expanders, so every link has `d` choices per direction instead of 1.
+//!
+//! Routing is greedy: a circuit heading for output `y` must exit stage
+//! `j` in the half-block matching bit `j` of `y`; any idle neighbour in
+//! that half works. Expansion guarantees (Leighton–Maggs) that faults
+//! or congestion cannot block more than a small fraction of circuits.
+
+use ft_graph::gen::random_bipartite_adjacency;
+use ft_graph::{StagedBuilder, StagedNetwork, VertexId};
+use rand::rngs::SmallRng;
+
+/// A multibutterfly on `N = 2^k` terminals with splitter degree `d`.
+#[derive(Clone, Debug)]
+pub struct Multibutterfly {
+    /// Dimension (stages − 1).
+    pub k: u32,
+    /// Splitter degree (edges per link per direction).
+    pub d: usize,
+    /// The staged network (`k+1` link stages).
+    pub net: StagedNetwork,
+}
+
+impl Multibutterfly {
+    /// Builds a random `d`-multibutterfly (splitters are random
+    /// left-regular bipartite graphs — the expander-based construction
+    /// of Upfal/Leighton–Maggs with sampled expanders).
+    pub fn new(k: u32, d: usize, rng: &mut SmallRng) -> Self {
+        assert!(k >= 1 && d >= 1);
+        let n = 1usize << k;
+        let mut b = StagedBuilder::new();
+        let mut ranges = Vec::with_capacity(k as usize + 1);
+        for _ in 0..=k {
+            ranges.push(b.add_stage(n));
+        }
+        for j in 0..k as usize {
+            let block = n >> j; // links per block at stage j
+            let half = block / 2;
+            let deg = d.min(half);
+            for blk in 0..(1usize << j) {
+                let base = blk * block;
+                let next_base = blk * block; // same index range next stage
+                // two splitters: to upper half [0, half) and lower [half, block)
+                for (target, offset) in [(0usize, 0usize), (1, half)] {
+                    let _ = target;
+                    let adj = random_bipartite_adjacency(rng, block, half, deg);
+                    for (src, nbrs) in adj.iter().enumerate() {
+                        let from = VertexId(ranges[j].start + (base + src) as u32);
+                        for &t in nbrs {
+                            let to = VertexId(
+                                ranges[j + 1].start + (next_base + offset + t as usize) as u32,
+                            );
+                            b.add_edge(from, to);
+                        }
+                    }
+                }
+            }
+        }
+        b.set_inputs(ranges[0].clone().map(VertexId).collect());
+        b.set_outputs(ranges[k as usize].clone().map(VertexId).collect());
+        Multibutterfly {
+            k,
+            d,
+            net: b.finish(),
+        }
+    }
+
+    /// Terminal count.
+    pub fn terminals(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// The half-block (0 = upper, 1 = lower) a circuit for output `y`
+    /// must enter when leaving stage `j`.
+    pub fn required_half(&self, y: u32, j: u32) -> u32 {
+        (y >> (self.k - 1 - j)) & 1
+    }
+
+    /// Whether `link` (an index within stage `j+1`) lies in the correct
+    /// half-block for output `y` given the block structure at stage `j+1`.
+    pub fn on_route(&self, y: u32, stage: u32, link: u32) -> bool {
+        // after `stage` hops the top `stage` bits of the link index must
+        // agree with y's top bits
+        if stage == 0 {
+            return true;
+        }
+        let shift = self.k - stage;
+        (link >> shift) == (y >> shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::gen::rng;
+    use ft_graph::traversal::{bfs, Direction};
+
+    #[test]
+    fn shape() {
+        let mut r = rng(1);
+        let mb = Multibutterfly::new(3, 2, &mut r);
+        assert_eq!(mb.net.num_stages(), 4);
+        assert_eq!(mb.terminals(), 8);
+        // each link has up to 2d out-edges (d per half)
+        for v in mb.net.stage_vertices(0) {
+            assert!(mb.net.graph().out_degree(v) <= 4);
+            assert!(mb.net.graph().out_degree(v) >= 2);
+        }
+    }
+
+    #[test]
+    fn splitters_respect_halves() {
+        let mut r = rng(2);
+        let mb = Multibutterfly::new(3, 2, &mut r);
+        // stage-0 edges from link x land in [0,4) (upper) or [4,8) (lower)
+        // — both reachable; stage structure: top bit of stage-1 link is
+        // the half selector
+        let g = mb.net.graph();
+        for x in 0..8u32 {
+            let from = mb.net.inputs()[x as usize];
+            let mut upper = 0;
+            let mut lower = 0;
+            for &e in g.out_edges(from) {
+                let to = g.head(e);
+                let link = to.0 - mb.net.stage_range(1).start;
+                if link < 4 {
+                    upper += 1;
+                } else {
+                    lower += 1;
+                }
+            }
+            assert_eq!(upper, 2, "input {x}");
+            assert_eq!(lower, 2, "input {x}");
+        }
+    }
+
+    #[test]
+    fn every_output_reachable_through_correct_halves() {
+        let mut r = rng(3);
+        let mb = Multibutterfly::new(4, 2, &mut r);
+        let g = mb.net.graph();
+        // on-route reachability: restrict BFS to links on route for y
+        for y in [0u32, 5, 15] {
+            for x in [0u32, 7, 12] {
+                let b = bfs(
+                    g,
+                    &[mb.net.inputs()[x as usize]],
+                    Direction::Forward,
+                    |_| true,
+                    |v| {
+                        let stage = mb.net.stage_of(v) as u32;
+                        let link = v.0 - mb.net.stage_range(stage as usize).start;
+                        mb.on_route(y, stage, link)
+                    },
+                );
+                assert!(
+                    b.reached(mb.net.outputs()[y as usize]),
+                    "x={x} cannot reach y={y} on-route"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn required_half_matches_bits() {
+        let mut r = rng(4);
+        let mb = Multibutterfly::new(3, 1, &mut r);
+        // y = 0b101: halves from stage 0,1,2 are 1, 0, 1
+        assert_eq!(mb.required_half(0b101, 0), 1);
+        assert_eq!(mb.required_half(0b101, 1), 0);
+        assert_eq!(mb.required_half(0b101, 2), 1);
+    }
+}

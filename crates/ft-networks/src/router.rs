@@ -1,0 +1,278 @@
+//! Greedy circuit-switching router.
+//!
+//! §4's third observation: because the fault-tolerant construction
+//! contains a *strictly* nonblocking network, "routing can be performed
+//! by a greedy application of a standard path-finding algorithm" — plain
+//! BFS over idle vertices, no rearrangement, no cleverness. The router
+//! maintains busy marks for established circuits, supports an external
+//! liveness mask (the repair procedure's surviving vertices), and serves
+//! connect/disconnect churn.
+
+use ft_graph::ids::VertexId;
+use ft_graph::traversal::{bfs, Direction};
+use ft_graph::StagedNetwork;
+
+/// Why a connection attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The input terminal is already carrying a circuit (or dead).
+    InputUnavailable(VertexId),
+    /// The output terminal is already carrying a circuit (or dead).
+    OutputUnavailable(VertexId),
+    /// No idle path exists — the network is *blocked* for this pair.
+    Blocked(VertexId, VertexId),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::InputUnavailable(v) => write!(f, "input {v} unavailable"),
+            RouteError::OutputUnavailable(v) => write!(f, "output {v} unavailable"),
+            RouteError::Blocked(a, b) => write!(f, "no idle path {a} -> {b}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Handle to an established circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionId(pub u32);
+
+/// Greedy circuit router over a staged network.
+#[derive(Clone, Debug)]
+pub struct CircuitRouter<'a> {
+    net: &'a StagedNetwork,
+    /// Vertices usable at all (repair mask); true = usable.
+    alive: Vec<bool>,
+    /// Vertices currently carrying a circuit.
+    busy: Vec<bool>,
+    sessions: Vec<Option<Vec<VertexId>>>,
+}
+
+impl<'a> CircuitRouter<'a> {
+    /// Router over a fully healthy network.
+    pub fn new(net: &'a StagedNetwork) -> Self {
+        CircuitRouter {
+            net,
+            alive: vec![true; net.graph().num_vertices()],
+            busy: vec![false; net.graph().num_vertices()],
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Router restricted to `alive` vertices (the §4 repaired network).
+    pub fn with_alive_mask(net: &'a StagedNetwork, alive: Vec<bool>) -> Self {
+        assert_eq!(alive.len(), net.graph().num_vertices());
+        CircuitRouter {
+            net,
+            alive,
+            busy: vec![false; net.graph().num_vertices()],
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Whether `v` is idle (alive and not carrying a circuit).
+    pub fn is_idle(&self, v: VertexId) -> bool {
+        self.alive[v.index()] && !self.busy[v.index()]
+    }
+
+    /// Number of live sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The path held by a session.
+    pub fn session_path(&self, id: SessionId) -> Option<&[VertexId]> {
+        self.sessions
+            .get(id.0 as usize)
+            .and_then(|s| s.as_deref())
+    }
+
+    /// Attempts to connect `input → output` greedily (BFS over idle
+    /// vertices, shortest idle path). On success the path's vertices
+    /// become busy.
+    pub fn connect(&mut self, input: VertexId, output: VertexId) -> Result<SessionId, RouteError> {
+        if !self.is_idle(input) {
+            return Err(RouteError::InputUnavailable(input));
+        }
+        if !self.is_idle(output) {
+            return Err(RouteError::OutputUnavailable(output));
+        }
+        let alive = &self.alive;
+        let busy = &self.busy;
+        let b = bfs(
+            self.net.graph(),
+            &[input],
+            Direction::Forward,
+            |_| true,
+            |v| alive[v.index()] && !busy[v.index()],
+        );
+        let Some(path) = b.path_to(self.net.graph(), output) else {
+            return Err(RouteError::Blocked(input, output));
+        };
+        for &v in &path {
+            self.busy[v.index()] = true;
+        }
+        let id = SessionId(self.sessions.len() as u32);
+        self.sessions.push(Some(path));
+        Ok(id)
+    }
+
+    /// Releases a session's circuit.
+    ///
+    /// # Panics
+    /// Panics if the session does not exist or was already disconnected.
+    pub fn disconnect(&mut self, id: SessionId) {
+        let path = self.sessions[id.0 as usize]
+            .take()
+            .expect("session already disconnected");
+        for v in path {
+            self.busy[v.index()] = false;
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &StagedNetwork {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clos::Clos;
+    use crate::crossbar::crossbar;
+    use ft_graph::gen::rng;
+    use rand::Rng;
+
+    #[test]
+    fn crossbar_connects_all_pairs() {
+        let net = crossbar(3);
+        let mut router = CircuitRouter::new(&net);
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let id = router
+                .connect(net.inputs()[i], net.outputs()[(i + 1) % 3])
+                .unwrap();
+            ids.push(id);
+        }
+        assert_eq!(router.active_sessions(), 3);
+        // everything busy now
+        let err = router.connect(net.inputs()[0], net.outputs()[0]);
+        assert_eq!(err, Err(RouteError::InputUnavailable(net.inputs()[0])));
+        router.disconnect(ids[0]);
+        assert_eq!(router.active_sessions(), 2);
+        // freed pair reconnects
+        router.connect(net.inputs()[0], net.outputs()[1]).unwrap();
+    }
+
+    #[test]
+    fn strict_clos_never_blocks_under_churn() {
+        // Clos' theorem: m = 2n−1 suffices for greedy routing. Hammer a
+        // small strict Clos with random churn; a block is a bug (either
+        // in the router or the construction).
+        let c = Clos::strictly_nonblocking(2, 3); // m=3, 6 terminals
+        let net = &c.net;
+        let n = c.terminals();
+        let mut router = CircuitRouter::new(net);
+        let mut r = rng(42);
+        // call state per input: Option<(session, output)>
+        let mut call: Vec<Option<SessionId>> = vec![None; n];
+        let mut out_busy = vec![false; n];
+        let mut out_of: Vec<usize> = vec![usize::MAX; n];
+        for _ in 0..2000 {
+            let i = r.random_range(0..n);
+            match call[i] {
+                Some(id) => {
+                    router.disconnect(id);
+                    out_busy[out_of[i]] = false;
+                    call[i] = None;
+                }
+                None => {
+                    // pick a random idle output
+                    let free: Vec<usize> = (0..n).filter(|&o| !out_busy[o]).collect();
+                    if free.is_empty() {
+                        continue;
+                    }
+                    let o = free[r.random_range(0..free.len())];
+                    let id = router
+                        .connect(net.inputs()[i], net.outputs()[o])
+                        .unwrap_or_else(|e| panic!("strict Clos blocked: {e}"));
+                    call[i] = Some(id);
+                    out_busy[o] = true;
+                    out_of[i] = o;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rearrangeable_clos_blocks_eventually() {
+        // m = n Clos is rearrangeable but NOT strictly nonblocking: the
+        // greedy router must hit a Blocked error under adversarial churn.
+        let c = Clos::rearrangeable(2, 2); // m=2, 4 terminals
+        let net = &c.net;
+        let n = c.terminals();
+        let mut blocked_seen = false;
+        let mut r = rng(7);
+        'outer: for _ in 0..200 {
+            let mut router = CircuitRouter::new(net);
+            let mut live: Vec<(SessionId, usize, usize)> = Vec::new();
+            for _step in 0..100 {
+                let connect = live.is_empty() || r.random_bool(0.6);
+                if connect {
+                    let ins: Vec<usize> = (0..n)
+                        .filter(|&i| router.is_idle(net.inputs()[i]))
+                        .collect();
+                    let outs: Vec<usize> = (0..n)
+                        .filter(|&o| router.is_idle(net.outputs()[o]))
+                        .collect();
+                    if ins.is_empty() || outs.is_empty() {
+                        continue;
+                    }
+                    let i = ins[r.random_range(0..ins.len())];
+                    let o = outs[r.random_range(0..outs.len())];
+                    match router.connect(net.inputs()[i], net.outputs()[o]) {
+                        Ok(id) => live.push((id, i, o)),
+                        Err(RouteError::Blocked(_, _)) => {
+                            blocked_seen = true;
+                            break 'outer;
+                        }
+                        Err(e) => panic!("unexpected error {e}"),
+                    }
+                } else {
+                    let idx = r.random_range(0..live.len());
+                    let (id, _, _) = live.swap_remove(idx);
+                    router.disconnect(id);
+                }
+            }
+        }
+        assert!(
+            blocked_seen,
+            "rearrangeable Clos never blocked greedy routing — suspicious"
+        );
+    }
+
+    #[test]
+    fn alive_mask_restricts_routing() {
+        let net = crossbar(2);
+        // kill output 0
+        let mut alive = vec![true; net.graph().num_vertices()];
+        alive[net.outputs()[0].index()] = false;
+        let mut router = CircuitRouter::with_alive_mask(&net, alive);
+        let err = router.connect(net.inputs()[0], net.outputs()[0]);
+        assert!(matches!(err, Err(RouteError::OutputUnavailable(_))));
+        router.connect(net.inputs()[0], net.outputs()[1]).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already disconnected")]
+    fn double_disconnect_panics() {
+        let net = crossbar(2);
+        let mut router = CircuitRouter::new(&net);
+        let id = router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
+        router.disconnect(id);
+        router.disconnect(id);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the classical network cast.
+
+use ft_graph::gen::{random_permutation, rng};
+use ft_graph::paths::are_vertex_disjoint;
+use ft_networks::grid::grid_size;
+use ft_networks::{Benes, Butterfly, CircuitRouter, Clos, DirectedGrid, Multibutterfly};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The looping algorithm routes EVERY permutation on a Beneš with
+    /// vertex-disjoint paths of the right endpoints.
+    #[test]
+    fn benes_looping_routes_all(k in 1u32..5, seed in 0u64..50_000) {
+        let b = Benes::new(k);
+        let n = b.terminals();
+        let perm = random_permutation(&mut rng(seed), n);
+        let paths = b.route_permutation(&perm);
+        prop_assert_eq!(paths.len(), n);
+        let views: Vec<&[ft_graph::VertexId]> =
+            paths.iter().map(|p| p.as_slice()).collect();
+        prop_assert!(are_vertex_disjoint(views.iter().copied()));
+        for (i, p) in paths.iter().enumerate() {
+            prop_assert_eq!(p[0], b.net.inputs()[i]);
+            prop_assert_eq!(*p.last().unwrap(), b.net.outputs()[perm[i] as usize]);
+            // consecutive vertices joined by edges
+            for w in p.windows(2) {
+                prop_assert!(b.net.graph().has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    /// Slepian–Duguid routing on a rearrangeable Clos: every
+    /// permutation, disjoint paths.
+    #[test]
+    fn clos_rearrangeable_routes_all(g in 2usize..5, r_ in 2usize..5, seed in 0u64..50_000) {
+        let c = Clos::rearrangeable(g, r_);
+        let n = c.terminals();
+        let perm = random_permutation(&mut rng(seed), n);
+        let paths = c.route_permutation(&perm);
+        prop_assert_eq!(paths.len(), n);
+        let views: Vec<&[ft_graph::VertexId]> =
+            paths.iter().map(|p| p.as_slice()).collect();
+        prop_assert!(are_vertex_disjoint(views.iter().copied()));
+    }
+
+    /// Butterfly unique paths: correct endpoints, valid edges, length
+    /// k+1 switches.
+    #[test]
+    fn butterfly_unique_paths(k in 1u32..6, seed in 0u64..50_000) {
+        let bf = Butterfly::new(k);
+        let n = 1u32 << k;
+        let mut r = rng(seed);
+        use rand::Rng;
+        let x = r.random_range(0..n);
+        let y = r.random_range(0..n);
+        let p = bf.unique_path(x, y);
+        prop_assert_eq!(p.len() as u32, k + 1);
+        prop_assert_eq!(p[0], bf.net.inputs()[x as usize]);
+        prop_assert_eq!(*p.last().unwrap(), bf.net.outputs()[y as usize]);
+        for w in p.windows(2) {
+            prop_assert!(bf.net.graph().has_edge(w[0], w[1]));
+        }
+    }
+
+    /// Grid census formula and degree structure.
+    #[test]
+    fn grid_shape(l in 1usize..40, w in 1usize..20) {
+        let g = DirectedGrid::new(l, w);
+        prop_assert_eq!(g.size(), grid_size(l, w));
+        prop_assert_eq!(g.net.depth() as usize, w - 1);
+        // interior out-degree ≤ 2, bottom row 1 (for w ≥ 2)
+        if w >= 2 && l >= 2 {
+            prop_assert_eq!(g.net.graph().out_degree(g.at(l - 1, 0)), 1);
+            prop_assert_eq!(g.net.graph().out_degree(g.at(0, 0)), 2);
+        }
+    }
+
+    /// Router bookkeeping: connect marks exactly the path busy;
+    /// disconnect releases exactly it.
+    #[test]
+    fn router_busy_bookkeeping(seed in 0u64..50_000) {
+        let b = Benes::new(2);
+        let mut router = CircuitRouter::new(&b.net);
+        let mut r = rng(seed);
+        use rand::Rng;
+        let i = r.random_range(0..4);
+        let o = r.random_range(0..4);
+        let id = router.connect(b.net.inputs()[i], b.net.outputs()[o]).unwrap();
+        let path: Vec<_> = router.session_path(id).unwrap().to_vec();
+        for &v in &path {
+            prop_assert!(!router.is_idle(v));
+        }
+        router.disconnect(id);
+        for &v in &path {
+            prop_assert!(router.is_idle(v));
+        }
+        prop_assert_eq!(router.active_sessions(), 0);
+    }
+
+    /// Multibutterfly structure: stage widths constant, out-degrees
+    /// bounded by 2d, every output reachable from every input.
+    #[test]
+    fn multibutterfly_structure(k in 2u32..5, d in 1usize..4, seed in 0u64..10_000) {
+        let mut r = rng(seed);
+        let mb = Multibutterfly::new(k, d, &mut r);
+        let n = mb.terminals();
+        prop_assert_eq!(mb.net.num_stages() as u32, k + 1);
+        for s in 0..mb.net.num_stages() {
+            prop_assert_eq!(mb.net.stage_range(s).len(), n);
+        }
+        for v in mb.net.stage_vertices(0) {
+            prop_assert!(mb.net.graph().out_degree(v) <= 2 * d);
+        }
+        // reachability input 0 → all outputs
+        let bfs = ft_graph::traversal::bfs_forward(mb.net.graph(), mb.net.inputs()[0]);
+        for &o in mb.net.outputs() {
+            prop_assert!(bfs.reached(o), "output {o:?} unreachable");
+        }
+    }
+
+    /// Strict Clos by theorem: m ≥ 2n−1 profiles report strictness.
+    #[test]
+    fn clos_strictness_theorem(n in 2usize..6, r_ in 2usize..5) {
+        let strict = Clos::strictly_nonblocking(n, r_);
+        prop_assert!(strict.is_strict_by_theorem());
+        let rearr = Clos::rearrangeable(n, r_);
+        prop_assert!(!rearr.is_strict_by_theorem() || n == 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Routing around faults on a multibutterfly (Leighton–Maggs [LM]).
+//!
+//! The paper descends from the multibutterfly tradition — "expanders
+//! might be practical: fast algorithms for routing around faults on
+//! multibutterflies". A butterfly has a *unique* path per
+//! input/output pair: one dead link on it kills the circuit. A
+//! d-multibutterfly replaces each exchange with a degree-d splitter,
+//! so a circuit heading for output y has d choices at every stage and
+//! simply routes around dead links.
+//!
+//! This example kills a growing fraction of links and compares
+//! delivered circuits: butterfly (unique path) vs multibutterflies of
+//! increasing splitter degree, greedy-routed.
+//!
+//! Run with: `cargo run --release --example multibutterfly_faults`
+
+use fault_tolerant_switching::graph::gen::{random_permutation, rng};
+use fault_tolerant_switching::networks::{Butterfly, CircuitRouter, Multibutterfly};
+use rand::Rng;
+
+fn main() {
+    let k = 5; // 32 terminals
+    let n = 1usize << k;
+    let mut r = rng(0xFAB);
+    let bf = Butterfly::new(k);
+    let mbs: Vec<Multibutterfly> = [2usize, 3, 4]
+        .iter()
+        .map(|&d| Multibutterfly::new(k, d, &mut r))
+        .collect();
+
+    println!("routing a random permutation on {n} terminals, killing links at random\n");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>14}",
+        "dead frac", "butterfly", "multi d=2", "multi d=3", "multi d=4"
+    );
+
+    for &dead_frac in &[0.0, 0.02, 0.05, 0.1, 0.2] {
+        // butterfly: greedy circuit routing too (its unique paths make
+        // greedy exact) -- both columns pay for vertex-disjointness
+        let mut bf_delivered = 0usize;
+        let trials = 40;
+        for _ in 0..trials {
+            let alive: Vec<bool> = (0..bf.net.graph().num_vertices())
+                .map(|i| {
+                    let v = fault_tolerant_switching::graph::VertexId(i as u32);
+                    let is_term = bf.net.inputs().contains(&v) || bf.net.outputs().contains(&v);
+                    is_term || !r.random_bool(dead_frac)
+                })
+                .collect();
+            let mut router = CircuitRouter::with_alive_mask(&bf.net, alive);
+            let perm = random_permutation(&mut r, n);
+            bf_delivered += perm
+                .iter()
+                .enumerate()
+                .filter(|&(x, &y)| {
+                    router
+                        .connect(bf.net.inputs()[x], bf.net.outputs()[y as usize])
+                        .is_ok()
+                })
+                .count();
+        }
+
+        // multibutterflies: greedy circuit routing on the survivors
+        let mut mb_delivered = [0usize; 3];
+        for (mi, mb) in mbs.iter().enumerate() {
+            for _ in 0..trials {
+                let alive: Vec<bool> = (0..mb.net.graph().num_vertices())
+                    .map(|i| {
+                        let v = fault_tolerant_switching::graph::VertexId(i as u32);
+                        let is_term =
+                            mb.net.inputs().contains(&v) || mb.net.outputs().contains(&v);
+                        is_term || !r.random_bool(dead_frac)
+                    })
+                    .collect();
+                let mut router = CircuitRouter::with_alive_mask(&mb.net, alive);
+                let perm = random_permutation(&mut r, n);
+                mb_delivered[mi] += perm
+                    .iter()
+                    .enumerate()
+                    .filter(|&(x, &y)| {
+                        router
+                            .connect(mb.net.inputs()[x], mb.net.outputs()[y as usize])
+                            .is_ok()
+                    })
+                    .count();
+            }
+        }
+
+        let pct = |d: usize| 100.0 * d as f64 / (trials * n) as f64;
+        println!(
+            "{:>12.2} {:>11.1}% {:>13.1}% {:>13.1}% {:>13.1}%",
+            dead_frac,
+            pct(bf_delivered),
+            pct(mb_delivered[0]),
+            pct(mb_delivered[1]),
+            pct(mb_delivered[2]),
+        );
+    }
+
+    println!(
+        "\nunder greedy circuit switching the butterfly pays twice: its\n\
+         unique paths contend with each other AND die with their weakest\n\
+         link, while splitter degree buys the multibutterfly d choices\n\
+         per stage -- delivery rises with d and degrades gracefully with\n\
+         the dead fraction (Leighton-Maggs). N (this paper) pushes the\n\
+         same expander idea to STRICT nonblocking guarantees with\n\
+         failure-aware analysis instead of best-effort delivery: see\n\
+         examples/quickstart.rs."
+    );
+}

@@ -1,0 +1,99 @@
+//! Quickstart: the full Pippenger–Lin pipeline in one file.
+//!
+//! Build the fault-tolerant nonblocking network 𝒩, strike it with
+//! random switch failures, repair it by discarding faulty links,
+//! certify the Lemma 3–7 structural events, and route calls greedily
+//! on the survivor.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fault_tolerant_switching::core::certify;
+use fault_tolerant_switching::core::network::FtNetwork;
+use fault_tolerant_switching::core::params::Params;
+use fault_tolerant_switching::core::repair::Survivor;
+use fault_tolerant_switching::core::routing;
+use fault_tolerant_switching::failure::{FailureInstance, FailureModel};
+use fault_tolerant_switching::graph::gen::rng;
+use fault_tolerant_switching::graph::Digraph;
+
+fn main() {
+    // 1. Build 𝒩 for n = 16 terminals (a laptop-scale profile: the
+    //    paper's constants are F = 64, d = 10, 4^γ ≥ 34ν — here
+    //    F = 16, d = 10, 4^γ ≥ 4ν keeps the same structure at 1/400
+    //    the size).
+    let params = Params::reduced(2, 16, 10, 4.0);
+    let ftn = FtNetwork::build(params);
+    println!(
+        "built N: n = {}, {} stages, {} links, {} switches",
+        ftn.n(),
+        ftn.num_stages(),
+        ftn.net().num_vertices(),
+        ftn.net().size()
+    );
+    println!(
+        "  census: {} terminal + {} grid + {} middle switches",
+        ftn.census().terminal,
+        ftn.census().grid,
+        ftn.census().middle
+    );
+
+    // 2. Strike it: every switch independently open-fails or
+    //    closed-fails with probability ε.
+    let eps = 1e-3;
+    let model = FailureModel::symmetric(eps);
+    let mut r = rng(42);
+    let inst = FailureInstance::sample(&model, &mut r, ftn.net().size());
+    let (open, closed, normal) = inst.counts();
+    println!("\nstruck with eps = {eps}: {normal} normal, {open} open-failed, {closed} closed-failed");
+
+    // 3. Repair: discard faulty links (the §4 observation — no clever
+    //    computation, just throw away everything a failed switch
+    //    touches).
+    let survivor = Survivor::new(&ftn, &inst);
+    println!(
+        "repair discarded {} of {} internal links ({:.3}%)",
+        survivor.discarded,
+        ftn.net().num_vertices() - 2 * ftn.n(),
+        100.0 * survivor.discard_fraction()
+    );
+
+    // 4. Certify the structural events behind Theorem 2.
+    let cert = certify::certify_with_budget(&ftn, &inst, 0.10);
+    println!("\ncertificate:");
+    println!("  terminals distinct (Lemma 7): {}", cert.terminals_distinct);
+    println!(
+        "  all grids majority-access (Lemma 3): {} (min fraction {:.3})",
+        cert.grids_majority, cert.min_grid_access
+    );
+    println!(
+        "  expander fault budgets (Lemmas 4-5): {} (max group fraction {:.4})",
+        cert.expander_budget_ok, cert.max_group_faulty
+    );
+    println!("  => contains a nonblocking network: {}", cert.implies_nonblocking());
+
+    // 5. Route: a full random permutation, greedily, one call at a time.
+    let mut router = routing::survivor_router(&survivor);
+    let perm = routing::random_perm(&mut r, ftn.n());
+    let (stats, sessions) = routing::route_permutation(&mut router, &ftn, &perm);
+    println!(
+        "\nrouted random permutation: {}/{} connected, mean path {:.1} switches, max {}",
+        stats.connected,
+        stats.attempts,
+        stats.mean_path_len(),
+        stats.max_path_len
+    );
+    assert!(
+        !cert.implies_nonblocking() || stats.all_connected(),
+        "a certified survivor must route everything"
+    );
+
+    // 6. Tear the permutation down and run churn traffic.
+    for id in sessions {
+        router.disconnect(id);
+    }
+    let churn = routing::churn(&mut router, &ftn, 500, 0.6, &mut r);
+    println!(
+        "churn: {} attempts, {} connected, {} blocked",
+        churn.attempts, churn.connected, churn.blocked
+    );
+}

@@ -1,0 +1,76 @@
+//! Sizing a video switch from unreliable relays (§1's motivation:
+//! "open and closed failures represent the two dominant failure modes
+//! … for metallic-contact switches (still frequently used, especially
+//! for video switching)").
+//!
+//! Given the per-relay failure probability ε of the contacts on hand
+//! and a target end-to-end unreliability ε′ per crosspoint, Moore &
+//! Shannon's Proposition 1 says a composite "switch" of
+//! `O((log 1/ε′)²)` relays suffices. This example sizes the composite
+//! crosspoint for several contact qualities and target reliabilities,
+//! verifies each design exactly (series-parallel calculus) and by
+//! Monte Carlo, and prices the resulting n×n video matrix.
+//!
+//! Run with: `cargo run --release --example video_switch_reliability`
+
+use fault_tolerant_switching::failure::onenet::construct_onenet;
+use fault_tolerant_switching::failure::reliability::Connectivity;
+use fault_tolerant_switching::failure::FailureModel;
+
+fn main() {
+    println!("composite crosspoint sizing (Moore-Shannon Proposition 1)\n");
+    println!(
+        "{:>8} {:>10} {:>8} {:>7} {:>12} {:>12} {:>14}",
+        "eps", "target", "relays", "depth", "P[open]", "P[short]", "MC check"
+    );
+
+    for &eps in &[0.25, 0.1, 0.02] {
+        for &target in &[1e-2, 1e-4, 1e-6] {
+            if target >= eps {
+                continue;
+            }
+            let net = construct_onenet(eps, target);
+            assert!(net.certified.p_open < target && net.certified.p_short < target);
+            // spot-check the certificate by simulation
+            let model = FailureModel::symmetric(eps);
+            let (mc_open, mc_short) =
+                net.net
+                    .mc_failure_probs(&model, Connectivity::Undirected, 20_000, 7);
+            let mc = format!("{:.1e}/{:.1e}", mc_open.p(), mc_short.p());
+            println!(
+                "{:>8} {:>10.0e} {:>8} {:>7} {:>12.2e} {:>12.2e} {:>14}",
+                eps,
+                target,
+                net.size(),
+                net.depth(),
+                net.certified.p_open,
+                net.certified.p_short,
+                mc
+            );
+        }
+    }
+
+    // price a 64x64 video matrix at broadcast-grade reliability
+    println!("\npricing a 64x64 video matrix from 2% relays:");
+    let eps = 0.02;
+    for &target in &[1e-4, 1e-6] {
+        let net = construct_onenet(eps, target);
+        let crosspoints = 64 * 64;
+        println!(
+            "  target eps' = {:0e}: {} relays per crosspoint => {} relays total (vs {} bare)",
+            target,
+            net.size(),
+            net.size() * crosspoints,
+            crosspoints
+        );
+    }
+
+    println!(
+        "\nProposition 1's quadratic-log scaling means each 100x\n\
+         reliability improvement costs only a constant factor more\n\
+         relays -- the economics behind both Moore-Shannon relay\n\
+         synthesis and the epsilon-invariance argument of Section 3\n\
+         (substitute a 1-network for every switch and any (eps2, delta)\n\
+         network becomes an (eps1, delta) one at constant blow-up)."
+    );
+}

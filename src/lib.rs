@@ -1,0 +1,23 @@
+//! # fault-tolerant-switching — facade crate
+//!
+//! Reproduction of Pippenger & Lin, *Fault-Tolerant Circuit-Switching
+//! Networks* (SPAA 1992 / SIAM J. Discrete Math. 1994). This crate
+//! re-exports the workspace's public API under one roof:
+//!
+//! * [`graph`] — directed-graph kernel (staged networks, flows, matchings).
+//! * [`failure`] — the random switch failure model, Moore–Shannon
+//!   reliability theory, repair and Monte Carlo estimators.
+//! * [`expander`] — expanding graphs (random and explicit Margulis).
+//! * [`networks`] — classical switching networks (crossbar, Clos, Beneš,
+//!   butterfly, multibutterfly, directed grids) and routing.
+//! * [`core`] — the paper's contribution: the fault-tolerant nonblocking
+//!   network 𝒩, its repair/certification pipeline, and the §5
+//!   lower-bound machinery.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use ft_core as core;
+pub use ft_expander as expander;
+pub use ft_failure as failure;
+pub use ft_graph as graph;
+pub use ft_networks as networks;

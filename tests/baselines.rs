@@ -1,0 +1,153 @@
+//! Baseline behaviour pinning: the §2 cast acts the way the paper's
+//! comparison needs them to.
+
+use fault_tolerant_switching::core::lowerbound::{short_terminal_paths, zone_audit_with};
+use fault_tolerant_switching::failure::contraction::terminals_shorted;
+use fault_tolerant_switching::failure::{FailureInstance, FailureModel};
+use fault_tolerant_switching::graph::distance::nearest_other_terminal;
+use fault_tolerant_switching::graph::gen::{random_permutation, rng};
+use fault_tolerant_switching::networks::verify::{
+    churn_finds_blocking, verify_rearrangeable_exhaustive,
+};
+use fault_tolerant_switching::networks::{Benes, Butterfly, CircuitRouter, Clos};
+
+#[test]
+fn benes_is_rearrangeable() {
+    // exhaustively for n = 4; looping algorithm for larger samples
+    let b = Benes::new(2);
+    assert!(verify_rearrangeable_exhaustive(&b.net).is_ok());
+    let b = Benes::new(4);
+    let mut r = rng(1);
+    for _ in 0..20 {
+        let perm = random_permutation(&mut r, 16);
+        let paths = b.route_permutation(&perm);
+        assert_eq!(paths.len(), 16);
+        // vertex-disjointness
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            for &v in p {
+                assert!(seen.insert(v), "looping paths overlap at {v:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn benes_is_not_strictly_nonblocking() {
+    // greedy + churn adversary must find a blocking state
+    let b = Benes::new(2);
+    let mut r = rng(0x1234);
+    assert!(
+        churn_finds_blocking(&b.net, 50, 100, &mut r),
+        "Benes should block greedy churn"
+    );
+}
+
+#[test]
+fn strict_clos_never_blocks() {
+    let c = Clos::strictly_nonblocking(3, 3);
+    let mut r = rng(0x4321);
+    assert!(
+        !churn_finds_blocking(&c.net, 20, 200, &mut r),
+        "strict Clos must not block"
+    );
+}
+
+#[test]
+fn butterfly_unique_paths_are_paths() {
+    let bf = Butterfly::new(4);
+    for x in 0..16u32 {
+        for y in [0u32, 5, 15] {
+            let p = bf.unique_path(x, y);
+            assert_eq!(p.len(), 5, "k+1 link stages input→output");
+            for w in p.windows(2) {
+                assert!(
+                    bf.net.graph().has_edge(w[0], w[1]),
+                    "unique path skips an edge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_inputs_are_close_together() {
+    // Lemma 2's premise: O(n log n) networks have inputs at O(1)
+    // distance
+    for k in [3u32, 4, 5] {
+        let b = Benes::new(k);
+        let d = nearest_other_terminal(&b.net, b.net.inputs());
+        assert!(d.iter().all(|&x| x <= 2), "Benes inputs not close: {d:?}");
+        let bf = Butterfly::new(k);
+        let d = nearest_other_terminal(&bf.net, bf.net.inputs());
+        assert!(d.iter().all(|&x| x <= 2));
+    }
+}
+
+#[test]
+fn baselines_have_no_good_inputs_at_threshold_4() {
+    for k in [4u32, 5] {
+        let b = Benes::new(k);
+        let audit = zone_audit_with(&b.net, b.net.inputs(), 4, 2);
+        assert_eq!(audit.good_terminals, 0);
+    }
+}
+
+#[test]
+fn lemma2_pipeline_extracts_disjoint_short_paths_on_benes() {
+    let b = Benes::new(4); // n = 16
+    let r = short_terminal_paths(&b.net, b.net.inputs(), 4);
+    assert!(
+        r.paths.len() >= 16 / 84 + 1,
+        "expected ≥ n/84 paths, got {}",
+        r.paths.len()
+    );
+    assert!(r.max_len <= 12, "paths too long: {}", r.max_len);
+    let mut used = std::collections::HashSet::new();
+    for p in &r.paths {
+        assert_ne!(p.ends.0, p.ends.1);
+        for &e in &p.host_edges {
+            assert!(used.insert(e), "paths share a host edge");
+        }
+    }
+}
+
+#[test]
+fn benes_shorts_with_high_probability_at_quarter() {
+    // Lemma 2's conclusion, empirically: ε₂ = ¼ shorts two inputs of a
+    // Beneš with probability ≥ ½ for n ≥ 32
+    let b = Benes::new(5);
+    let model = FailureModel::new(0.0, 0.25);
+    let mut r = rng(9);
+    let m = b.net.graph().num_edges();
+    let mut shorted = 0;
+    for _ in 0..200 {
+        let inst = FailureInstance::sample(&model, &mut r, m);
+        if terminals_shorted(&b.net, &inst, b.net.inputs()) {
+            shorted += 1;
+        }
+    }
+    assert!(shorted >= 100, "only {shorted}/200 trials shorted");
+}
+
+#[test]
+fn greedy_on_butterfly_blocks_even_fault_free() {
+    // unique-path networks cannot carry arbitrary permutations as
+    // circuits: greedy must fail on some random permutation
+    let bf = Butterfly::new(4);
+    let mut r = rng(11);
+    let mut blocked = false;
+    for _ in 0..20 {
+        let mut router = CircuitRouter::new(&bf.net);
+        let perm = random_permutation(&mut r, 16);
+        for (x, &y) in perm.iter().enumerate() {
+            if router
+                .connect(bf.net.inputs()[x], bf.net.outputs()[y as usize])
+                .is_err()
+            {
+                blocked = true;
+            }
+        }
+    }
+    assert!(blocked, "butterfly routed everything — suspicious");
+}
