@@ -12,9 +12,11 @@ fn bench_build_ftn(c: &mut Criterion) {
     let mut g = c.benchmark_group("build_ftn");
     for nu in [1u32, 2, 3] {
         let p = Params::reduced(nu, 8, 8, 1.0);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("nu{nu}")), &p, |b, p| {
-            b.iter(|| black_box(FtNetwork::build(*p)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("nu{nu}")),
+            &p,
+            |b, p| b.iter(|| black_box(FtNetwork::build(*p))),
+        );
     }
     g.finish();
 }

@@ -11,10 +11,14 @@ fn bench_sample(c: &mut Criterion) {
     let mut g = c.benchmark_group("sample_expander");
     for s in [1usize, 4, 16] {
         let spec = ExpanderSpec::at_scale(s);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("t{}", spec.t)), &spec, |b, spec| {
-            let mut r = rng(1);
-            b.iter(|| black_box(sample(*spec, &mut r)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("t{}", spec.t)),
+            &spec,
+            |b, spec| {
+                let mut r = rng(1);
+                b.iter(|| black_box(sample(*spec, &mut r)))
+            },
+        );
     }
     g.finish();
 }

@@ -17,13 +17,17 @@ fn bench_sampling(c: &mut Criterion) {
     let mut r = rng(1);
     for &eps in &[1e-6, 1e-3, 0.2] {
         let model = FailureModel::symmetric(eps);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("eps{eps}")), &model, |b, m| {
-            let mut inst = FailureInstance::perfect(1_000_000);
-            b.iter(|| {
-                inst.resample(m, &mut r, 1_000_000);
-                black_box(inst.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}")),
+            &model,
+            |b, m| {
+                let mut inst = FailureInstance::perfect(1_000_000);
+                b.iter(|| {
+                    inst.resample(m, &mut r, 1_000_000);
+                    black_box(inst.len())
+                })
+            },
+        );
     }
     g.finish();
 }

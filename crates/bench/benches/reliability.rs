@@ -28,9 +28,7 @@ fn bench_mc_reliability(c: &mut Criterion) {
     let model = FailureModel::symmetric(0.1);
     let net = bridge();
     c.bench_function("mc_bridge_10k", |b| {
-        b.iter(|| {
-            black_box(net.mc_failure_probs(&model, Connectivity::Undirected, 10_000, 5))
-        })
+        b.iter(|| black_box(net.mc_failure_probs(&model, Connectivity::Undirected, 10_000, 5)))
     });
 }
 

@@ -40,11 +40,7 @@ fn ftn_trial(ftn: &FtNetwork, eps: f64, rng: &mut rand::rngs::SmallRng) -> bool 
 /// Do the natively-routed vertex-disjoint paths survive the instance?
 /// Conservative repair semantics: every switch on a path must be
 /// normal (checked edge-by-edge along consecutive path vertices).
-fn paths_survive(
-    g: &impl Digraph,
-    inst: &FailureInstance,
-    paths: &[Vec<VertexId>],
-) -> bool {
+fn paths_survive(g: &impl Digraph, inst: &FailureInstance, paths: &[Vec<VertexId>]) -> bool {
     for p in paths {
         for w in p.windows(2) {
             let ok = g
@@ -70,9 +66,7 @@ fn main() {
         let n = ftn.n();
         let k = n.trailing_zeros();
         let mut t = Table::new(
-            format!(
-                "P[random permutation carried] (n = {n}, {TRIALS} trials, native protocols)"
-            ),
+            format!("P[random permutation carried] (n = {n}, {TRIALS} trials, native protocols)"),
             &[
                 "network", "protocol", "size", "eps=1e-5", "1e-4", "1e-3", "5e-3", "2e-2",
             ],
@@ -107,8 +101,7 @@ fn main() {
                 move |rng: &mut rand::rngs::SmallRng| {
                     let perm = random_permutation(rng, benes.terminals());
                     let paths = benes.route_permutation(&perm);
-                    let inst =
-                        FailureInstance::sample(&model, rng, benes.net.size());
+                    let inst = FailureInstance::sample(&model, rng, benes.net.size());
                     paths_survive(&benes.net, &inst, &paths)
                 }
             });
@@ -188,9 +181,7 @@ fn main() {
                     let paths: Vec<Vec<VertexId>> = perm
                         .iter()
                         .enumerate()
-                        .map(|(i, &o)| {
-                            vec![xbar.inputs()[i], xbar.outputs()[o as usize]]
-                        })
+                        .map(|(i, &o)| vec![xbar.inputs()[i], xbar.outputs()[o as usize]])
                         .collect();
                     paths_survive(&xbar, &inst, &paths)
                 }

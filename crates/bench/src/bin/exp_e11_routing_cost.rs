@@ -21,12 +21,7 @@ use std::time::Instant;
 
 /// Times `reps` repetitions of routing a random permutation; returns
 /// (µs per connect, mean path length).
-fn time_perm(
-    net: &ft_graph::StagedNetwork,
-    n: usize,
-    reps: usize,
-    seed: u64,
-) -> (f64, f64) {
+fn time_perm(net: &ft_graph::StagedNetwork, n: usize, reps: usize, seed: u64) -> (f64, f64) {
     let mut r = rng(seed);
     let mut total_us = 0.0;
     let mut total_len = 0usize;

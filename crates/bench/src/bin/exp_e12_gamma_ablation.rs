@@ -33,7 +33,7 @@ fn trial(ftn: &FtNetwork, eps: f64, rng: &mut rand::rngs::SmallRng) -> (bool, bo
     let (grids_ok, _) = all_grids_majority(ftn, &alive);
     let mut router = routing::survivor_router(&survivor);
     let perm = routing::random_perm(rng, ftn.n());
-    let (stats, _) = routing::route_permutation(&mut router, &ftn, &perm);
+    let (stats, _) = routing::route_permutation(&mut router, ftn, &perm);
     (grids_ok, stats.all_connected())
 }
 
@@ -45,8 +45,13 @@ fn main() {
         let mut t = Table::new(
             format!("nu={nu}, F=8, d=8, eps={eps}: sweep gamma"),
             &[
-                "gamma", "l=F*4^g", "size", "trials",
-                "P[grids majority]", "P[perm routed]", "lemma3 term",
+                "gamma",
+                "l=F*4^g",
+                "size",
+                "trials",
+                "P[grids majority]",
+                "P[perm routed]",
+                "lemma3 term",
             ],
         );
         for gamma in 1..=3u32 {

@@ -18,10 +18,10 @@ use ft_core::network::FtNetwork;
 use ft_core::params::Params;
 use ft_core::repair::Survivor;
 use ft_core::routing;
+use ft_failure::montecarlo::estimate_probability_parallel;
 use ft_failure::onenet::construct_onenet;
 use ft_failure::reliability::Connectivity;
 use ft_failure::{FailureInstance, FailureModel, SwitchState};
-use ft_failure::montecarlo::estimate_probability_parallel;
 use ft_graph::Digraph;
 
 /// Samples the effective state of one emulated switch: run the gadget
@@ -108,9 +108,7 @@ fn main() {
     let substituted = estimate_probability_parallel(trials, mc_threads(), 0x13C, |_| {
         let ftn = ftn.clone();
         let gadget = gadget_net.net.clone();
-        move |rng: &mut rand::rngs::SmallRng| {
-            substituted_trial(&ftn, &gadget, eps_dirty, rng)
-        }
+        move |rng: &mut rand::rngs::SmallRng| substituted_trial(&ftn, &gadget, eps_dirty, rng)
     });
 
     let mut t = Table::new(
@@ -119,7 +117,13 @@ fn main() {
             profile_label(&p),
             trials
         ),
-        &["configuration", "switch eps", "switches", "depth", "P[routed]"],
+        &[
+            "configuration",
+            "switch eps",
+            "switches",
+            "depth",
+            "P[routed]",
+        ],
     );
     let base_size = ftn.net().size();
     let base_depth = ftn.net().depth();

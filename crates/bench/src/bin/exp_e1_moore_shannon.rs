@@ -17,8 +17,15 @@ fn main() {
     let mut t = Table::new(
         "Proposition 1: size = c·(log2 1/eps')^2, depth = d·(log2 1/eps')",
         &[
-            "eps", "eps'", "size", "depth", "c=size/lg^2", "d=depth/lg",
-            "P[open]", "P[short]", "certified<eps'",
+            "eps",
+            "eps'",
+            "size",
+            "depth",
+            "c=size/lg^2",
+            "d=depth/lg",
+            "P[open]",
+            "P[short]",
+            "certified<eps'",
         ],
     );
     for &eps in &[0.25, 0.1, 0.01] {

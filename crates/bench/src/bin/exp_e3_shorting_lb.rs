@@ -34,7 +34,6 @@ fn mc_short(net: &StagedNetwork, eps_close: f64, trials: u64) -> f64 {
     let est = estimate_probability_parallel(trials, mc_threads(), 0xE3, |_| {
         let net = net.clone();
         let terminals = terminals.clone();
-        let model = model;
         move |rng: &mut rand::rngs::SmallRng| {
             let inst = FailureInstance::sample(&model, rng, m);
             terminals_shorted(&net, &inst, &terminals)
@@ -49,8 +48,16 @@ fn main() {
     let mut t = Table::new(
         "input-to-input distances and Lemma 2 pipeline",
         &[
-            "network", "n", "size", "min dist", "mean dist", "thresh (lg n)/8",
-            "l2 paths", "max len", "P[no short] bound", "MC P[short] e2=1/4",
+            "network",
+            "n",
+            "size",
+            "min dist",
+            "mean dist",
+            "thresh (lg n)/8",
+            "l2 paths",
+            "max len",
+            "P[no short] bound",
+            "MC P[short] e2=1/4",
         ],
     );
     for &n in &[8usize, 16, 32, 64] {
@@ -59,11 +66,8 @@ fn main() {
             let (dmin, dmean) = dist_stats(&net);
             let max_j = theory::lemma2_distance_threshold(n).ceil() as u32 + 2;
             let l2 = short_terminal_paths(&net, net.inputs(), max_j);
-            let bound = theory::lemma2_no_short_probability(
-                l2.paths.len(),
-                l2.max_len.max(1),
-                0.25,
-            );
+            let bound =
+                theory::lemma2_no_short_probability(l2.paths.len(), l2.max_len.max(1), 0.25);
             let mc = mc_short(&net, 0.25, 2000);
             t.row(vec![
                 b.name().into(),
@@ -87,7 +91,9 @@ fn main() {
     // shorts; the crossover lives at moderate eps2)
     let mut t = Table::new(
         "contrast: P[input pair shorts] across eps2 (N vs Benes, n = 16)",
-        &["network", "min dist", "e2=0.005", "e2=0.02", "e2=0.05", "e2=0.1"],
+        &[
+            "network", "min dist", "e2=0.005", "e2=0.02", "e2=0.05", "e2=0.1",
+        ],
     );
     let eps_sweep = [0.005, 0.02, 0.05, 0.1];
     {

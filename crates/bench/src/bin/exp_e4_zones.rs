@@ -40,8 +40,16 @@ fn main() {
     let mut t = Table::new(
         format!("zone audit (good dist >= {thresh}, zones h <= {h_max})"),
         &[
-            "network", "n", "size", "depth", "good", "min zone", "mean min",
-            "ball total", "thm1 size lb", "thm1 depth lb",
+            "network",
+            "n",
+            "size",
+            "depth",
+            "good",
+            "min zone",
+            "mean min",
+            "ball total",
+            "thm1 size lb",
+            "thm1 depth lb",
         ],
     );
     for nu in [1u32, 2] {

@@ -21,8 +21,15 @@ fn main() {
     let mut t = Table::new(
         "paper-exact census: F=64, d=10, 4^gamma in [34nu, 136nu]",
         &[
-            "nu", "n", "gamma", "predicted", "paper 1408nu4^(nu+g)", "built",
-            "size/(n nu^2)", "depth", "5log4 n",
+            "nu",
+            "n",
+            "gamma",
+            "predicted",
+            "paper 1408nu4^(nu+g)",
+            "built",
+            "size/(n nu^2)",
+            "depth",
+            "5log4 n",
         ],
     );
     for nu in 1..=6u32 {
@@ -72,8 +79,14 @@ fn main() {
 
     println!(
         "theorem 2 failure bound at eps = 1e-6 (per profile):\n  nu=2: {}\n  nu=4: {}",
-        sci(theory::theorem2_failure_bound(&Params::paper_exact(2), 1e-6)),
-        sci(theory::theorem2_failure_bound(&Params::paper_exact(4), 1e-6)),
+        sci(theory::theorem2_failure_bound(
+            &Params::paper_exact(2),
+            1e-6
+        )),
+        sci(theory::theorem2_failure_bound(
+            &Params::paper_exact(4),
+            1e-6
+        )),
     );
     println!(
         "\npaper: size <= '49 n (log4 n)^2' as printed; the census\n\

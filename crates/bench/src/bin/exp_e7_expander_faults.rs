@@ -44,7 +44,14 @@ fn main() {
 
     let mut t = Table::new(
         "Lemma 4: P[faulty outlets > 0.07*4^mu], t = 64*4^mu, 20 switches/outlet",
-        &["mu", "t", "budget", "eps", "MC (4000 trials)", "analytic tail"],
+        &[
+            "mu",
+            "t",
+            "budget",
+            "eps",
+            "MC (4000 trials)",
+            "analytic tail",
+        ],
     );
     for mu in 0..=3u32 {
         let tt = 64usize << (2 * mu);
@@ -87,7 +94,14 @@ fn main() {
     let m = ft_graph::Digraph::num_edges(ftn.net());
     let mut t = Table::new(
         "measured faulty vertices per middle group (built network, 300 trials)",
-        &["eps", "stage", "group size", "mean faulty", "max faulty", "budget(0.07/64)"],
+        &[
+            "eps",
+            "stage",
+            "group size",
+            "mean faulty",
+            "max faulty",
+            "budget(0.07/64)",
+        ],
     );
     for &eps in &[1e-3, 1e-2] {
         let model = FailureModel::symmetric(eps);

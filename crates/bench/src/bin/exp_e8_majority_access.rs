@@ -113,7 +113,11 @@ fn main() {
     // d = 10 sits deep in the safe region. Swept at nu = 2, eps = 1e-3.
     let mut t = Table::new(
         "degree ablation (nu=2, F=8, eps=1e-3, 200 trials): why d = 10",
-        &["d", "fixed point of r'=1-e^(-dr/4)", "MC P[majority access]"],
+        &[
+            "d",
+            "fixed point of r'=1-e^(-dr/4)",
+            "MC P[majority access]",
+        ],
     );
     for d in [3usize, 4, 5, 6, 8, 10] {
         let p = Params::reduced(2, 8, d, 1.0);

@@ -117,7 +117,11 @@ pub fn prob_ci(est: &ft_failure::Estimate) -> String {
 
 /// Yes/no marker.
 pub fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 #[cfg(test)]

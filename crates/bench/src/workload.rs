@@ -126,11 +126,7 @@ pub fn repair_staged(net: &StagedNetwork, inst: &FailureInstance) -> Vec<bool> {
 
 /// Greedily routes the permutation on a staged network under an alive
 /// mask; returns `(connected, blocked_or_unavailable)`.
-pub fn route_perm_staged(
-    net: &StagedNetwork,
-    alive: Vec<bool>,
-    perm: &[u32],
-) -> (usize, usize) {
+pub fn route_perm_staged(net: &StagedNetwork, alive: Vec<bool>, perm: &[u32]) -> (usize, usize) {
     let mut router = CircuitRouter::with_alive_mask(net, alive);
     let mut ok = 0;
     let mut bad = 0;
@@ -196,10 +192,7 @@ mod tests {
     #[test]
     fn repair_exempts_terminals() {
         let net = Baseline::Crossbar.build(4);
-        let inst = FailureInstance::from_states(vec![
-            SwitchState::Open;
-            net.graph().num_edges()
-        ]);
+        let inst = FailureInstance::from_states(vec![SwitchState::Open; net.graph().num_edges()]);
         let alive = repair_staged(&net, &inst);
         for &t in net.inputs().iter().chain(net.outputs()) {
             assert!(alive[t.index()]);

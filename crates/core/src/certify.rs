@@ -19,15 +19,15 @@
 //!
 //! When all three hold, §4's observations apply: repair is discarding,
 //! routing on the survivor is greedy path-finding, and every idle
-//! input/output pair shares an idle middle vertex (majority + majority
-//! > whole). [`certify`] evaluates the three events;
+//! input/output pair shares an idle middle vertex (two strict majorities
+//! must intersect). [`certify`] evaluates the three events;
 //! [`Certificate::implies_nonblocking`] is their conjunction.
 
 use crate::access::all_grids_majority;
 use crate::network::FtNetwork;
 use crate::repair::Survivor;
-use ft_failure::instance::FailureInstance;
 use ft_failure::contraction;
+use ft_failure::instance::FailureInstance;
 
 /// The paper's per-group faulty-vertex budget as a fraction of group
 /// size: `0.07·4^μ` faulty outlets allowed out of `64·4^μ`.
@@ -62,11 +62,7 @@ impl Certificate {
 /// Counts faulty vertices per group of every middle stage and compares
 /// against `budget_frac` of the group size. Returns
 /// `(all_within_budget, max_faulty_fraction)`.
-pub fn expander_fault_audit(
-    ftn: &FtNetwork,
-    alive: &[bool],
-    budget_frac: f64,
-) -> (bool, f64) {
+pub fn expander_fault_audit(ftn: &FtNetwork, alive: &[bool], budget_frac: f64) -> (bool, f64) {
     let nu = ftn.params().nu as usize;
     let mut ok = true;
     let mut max_frac = 0.0_f64;
@@ -103,8 +99,7 @@ pub fn certify_with_budget(
     let survivor = Survivor::new(ftn, inst);
     let alive = survivor.routable_alive();
     let (grids_majority, min_grid_access) = all_grids_majority(ftn, &alive);
-    let (expander_budget_ok, max_group_faulty) =
-        expander_fault_audit(ftn, &alive, budget_frac);
+    let (expander_budget_ok, max_group_faulty) = expander_fault_audit(ftn, &alive, budget_frac);
     let mut terminals: Vec<_> = ftn.net().inputs().to_vec();
     terminals.extend_from_slice(ftn.net().outputs());
     let terminals_distinct = !contraction::terminals_shorted(ftn.net(), inst, &terminals);
@@ -168,10 +163,7 @@ mod tests {
     fn shorted_terminals_detected() {
         let f = tiny();
         // close every switch: all terminals contract together
-        let inst = FailureInstance::from_states(vec![
-            SwitchState::Closed;
-            f.net().num_edges()
-        ]);
+        let inst = FailureInstance::from_states(vec![SwitchState::Closed; f.net().num_edges()]);
         let c = certify(&f, &inst);
         assert!(!c.terminals_distinct);
         assert!(!c.implies_nonblocking());
@@ -183,8 +175,8 @@ mod tests {
         let mut states = vec![SwitchState::Normal; f.net().num_edges()];
         // open every fan-out switch of input 0: its whole grid column
         // dies, access drops to zero
-        for e in 0..f.rows() {
-            states[e] = SwitchState::Open;
+        for s in states.iter_mut().take(f.rows()) {
+            *s = SwitchState::Open;
         }
         let inst = FailureInstance::from_states(states);
         let c = certify_with_budget(&f, &inst, 1.0);
@@ -200,8 +192,7 @@ mod tests {
         let mut r = rng(7);
         let mut passes = 0;
         for _ in 0..30 {
-            let inst =
-                FailureInstance::sample(&model, &mut r, f.net().num_edges());
+            let inst = FailureInstance::sample(&model, &mut r, f.net().num_edges());
             let c = certify_with_budget(&f, &inst, 0.1);
             if c.implies_nonblocking() {
                 passes += 1;

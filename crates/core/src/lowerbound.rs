@@ -118,11 +118,7 @@ pub fn lemma1_short_paths(g: &DiGraph) -> Lemma1Result {
         }
         false
     };
-    let good: Vec<VertexId> = hl
-        .iter()
-        .copied()
-        .filter(|&u| near_leaf(u, u))
-        .collect();
+    let good: Vec<VertexId> = hl.iter().copied().filter(|&u| near_leaf(u, u)).collect();
     let good_mask: Vec<bool> = {
         let mut m = vec![false; h.num_vertices()];
         for &u in &good {
@@ -146,8 +142,7 @@ pub fn lemma1_short_paths(g: &DiGraph) -> Lemma1Result {
                 used[e.index()] = true;
             }
             // map back to original edges (drop chain edges)
-            let orig_edges: Vec<EdgeId> =
-                edge_seq.iter().filter_map(|&e| to_orig(e)).collect();
+            let orig_edges: Vec<EdgeId> = edge_seq.iter().filter_map(|&e| to_orig(e)).collect();
             let end = path_endpoint(&h, start, &edge_seq);
             paths.push(LeafPath {
                 ends: (origin[start.index()], origin[end.index()]),
@@ -238,11 +233,7 @@ pub struct ProximityForest {
 /// within `max_j` edges) and add its longest initial segment that is
 /// edge-disjoint from — and keeps a forest with — what was added
 /// before.
-pub fn proximity_forest<G: Digraph>(
-    g: &G,
-    terminals: &[VertexId],
-    max_j: u32,
-) -> ProximityForest {
+pub fn proximity_forest<G: Digraph>(g: &G, terminals: &[VertexId], max_j: u32) -> ProximityForest {
     let mut is_term = vec![false; g.num_vertices()];
     for &t in terminals {
         is_term[t.index()] = true;
@@ -335,11 +326,7 @@ pub struct Lemma2Result {
 /// contraction → Lemma 1 → expansion back to host edges. The returned
 /// paths are edge-disjoint in the host network; if every edge of any
 /// single path close-fails, two terminals short.
-pub fn short_terminal_paths<G: Digraph>(
-    g: &G,
-    terminals: &[VertexId],
-    max_j: u32,
-) -> Lemma2Result {
+pub fn short_terminal_paths<G: Digraph>(g: &G, terminals: &[VertexId], max_j: u32) -> Lemma2Result {
     let pf = proximity_forest(g, terminals, max_j);
     let c = contract_stretches(&pf.forest);
     // drop isolated vertices implicitly: lemma1 works on the forest

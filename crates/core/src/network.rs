@@ -321,10 +321,8 @@ impl Builder {
                 for _ in 0..p.degree {
                     let pi = random_permutation(&mut self.rng, t);
                     for (i, &pi_i) in pi.iter().enumerate() {
-                        self.b.add_edge(
-                            self.v(s, base + i),
-                            self.v(s + 1, base + pi_i as usize),
-                        );
+                        self.b
+                            .add_edge(self.v(s, base + i), self.v(s + 1, base + pi_i as usize));
                         census.middle += 1;
                     }
                 }
@@ -355,8 +353,7 @@ impl Builder {
             }
         }
 
-        self.b
-            .set_inputs((0..n).map(|j| self.v(0, j)).collect());
+        self.b.set_inputs((0..n).map(|j| self.v(0, j)).collect());
         self.b
             .set_outputs((0..n).map(|j| self.v(4 * nu, j)).collect());
 
@@ -463,7 +460,7 @@ mod tests {
     #[test]
     fn grid_vertices_have_grid_degrees() {
         let f = small(); // ν=2: grid interior stage 1
-        // stage-1 vertex: in-degree 1 (from input), out-degree ≤ 2
+                         // stage-1 vertex: in-degree 1 (from input), out-degree ≤ 2
         let v = f.grid_vertex(Side::Input, 0, 5, 0);
         assert_eq!(f.net().graph().in_degree(v), 1);
         assert_eq!(f.net().graph().out_degree(v), 2);
@@ -475,7 +472,7 @@ mod tests {
     #[test]
     fn group_structure() {
         let f = small(); // ν=2, γ=1, F=8
-        // stage ν=2: 4^ν−0 = 16 groups of F·4^γ = 32
+                         // stage ν=2: 4^ν−0 = 16 groups of F·4^γ = 32
         assert_eq!(f.middle_groups(2), (16, 32));
         // stage 3: 4 groups of 128
         assert_eq!(f.middle_groups(3), (4, 128));
@@ -541,10 +538,7 @@ mod tests {
             f.internal(1, f.rows() + 3)
         );
         // output grid stage 0 is the shared middle stage 3ν
-        assert_eq!(
-            f.grid_vertex(Side::Output, 0, 0, 0),
-            f.internal(6, 0)
-        );
+        assert_eq!(f.grid_vertex(Side::Output, 0, 0, 0), f.internal(6, 0));
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Params {
     /// width factor and degree; γ comes from `gamma_factor` (min 1).
     pub fn reduced(nu: u32, width: usize, degree: usize, gamma_factor: f64) -> Params {
         assert!(nu >= 1);
-        assert!(width >= 2 && width % 2 == 0, "width must be even ≥ 2");
+        assert!(
+            width >= 2 && width.is_multiple_of(2),
+            "width must be even ≥ 2"
+        );
         assert!(degree >= 1);
         Params {
             nu,
@@ -120,7 +123,7 @@ impl Params {
     /// Fig. 4, so the count is `(2l−1)` per gap per grid).
     pub fn grid_edges(&self) -> usize {
         let l = self.grid_rows();
-        2 * self.n() * (2 * l - 1) * (self.nu as usize - 1).max(0)
+        2 * self.n() * (2 * l - 1) * (self.nu as usize - 1)
     }
 
     /// Predicted number of terminal switches: `2·4^ν·l`
@@ -168,7 +171,7 @@ mod tests {
         assert_eq!(gamma_for(34.0, 1), 3);
         assert_eq!(gamma_for(34.0, 2), 4);
         assert_eq!(gamma_for(34.0, 4), 4); // 136 ≤ 256
-        // paper sandwich: 136ν ≥ 4^γ ≥ 34ν
+                                           // paper sandwich: 136ν ≥ 4^γ ≥ 34ν
         for nu in 1..=6 {
             let g = gamma_for(34.0, nu);
             let fg = 1usize << (2 * g);

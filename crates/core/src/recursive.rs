@@ -152,7 +152,7 @@ impl RecursiveNet {
     /// `i = min(s, 2h − s)`.
     pub fn group_size(&self, s: usize) -> usize {
         let h = self.params.h as usize;
-        debug_assert!(s >= 1 && s <= 2 * h - 1);
+        debug_assert!(s >= 1 && s < 2 * h);
         let i = s.min(2 * h - s);
         self.params.width << (2 * i)
     }
@@ -226,11 +226,7 @@ mod tests {
         // must have the same group sizes as 𝓜 inside 𝒩.
         let p = Params::reduced(2, 8, 4, 1.0); // ν=2, γ=1
         let f = FtNetwork::build(p);
-        let r = RecursiveNet::build(RecursiveParams::reduced(
-            p.nu + p.gamma,
-            p.width,
-            p.degree,
-        ));
+        let r = RecursiveNet::build(RecursiveParams::reduced(p.nu + p.gamma, p.width, p.degree));
         let nu = p.nu as usize;
         let gamma = p.gamma as usize;
         for k in 0..=2 * nu {

@@ -155,10 +155,7 @@ mod tests {
     fn terminals_never_die() {
         let f = tiny();
         // fail EVERY switch: terminals must still be alive
-        let inst = FailureInstance::from_states(vec![
-            SwitchState::Open;
-            f.net().num_edges()
-        ]);
+        let inst = FailureInstance::from_states(vec![SwitchState::Open; f.net().num_edges()]);
         let s = Survivor::new(&f, &inst);
         for j in 0..f.n() {
             assert!(s.is_alive(f.input(j)));

@@ -117,10 +117,8 @@ pub fn churn(
     for _ in 0..steps {
         let connect = live.is_empty() || rng.random_bool(p_connect);
         if connect {
-            let idle_in: Vec<usize> =
-                (0..n).filter(|&j| router.is_idle(ftn.input(j))).collect();
-            let idle_out: Vec<usize> =
-                (0..n).filter(|&j| router.is_idle(ftn.output(j))).collect();
+            let idle_in: Vec<usize> = (0..n).filter(|&j| router.is_idle(ftn.input(j))).collect();
+            let idle_out: Vec<usize> = (0..n).filter(|&j| router.is_idle(ftn.output(j))).collect();
             if idle_in.is_empty() || idle_out.is_empty() {
                 continue;
             }
@@ -147,10 +145,7 @@ pub fn random_perm(rng: &mut SmallRng, n: usize) -> Vec<u32> {
 
 /// Routes a random permutation on the *fault-free* network — the
 /// baseline every fault experiment compares against.
-pub fn route_random_perm_fault_free(
-    ftn: &FtNetwork,
-    rng: &mut SmallRng,
-) -> RoutingStats {
+pub fn route_random_perm_fault_free(ftn: &FtNetwork, rng: &mut SmallRng) -> RoutingStats {
     let mut router = CircuitRouter::new(ftn.net());
     let perm = random_perm(rng, ftn.n());
     route_permutation(&mut router, ftn, &perm).0
@@ -178,8 +173,8 @@ mod tests {
     use super::*;
     use crate::params::Params;
     use ft_failure::{FailureInstance, FailureModel};
-    use ft_graph::Digraph;
     use ft_graph::gen::rng;
+    use ft_graph::Digraph;
 
     fn tiny() -> FtNetwork {
         FtNetwork::build(Params::reduced(1, 8, 4, 1.0))
@@ -242,10 +237,8 @@ mod tests {
     #[test]
     fn total_wipeout_blocks_everything() {
         let f = tiny();
-        let inst = FailureInstance::from_states(vec![
-            ft_failure::SwitchState::Open;
-            f.net().num_edges()
-        ]);
+        let inst =
+            FailureInstance::from_states(vec![ft_failure::SwitchState::Open; f.net().num_edges()]);
         let survivor = Survivor::new(&f, &inst);
         let mut router = survivor_router(&survivor);
         let (stats, _) = route_permutation(&mut router, &f, &[0, 1, 2, 3]);

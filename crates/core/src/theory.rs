@@ -91,8 +91,7 @@ pub fn lemma7_shorting_bound(params: &Params, eps: f64) -> f64 {
 /// n-network of normal switches:
 /// `2·(Lemma 6) + (Lemma 7)` (left half, mirror, shorting).
 pub fn theorem2_failure_bound(params: &Params, eps: f64) -> f64 {
-    (2.0 * lemma6_majority_failure_bound(params, eps) + lemma7_shorting_bound(params, eps))
-        .min(1.0)
+    (2.0 * lemma6_majority_failure_bound(params, eps) + lemma7_shorting_bound(params, eps)).min(1.0)
 }
 
 /// Theorem 2's size bound derived from the census: `1408·ν·4^{ν+γ}`

@@ -135,7 +135,11 @@ mod tests {
         let mut scratch = Vec::new();
         assert_eq!(b.neighborhood_size(&[0], &mut scratch), 2);
         assert_eq!(b.neighborhood_size(&[0, 1], &mut scratch), 3);
-        assert_eq!(b.neighborhood_size(&[2], &mut scratch), 1, "parallel edges counted once");
+        assert_eq!(
+            b.neighborhood_size(&[2], &mut scratch),
+            1,
+            "parallel edges counted once"
+        );
         assert_eq!(b.neighborhood(&[1, 2]), vec![1, 2]);
         assert_eq!(b.neighborhood_size(&[], &mut scratch), 0);
     }

@@ -53,7 +53,7 @@ impl ExpanderSpec {
     /// `c = t/2`, `c′ = ⌈factor·t/2⌉`). Used by laptop-scale profiles
     /// where `t` is not a multiple of 64.
     pub fn with_side(t: usize) -> Self {
-        assert!(t >= 2 && t % 2 == 0, "side must be even, got {t}");
+        assert!(t >= 2 && t.is_multiple_of(2), "side must be even, got {t}");
         let c = t / 2;
         ExpanderSpec {
             c,
@@ -92,7 +92,7 @@ pub fn sample(spec: ExpanderSpec, rng: &mut SmallRng) -> PaperExpander {
 pub fn sample_probed(spec: ExpanderSpec, rng: &mut SmallRng, max_attempts: usize) -> PaperExpander {
     for _ in 0..max_attempts {
         let cand = sample(spec, rng);
-        let probes = (spec.t.min(64)).max(4);
+        let probes = spec.t.clamp(4, 64);
         let worst = min_neighborhood_greedy(&cand.graph, spec.c, probes, rng);
         if worst.size >= spec.c_prime {
             return cand;
@@ -116,7 +116,14 @@ mod tests {
     #[test]
     fn spec_at_paper_scales() {
         let s1 = ExpanderSpec::at_scale(1);
-        assert_eq!(s1, ExpanderSpec { c: 32, c_prime: 34, t: 64 });
+        assert_eq!(
+            s1,
+            ExpanderSpec {
+                c: 32,
+                c_prime: 34,
+                t: 64
+            }
+        );
         let s4 = ExpanderSpec::at_scale(4);
         assert_eq!(s4.c, 128);
         assert_eq!(s4.t, 256);

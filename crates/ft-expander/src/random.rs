@@ -38,8 +38,10 @@ pub fn random_left_regular(
     let mut pool: Vec<u32> = (0..outlets as u32).collect();
     let mut adj = Vec::with_capacity(inlets);
     for _ in 0..inlets {
-        pool.partial_shuffle(rng, d);
-        let mut nbrs = pool[..d].to_vec();
+        // Use the returned sample slice — its position within `pool`
+        // differs between upstream rand and the vendored shim.
+        let (sampled, _) = pool.partial_shuffle(rng, d);
+        let mut nbrs = sampled.to_vec();
         nbrs.sort_unstable();
         adj.push(nbrs);
     }

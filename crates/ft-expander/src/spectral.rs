@@ -45,20 +45,19 @@ pub fn second_singular_value(b: &BipartiteGraph, iters: usize, rng: &mut SmallRn
         }
         // y = A x (outlet o accumulates inlet values)
         y.iter_mut().for_each(|v| *v = 0.0);
-        for i in 0..n {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             for &o in b.neighbors(i) {
                 y[o as usize] += xi;
             }
         }
         // x' = Aᵀ y
         let mut x2 = vec![0.0f64; n];
-        for i in 0..n {
+        for (i, xi2) in x2.iter_mut().enumerate() {
             let mut acc = 0.0;
             for &o in b.neighbors(i) {
                 acc += y[o as usize];
             }
-            x2[i] = acc;
+            *xi2 = acc;
         }
         let norm_x = x.iter().map(|v| v * v).sum::<f64>().sqrt();
         let norm_x2 = x2.iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -165,7 +164,11 @@ mod tests {
         let cert = certified_c_prime(&b, 32, 120, 0.05, &mut r);
         // certificate must never exceed what sampling observes
         let observed = crate::verify::min_neighborhood_sampled(&b, 32, 300, &mut r);
-        assert!(cert <= observed.size, "certificate {cert} > observed {}", observed.size);
+        assert!(
+            cert <= observed.size,
+            "certificate {cert} > observed {}",
+            observed.size
+        );
         assert!(cert >= 32, "certificate uselessly small: {cert}");
     }
 

@@ -32,11 +32,7 @@ pub struct MinNeighborhood {
 ///
 /// # Panics
 /// Panics if the number of inlets exceeds 24 (subset enumeration blows up).
-pub fn verify_exhaustive(
-    b: &BipartiteGraph,
-    c: usize,
-    c_prime: usize,
-) -> Option<MinNeighborhood> {
+pub fn verify_exhaustive(b: &BipartiteGraph, c: usize, c_prime: usize) -> Option<MinNeighborhood> {
     let n = b.num_inlets();
     assert!(n <= 24, "exhaustive expansion check limited to 24 inlets");
     assert!(c <= n, "subset size exceeds inlet count");
@@ -214,8 +210,8 @@ mod tests {
         // plant a 4-subset {0,1,2,3} with a single shared outlet inside an
         // otherwise well-spread graph
         let mut adj: Vec<Vec<u32>> = (0..40u32).map(|i| vec![i, (i + 7) % 40]).collect();
-        for i in 0..4 {
-            adj[i] = vec![0];
+        for row in adj.iter_mut().take(4) {
+            *row = vec![0];
         }
         let b = BipartiteGraph::new(adj, 40);
         let mut r = rng(5);

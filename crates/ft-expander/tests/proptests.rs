@@ -57,7 +57,7 @@ proptest! {
         let mut seen = vec![false; spec.t];
         let mut count = 0;
         for &i in &worst.inlets {
-            for &o in e.graph.neighbors(i as usize) {
+            for &o in e.graph.neighbors(i) {
                 if !seen[o as usize] {
                     seen[o as usize] = true;
                     count += 1;

@@ -107,8 +107,12 @@ mod tests {
         let b = ft_graph::traversal::bfs_forward(&sub.graph, v(0));
         assert!(b.reached(v(2)));
         // edge origins: first 5 edges from e0, next 5 from e1
-        assert!(sub.edge_origin[..5].iter().all(|&e| e == ft_graph::ids::e(0)));
-        assert!(sub.edge_origin[5..].iter().all(|&e| e == ft_graph::ids::e(1)));
+        assert!(sub.edge_origin[..5]
+            .iter()
+            .all(|&e| e == ft_graph::ids::e(0)));
+        assert!(sub.edge_origin[5..]
+            .iter()
+            .all(|&e| e == ft_graph::ids::e(1)));
     }
 
     #[test]
@@ -137,8 +141,11 @@ mod tests {
         let level2 = iterate_gadget(&bridge(), 2);
         let (open, short) = level2.mc_failure_probs(&model, Connectivity::Undirected, 30_000, 5);
         let (olo, ohi) = open.wilson95();
-        assert!(olo - 0.01 <= map2.p_open && map2.p_open <= ohi + 0.01,
-            "map {} outside MC [{olo}, {ohi}]", map2.p_open);
+        assert!(
+            olo - 0.01 <= map2.p_open && map2.p_open <= ohi + 0.01,
+            "map {} outside MC [{olo}, {ohi}]",
+            map2.p_open
+        );
         let (slo, shi) = short.wilson95();
         assert!(slo - 0.01 <= map2.p_short && map2.p_short <= shi + 0.01);
     }

@@ -173,14 +173,20 @@ mod tests {
         let h = Hammock::new(2, 2);
         assert_eq!(h.size(), 7);
         let model = FailureModel::symmetric(0.05);
-        let exact = h
-            .net
-            .exact_failure_probs(&model, Connectivity::Undirected);
+        let exact = h.net.exact_failure_probs(&model, Connectivity::Undirected);
         let bounds = h.bounds(&model);
-        assert!(exact.p_open <= bounds.p_open + 1e-12,
-            "open {} > bound {}", exact.p_open, bounds.p_open);
-        assert!(exact.p_short <= bounds.p_short + 1e-12,
-            "short {} > bound {}", exact.p_short, bounds.p_short);
+        assert!(
+            exact.p_open <= bounds.p_open + 1e-12,
+            "open {} > bound {}",
+            exact.p_open,
+            bounds.p_open
+        );
+        assert!(
+            exact.p_short <= bounds.p_short + 1e-12,
+            "short {} > bound {}",
+            exact.p_short,
+            bounds.p_short
+        );
     }
 
     #[test]
@@ -192,8 +198,12 @@ mod tests {
             .mc_failure_probs(&model, Connectivity::Undirected, 20_000, 17);
         let bounds = h.bounds(&model);
         // Wilson lower bounds must not exceed the analytic upper bounds
-        assert!(open.wilson95().0 <= bounds.p_open,
-            "MC open {} vs bound {}", open.p(), bounds.p_open);
+        assert!(
+            open.wilson95().0 <= bounds.p_open,
+            "MC open {} vs bound {}",
+            open.p(),
+            bounds.p_open
+        );
         assert!(short.wilson95().0 <= bounds.p_short);
     }
 
@@ -217,7 +227,7 @@ mod tests {
     #[test]
     fn single_row_hammock_is_a_chain() {
         let h = Hammock::new(1, 3);
-        assert_eq!(h.size(), 2 + 1 * 2); // 2 terminal links + 2 straight
+        assert_eq!(h.size(), 2 + 2); // 2 terminal links + 2 straight
         assert_eq!(h.depth(), 4);
     }
 }

@@ -104,7 +104,8 @@ where
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let quota = per + if (t as u64) < extra { 1 } else { 0 };
-            let worker_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+            let worker_seed =
+                seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
             let make_worker = &make_worker;
             handles.push(scope.spawn(move || {
                 let mut worker = make_worker(worker_seed);

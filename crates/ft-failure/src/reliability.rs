@@ -106,9 +106,9 @@ impl TwoTerminal {
         let m = self.graph.num_edges();
         assert!(m <= 13, "exact enumeration limited to 13 switches, got {m}");
         let probs = [
-            1.0 - model.total(),  // Normal
-            model.eps_open,       // Open
-            model.eps_close,      // Closed
+            1.0 - model.total(), // Normal
+            model.eps_open,      // Open
+            model.eps_close,     // Closed
         ];
         let mut p_open = 0.0;
         let mut p_short = 0.0;
@@ -350,7 +350,12 @@ mod tests {
         let model = FailureModel::symmetric(0.3);
         let exact = b.exact_failure_probs(&model, Connectivity::Undirected);
         let (open, short) = b.mc_failure_probs(&model, Connectivity::Undirected, 40_000, 99);
-        assert!((open.p() - exact.p_open).abs() < 0.01, "{} vs {}", open.p(), exact.p_open);
+        assert!(
+            (open.p() - exact.p_open).abs() < 0.01,
+            "{} vs {}",
+            open.p(),
+            exact.p_open
+        );
         assert!((short.p() - exact.p_short).abs() < 0.01);
     }
 

@@ -62,9 +62,7 @@ impl SpNetwork {
         match self {
             SpNetwork::Switch => 1,
             SpNetwork::Series(parts) => parts.iter().map(SpNetwork::depth).sum(),
-            SpNetwork::Parallel(parts) => {
-                parts.iter().map(SpNetwork::depth).max().unwrap_or(0)
-            }
+            SpNetwork::Parallel(parts) => parts.iter().map(SpNetwork::depth).max().unwrap_or(0),
         }
     }
 
@@ -191,7 +189,10 @@ mod tests {
         let calc = net.failure_probs(&model);
         let tt = net.to_two_terminal();
         let exact = tt.exact_failure_probs(&model, Connectivity::Undirected);
-        assert!((calc.p_open - exact.p_open).abs() < 1e-12, "{calc:?} vs {exact:?}");
+        assert!(
+            (calc.p_open - exact.p_open).abs() < 1e-12,
+            "{calc:?} vs {exact:?}"
+        );
         assert!((calc.p_short - exact.p_short).abs() < 1e-12);
         // and directed agrees (all edges point forward)
         let exact_dir = tt.exact_failure_probs(&model, Connectivity::Directed);

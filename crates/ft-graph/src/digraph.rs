@@ -165,7 +165,10 @@ impl DiGraph {
     /// `keep_edge` returns true and all vertices. Vertex ids are preserved;
     /// edge ids are renumbered (the returned map gives, for each new edge,
     /// the original [`EdgeId`]).
-    pub fn filter_edges(&self, mut keep_edge: impl FnMut(EdgeId) -> bool) -> (DiGraph, Vec<EdgeId>) {
+    pub fn filter_edges(
+        &self,
+        mut keep_edge: impl FnMut(EdgeId) -> bool,
+    ) -> (DiGraph, Vec<EdgeId>) {
         let mut g = DiGraph::with_capacity(self.num_vertices(), self.num_edges());
         g.add_vertices(self.num_vertices());
         let mut orig = Vec::new();

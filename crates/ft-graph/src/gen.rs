@@ -155,8 +155,11 @@ pub fn random_bipartite_adjacency(
     let mut adj = Vec::with_capacity(left);
     let mut pool: Vec<u32> = (0..right as u32).collect();
     for _ in 0..left {
-        pool.partial_shuffle(r, degree);
-        let mut nbrs: Vec<u32> = pool[..degree].to_vec();
+        // Read the sample from the returned slice, not a fixed end of
+        // `pool` — upstream rand and the vendored shim place it at
+        // opposite ends of the slice.
+        let (sampled, _) = pool.partial_shuffle(r, degree);
+        let mut nbrs: Vec<u32> = sampled.to_vec();
         nbrs.sort_unstable();
         adj.push(nbrs);
     }
@@ -181,7 +184,7 @@ mod tests {
     fn permutation_is_permutation() {
         let mut r = rng(1);
         let p = random_permutation(&mut r, 100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &x in &p {
             assert!(!seen[x as usize]);
             seen[x as usize] = true;

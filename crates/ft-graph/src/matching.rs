@@ -225,9 +225,9 @@ mod tests {
             let mut f = crate::maxflow::FlowNetwork::new(left + right + 2);
             let s = (left + right) as u32;
             let t = s + 1;
-            for l in 0..left {
+            for (l, nbrs) in adj.iter().enumerate() {
                 f.add_arc(s, l as u32, 1);
-                for &rr in &adj[l] {
+                for &rr in nbrs {
                     f.add_arc(l as u32, (left as u32) + rr, 1);
                 }
             }
@@ -236,11 +236,11 @@ mod tests {
             }
             assert_eq!(m.size as u32, f.max_flow(s, t, None));
             // consistency of pair arrays
-            for l in 0..left {
+            for (l, nbrs) in adj.iter().enumerate() {
                 let pr = m.pair_left[l];
                 if pr != u32::MAX {
                     assert_eq!(m.pair_right[pr as usize], l as u32);
-                    assert!(adj[l].contains(&pr));
+                    assert!(nbrs.contains(&pr));
                 }
             }
         }
@@ -254,9 +254,9 @@ mod tests {
         assert_eq!(colors.len(), 2);
         for k in 0..2 {
             // each round is a perfect matching
-            let mut used = vec![false; 2];
-            for l in 0..2 {
-                let r = colors[l][k] as usize;
+            let mut used = [false; 2];
+            for row in &colors {
+                let r = row[k] as usize;
                 assert!(!used[r]);
                 used[r] = true;
             }
@@ -289,8 +289,8 @@ mod tests {
             let colors = regular_bipartite_edge_coloring(&adj, n);
             for k in 0..d {
                 let mut used = vec![false; n];
-                for l in 0..n {
-                    let rr = colors[l][k] as usize;
+                for row in &colors {
+                    let rr = row[k] as usize;
                     assert!(!used[rr], "round {k} not a matching");
                     used[rr] = true;
                 }

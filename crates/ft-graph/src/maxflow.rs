@@ -221,13 +221,13 @@ pub fn vertex_disjoint_paths<G: Digraph>(
     }
     // graph arcs: u_out -> w_in
     let mut graph_arc = vec![u32::MAX; g.num_edges()];
-    for eid in 0..g.num_edges() {
+    for (eid, arc) in graph_arc.iter_mut().enumerate() {
         let e = EdgeId::from(eid);
         if !edge_ok(e) {
             continue;
         }
         let (t, h) = g.endpoints(e);
-        graph_arc[eid] = fnet.add_arc(2 * t.index() as u32 + 1, 2 * h.index() as u32, 1);
+        *arc = fnet.add_arc(2 * t.index() as u32 + 1, 2 * h.index() as u32, 1);
     }
 
     let count = fnet.max_flow(ss, tt, opts.limit);
@@ -242,8 +242,7 @@ pub fn vertex_disjoint_paths<G: Digraph>(
     // Unit vertex capacity ⇒ every vertex has at most one saturated
     // outgoing graph arc, so the walk is deterministic.
     let mut next_vertex: Vec<VertexId> = vec![VertexId::NONE; n];
-    for eid in 0..g.num_edges() {
-        let ai = graph_arc[eid];
+    for (eid, &ai) in graph_arc.iter().enumerate() {
         if ai != u32::MAX && fnet.flow_on(ai) > 0 {
             let (t, h) = g.endpoints(EdgeId::from(eid));
             debug_assert!(next_vertex[t.index()].is_none(), "vertex capacity violated");

@@ -66,8 +66,7 @@ impl StagedNetwork {
         let found = if ascending {
             self.stages.binary_search_by(cmp)
         } else {
-            self.stages
-                .binary_search_by(|r| cmp(r).reverse())
+            self.stages.binary_search_by(|r| cmp(r).reverse())
         };
         match found {
             Ok(i) => i,

@@ -84,12 +84,12 @@ pub fn bfs<G: Digraph>(
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
         let visit = |edges: &[EdgeId],
-                         dist: &mut Vec<u32>,
-                         parent_edge: &mut Vec<EdgeId>,
-                         order: &mut Vec<VertexId>,
-                         queue: &mut VecDeque<VertexId>,
-                         edge_ok: &mut dyn FnMut(EdgeId) -> bool,
-                         vertex_ok: &mut dyn FnMut(VertexId) -> bool| {
+                     dist: &mut Vec<u32>,
+                     parent_edge: &mut Vec<EdgeId>,
+                     order: &mut Vec<VertexId>,
+                     queue: &mut VecDeque<VertexId>,
+                     edge_ok: &mut dyn FnMut(EdgeId) -> bool,
+                     vertex_ok: &mut dyn FnMut(VertexId) -> bool| {
             for &e in edges {
                 if !edge_ok(e) {
                     continue;

@@ -11,7 +11,6 @@ use crate::digraph::DiGraph;
 use crate::ids::{EdgeId, VertexId};
 use crate::traversal::{bfs, Direction};
 
-
 /// Undirected adjacency list: for each vertex, the incident `(edge, other
 /// endpoint)` pairs (self-loops appear once).
 pub fn undirected_adjacency(g: &DiGraph) -> Vec<Vec<(EdgeId, VertexId)>> {
@@ -59,13 +58,7 @@ pub fn is_tree(g: &DiGraph) -> bool {
     if g.num_vertices() == 0 {
         return false;
     }
-    let b = bfs(
-        g,
-        &[VertexId(0)],
-        Direction::Undirected,
-        |_| true,
-        |_| true,
-    );
+    let b = bfs(g, &[VertexId(0)], Direction::Undirected, |_| true, |_| true);
     b.order.len() == g.num_vertices() && g.num_edges() == g.num_vertices() - 1
 }
 
@@ -111,7 +104,7 @@ pub fn reduce_to_degree_3(g: &DiGraph) -> (DiGraph, Vec<VertexId>) {
         // the two end nodes take 2 each (k≥2 case); k==1 takes all.
         let mut slots = Vec::with_capacity(d);
         if k == 1 {
-            slots.extend(std::iter::repeat(first.0).take(d));
+            slots.extend(std::iter::repeat_n(first.0, d));
         } else {
             slots.push(first.0);
             slots.push(first.0);

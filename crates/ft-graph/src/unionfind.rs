@@ -206,8 +206,8 @@ mod tests {
             };
             for a in 0..n {
                 let seen = reach(a);
-                for b in 0..n {
-                    assert_eq!(uf.same(a as u32, b as u32), seen[b], "n={n} a={a} b={b}");
+                for (b, &sb) in seen.iter().enumerate() {
+                    assert_eq!(uf.same(a as u32, b as u32), sb, "n={n} a={a} b={b}");
                 }
             }
         }

@@ -7,7 +7,9 @@ use ft_graph::maxflow::{vertex_disjoint_paths, DisjointOptions, FlowNetwork};
 use ft_graph::menger::max_disjoint_paths;
 use ft_graph::paths::are_vertex_disjoint;
 use ft_graph::traversal::{bfs_forward, dag_depth, is_acyclic, topo_order};
-use ft_graph::tree::{contract_stretches, is_forest, leaves, min_internal_degree_3, reduce_to_degree_3};
+use ft_graph::tree::{
+    contract_stretches, is_forest, leaves, min_internal_degree_3, reduce_to_degree_3,
+};
 use ft_graph::{Csr, DiGraph};
 use proptest::prelude::*;
 
@@ -102,9 +104,9 @@ proptest! {
         let mut f = FlowNetwork::new(left + right + 2);
         let s = (left + right) as u32;
         let t = s + 1;
-        for l in 0..left {
+        for (l, nbrs) in adj.iter().enumerate() {
             f.add_arc(s, l as u32, 1);
-            for &rr in &adj[l] {
+            for &rr in nbrs {
                 f.add_arc(l as u32, left as u32 + rr, 1);
             }
         }

@@ -56,10 +56,7 @@ impl Benes {
         }
         b.set_inputs(ranges[0].clone().map(VertexId).collect());
         b.set_outputs(ranges[stages - 1].clone().map(VertexId).collect());
-        Benes {
-            k,
-            net: b.finish(),
-        }
+        Benes { k, net: b.finish() }
     }
 
     /// Number of terminals `N = 2^k`.
@@ -112,8 +109,8 @@ fn loop_route(k: u32, perm: &[u32]) -> Vec<Vec<u32>> {
     // half) and output switches (y mod half); edges = calls.
     // Walk cycles, alternating colours.
     let mut color = vec![u8::MAX; n]; // colour per call (indexed by input x)
-    // in_calls[i] = the two inputs on input switch i; out_call[j] = the two
-    // inputs whose outputs land on output switch j
+                                      // in_calls[i] = the two inputs on input switch i; out_call[j] = the two
+                                      // inputs whose outputs land on output switch j
     let mut out_calls = vec![[u32::MAX; 2]; half];
     for x in 0..n as u32 {
         let j = (perm[x as usize] as usize) % half;

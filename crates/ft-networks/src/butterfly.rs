@@ -39,10 +39,7 @@ impl Butterfly {
         }
         b.set_inputs(ranges[0].clone().map(VertexId).collect());
         b.set_outputs(ranges[k as usize].clone().map(VertexId).collect());
-        Butterfly {
-            k,
-            net: b.finish(),
-        }
+        Butterfly { k, net: b.finish() }
     }
 
     /// Terminal count `N = 2^k`.

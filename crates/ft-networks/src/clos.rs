@@ -35,7 +35,7 @@ impl Clos {
         let s1 = b.add_stage(r * m); // links input-crossbar -> middle
         let s2 = b.add_stage(m * r); // links middle -> output-crossbar
         let s3 = b.add_stage(n * r); // output terminals
-        // input crossbars: crossbar i joins inputs i*n..(i+1)*n to links (i, j)
+                                     // input crossbars: crossbar i joins inputs i*n..(i+1)*n to links (i, j)
         let l1 = |i: usize, j: usize| VertexId(s1.start + (i * m + j) as u32);
         let l2 = |j: usize, k: usize| VertexId(s2.start + (j * r + k) as u32);
         for i in 0..r {

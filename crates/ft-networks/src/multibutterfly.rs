@@ -49,7 +49,7 @@ impl Multibutterfly {
             for blk in 0..(1usize << j) {
                 let base = blk * block;
                 let next_base = blk * block; // same index range next stage
-                // two splitters: to upper half [0, half) and lower [half, block)
+                                             // two splitters: to upper half [0, half) and lower [half, block)
                 for (target, offset) in [(0usize, 0usize), (1, half)] {
                     let _ = target;
                     let adj = random_bipartite_adjacency(rng, block, half, deg);

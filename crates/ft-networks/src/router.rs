@@ -84,9 +84,7 @@ impl<'a> CircuitRouter<'a> {
 
     /// The path held by a session.
     pub fn session_path(&self, id: SessionId) -> Option<&[VertexId]> {
-        self.sessions
-            .get(id.0 as usize)
-            .and_then(|s| s.as_deref())
+        self.sessions.get(id.0 as usize).and_then(|s| s.as_deref())
     }
 
     /// Attempts to connect `input → output` greedily (BFS over idle

@@ -55,7 +55,15 @@ fn backtrack(
     // lexicographic order; to bound work we enumerate up to 64 distinct
     // paths per level via iterative deepening on the first branch.
     let mut candidates = Vec::new();
-    collect_paths(net, input, output, used, &mut vec![input], &mut candidates, 64);
+    collect_paths(
+        net,
+        input,
+        output,
+        used,
+        &mut vec![input],
+        &mut candidates,
+        64,
+    );
     for path in candidates {
         for &v in &path {
             used[v.index()] = true;
@@ -133,6 +141,10 @@ pub fn verify_rearrangeable_exhaustive(net: &StagedNetwork) -> Result<(), Vec<u3
     rec(net, &mut perm, 0)
 }
 
+/// Witness of a blocking configuration: the established `(input, output)`
+/// calls plus the idle pair that could not be connected.
+pub type BlockingWitness = (Vec<(usize, usize)>, usize, usize);
+
 /// State of the exhaustive nonblocking game: which inputs are connected
 /// to which outputs.
 ///
@@ -144,7 +156,7 @@ pub fn verify_rearrangeable_exhaustive(net: &StagedNetwork) -> Result<(), Vec<u3
 pub fn verify_strictly_nonblocking_exhaustive(
     net: &StagedNetwork,
     max_states: usize,
-) -> Result<(), (Vec<(usize, usize)>, usize, usize)> {
+) -> Result<(), BlockingWitness> {
     use std::collections::HashSet;
     let n_in = net.inputs().len();
     let n_out = net.outputs().len();
@@ -186,14 +198,8 @@ pub fn verify_strictly_nonblocking_exhaustive(
         // every idle pair must be connectable; and each successful
         // connection (every minimal idle path, to cover adversarial
         // routing) spawns successor states
-        for i in 0..n_in {
-            if busy_in[i] {
-                continue;
-            }
-            for o in 0..n_out {
-                if busy_out[o] {
-                    continue;
-                }
+        for (i, _) in busy_in.iter().enumerate().filter(|(_, &b)| !b) {
+            for (o, _) in busy_out.iter().enumerate().filter(|(_, &b)| !b) {
                 // find all idle paths (bounded) — adversary may pick any
                 let mut cands = Vec::new();
                 let mut prefix = vec![net.inputs()[i]];
@@ -388,7 +394,9 @@ mod tests {
         let x = crossbar(4);
         assert!(verify_superconcentrator_sampled(&x, 100, &mut r).is_none());
         let b = Benes::new(2);
-        assert!(verify_superconcentrator_sampled(&b.net, 200, &mut r).is_none(),
-            "Beneš is rearrangeable hence a superconcentrator");
+        assert!(
+            verify_superconcentrator_sampled(&b.net, 200, &mut r).is_none(),
+            "Beneš is rearrangeable hence a superconcentrator"
+        );
     }
 }

@@ -85,8 +85,8 @@ proptest! {
         let mut router = CircuitRouter::new(&b.net);
         let mut r = rng(seed);
         use rand::Rng;
-        let i = r.random_range(0..4);
-        let o = r.random_range(0..4);
+        let i = r.random_range(0..4usize);
+        let o = r.random_range(0..4usize);
         let id = router.connect(b.net.inputs()[i], b.net.outputs()[o]).unwrap();
         let path: Vec<_> = router.session_path(id).unwrap().to_vec();
         for &v in &path {

@@ -19,8 +19,8 @@ use fault_tolerant_switching::core::lowerbound::{
 use fault_tolerant_switching::core::network::FtNetwork;
 use fault_tolerant_switching::core::params::Params;
 use fault_tolerant_switching::core::theory;
-use fault_tolerant_switching::failure::{FailureInstance, FailureModel};
 use fault_tolerant_switching::failure::contraction::terminals_shorted;
+use fault_tolerant_switching::failure::{FailureInstance, FailureModel};
 use fault_tolerant_switching::graph::gen::{random_lemma1_tree, rng};
 use fault_tolerant_switching::networks::Benes;
 
@@ -50,9 +50,7 @@ fn main() {
         l2.paths.len(),
         l2.max_len
     );
-    println!(
-        "  if any path closes entirely, two inputs short; at eps2 = 1/4:"
-    );
+    println!("  if any path closes entirely, two inputs short; at eps2 = 1/4:");
     let bound = theory::lemma2_no_short_probability(l2.paths.len(), l2.max_len.max(1), 0.25);
     println!("    P[no short via these paths] <= {bound:.4}");
     // measure it

@@ -67,8 +67,7 @@ fn main() {
                 let alive: Vec<bool> = (0..mb.net.graph().num_vertices())
                     .map(|i| {
                         let v = fault_tolerant_switching::graph::VertexId(i as u32);
-                        let is_term =
-                            mb.net.inputs().contains(&v) || mb.net.outputs().contains(&v);
+                        let is_term = mb.net.inputs().contains(&v) || mb.net.outputs().contains(&v);
                         is_term || !r.random_bool(dead_frac)
                     })
                     .collect();

@@ -44,7 +44,9 @@ fn main() {
     let mut r = rng(42);
     let inst = FailureInstance::sample(&model, &mut r, ftn.net().size());
     let (open, closed, normal) = inst.counts();
-    println!("\nstruck with eps = {eps}: {normal} normal, {open} open-failed, {closed} closed-failed");
+    println!(
+        "\nstruck with eps = {eps}: {normal} normal, {open} open-failed, {closed} closed-failed"
+    );
 
     // 3. Repair: discard faulty links (the §4 observation — no clever
     //    computation, just throw away everything a failed switch
@@ -60,7 +62,10 @@ fn main() {
     // 4. Certify the structural events behind Theorem 2.
     let cert = certify::certify_with_budget(&ftn, &inst, 0.10);
     println!("\ncertificate:");
-    println!("  terminals distinct (Lemma 7): {}", cert.terminals_distinct);
+    println!(
+        "  terminals distinct (Lemma 7): {}",
+        cert.terminals_distinct
+    );
     println!(
         "  all grids majority-access (Lemma 3): {} (min fraction {:.3})",
         cert.grids_majority, cert.min_grid_access
@@ -69,7 +74,10 @@ fn main() {
         "  expander fault budgets (Lemmas 4-5): {} (max group fraction {:.4})",
         cert.expander_budget_ok, cert.max_group_faulty
     );
-    println!("  => contains a nonblocking network: {}", cert.implies_nonblocking());
+    println!(
+        "  => contains a nonblocking network: {}",
+        cert.implies_nonblocking()
+    );
 
     // 5. Route: a full random permutation, greedily, one call at a time.
     let mut router = routing::survivor_router(&survivor);

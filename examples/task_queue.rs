@@ -28,15 +28,10 @@ use rand::Rng;
 
 /// The survivor as a standalone graph (dead links dropped) for the
 /// max-flow verification.
-fn survivor_graph(
-    ftn: &FtNetwork,
-    alive: &[bool],
-) -> fault_tolerant_switching::graph::DiGraph {
+fn survivor_graph(ftn: &FtNetwork, alive: &[bool]) -> fault_tolerant_switching::graph::DiGraph {
     let g = ftn.net().graph();
-    let mut out = fault_tolerant_switching::graph::DiGraph::with_capacity(
-        g.num_vertices(),
-        g.num_edges(),
-    );
+    let mut out =
+        fault_tolerant_switching::graph::DiGraph::with_capacity(g.num_vertices(), g.num_edges());
     out.add_vertices(g.num_vertices());
     for (_, t, h) in g.edges() {
         if alive[t.index()] && alive[h.index()] {

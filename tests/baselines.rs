@@ -98,8 +98,8 @@ fn lemma2_pipeline_extracts_disjoint_short_paths_on_benes() {
     let b = Benes::new(4); // n = 16
     let r = short_terminal_paths(&b.net, b.net.inputs(), 4);
     assert!(
-        r.paths.len() >= 16 / 84 + 1,
-        "expected ≥ n/84 paths, got {}",
+        r.paths.len() >= 16usize.div_ceil(84),
+        "expected ≥ ⌈n/84⌉ paths, got {}",
         r.paths.len()
     );
     assert!(r.max_len <= 12, "paths too long: {}", r.max_len);

@@ -1,0 +1,51 @@
+//! Smoke test: every documented example entry point must build and run
+//! to completion. Keeps `examples/` (the README's quickstart surface)
+//! from rotting; runs in CI as part of plain `cargo test`.
+
+use std::process::Command;
+
+/// Enumerate `examples/*.rs` so a newly added example is covered
+/// automatically — a hardcoded list would let new entry points rot.
+fn examples() -> Vec<String> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory missing")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            if p.extension()? == "rs" {
+                Some(p.file_stem()?.to_str()?.to_string())
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let examples = examples();
+    assert!(
+        examples.len() >= 6,
+        "expected at least the six seed examples, found {examples:?}"
+    );
+    for example in &examples {
+        let out = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for {example}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {example} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example {example} produced no output"
+        );
+    }
+}

@@ -23,10 +23,8 @@ fn nonblocking_game(ftn: &FtNetwork, mut router: CircuitRouter<'_>, steps: usize
     let mut live: Vec<SessionId> = Vec::new();
     for step in 0..steps {
         if live.is_empty() || r.random_bool(0.6) {
-            let idle_in: Vec<usize> =
-                (0..n).filter(|&j| router.is_idle(ftn.input(j))).collect();
-            let idle_out: Vec<usize> =
-                (0..n).filter(|&j| router.is_idle(ftn.output(j))).collect();
+            let idle_in: Vec<usize> = (0..n).filter(|&j| router.is_idle(ftn.input(j))).collect();
+            let idle_out: Vec<usize> = (0..n).filter(|&j| router.is_idle(ftn.output(j))).collect();
             if !idle_in.is_empty() && !idle_out.is_empty() {
                 let i = idle_in[r.random_range(0..idle_in.len())];
                 let o = idle_out[r.random_range(0..idle_out.len())];
@@ -48,9 +46,11 @@ fn nonblocking_game(ftn: &FtNetwork, mut router: CircuitRouter<'_>, steps: usize
                 if !router.is_idle(ftn.output(o)) {
                     continue;
                 }
-                let id = router.connect(ftn.input(i), ftn.output(o)).unwrap_or_else(
-                    |e| panic!("idle pair ({i},{o}) not connectable at step {step}: {e}"),
-                );
+                let id = router
+                    .connect(ftn.input(i), ftn.output(o))
+                    .unwrap_or_else(|e| {
+                        panic!("idle pair ({i},{o}) not connectable at step {step}: {e}")
+                    });
                 router.disconnect(id); // probe only
             }
         }

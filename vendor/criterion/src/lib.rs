@@ -1,0 +1,216 @@
+//! Offline vendored shim for the subset of `criterion` this workspace
+//! uses. The build container has no crates.io access, so this path crate
+//! stands in for the registry crate.
+//!
+//! It is a real (if simple) harness: `Bencher::iter` warms up, runs an
+//! adaptive number of iterations against a wall-clock target, and prints
+//! `name ... time: <mean> ns/iter (n iters)`. There is no statistical
+//! analysis, outlier rejection, or HTML report — upgrade the workspace
+//! dependency to registry criterion when network access exists.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Results accumulated across all groups of one bench executable, so
+/// [`criterion_main!`] can dump a machine-readable baseline at exit.
+static RESULTS: Mutex<Vec<(String, u128, u64)>> = Mutex::new(Vec::new());
+
+/// Write `BENCH_<name>.json` into `$BENCH_JSON` (a directory) if that
+/// env var is set; called by the `criterion_main!` expansion.
+#[doc(hidden)]
+pub fn write_json_baseline(bench_name: &str) {
+    let Ok(dir) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut body = String::from("[\n");
+    for (i, (id, ns, iters)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        body.push_str(&format!(
+            "  {{\"bench\": \"{id}\", \"ns_per_iter\": {ns}, \"iters\": {iters}}}{sep}\n"
+        ));
+    }
+    body.push_str("]\n");
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{bench_name}.json"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: failed to write {}: {e}", path.display());
+    } else {
+        println!("baseline written: {}", path.display());
+    }
+}
+
+/// Minimum measured wall-clock time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Iterations between clock reads, so timer overhead (~25 ns per
+/// `Instant::elapsed`) is amortized and doesn't bias fast routines.
+const BATCH: u64 = 64;
+/// Hard cap on measured iterations per benchmark (backstop only; the
+/// wall-clock target is the real bound).
+const MAX_ITERS: u64 = 100_000_000;
+
+/// Mirror of `criterion::Criterion` (the measurement facade).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into_benchmark_id()));
+        self
+    }
+
+    pub fn bench_with_input<I, F, T>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.into_benchmark_id()));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Benchmark identifiers: a `BenchmarkId` or a plain string.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Mirror of `criterion::Bencher`: times a closure.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up (also primes caches the routine touches).
+        std::hint::black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut elapsed = Duration::ZERO;
+        while elapsed < TARGET && iters < MAX_ITERS {
+            for _ in 0..BATCH {
+                std::hint::black_box(routine());
+            }
+            iters += BATCH;
+            elapsed = start.elapsed();
+        }
+        self.iters = iters.max(1);
+        self.elapsed = elapsed;
+    }
+
+    fn report(&self, id: &str) {
+        let ns = self.elapsed.as_nanos() / u128::from(self.iters.max(1));
+        println!("{id:<48} time: {ns:>12} ns/iter ({} iters)", self.iters);
+        RESULTS
+            .lock()
+            .unwrap()
+            .push((id.to_string(), ns, self.iters));
+    }
+}
+
+/// Mirror of `criterion::criterion_group!` (plain-list form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            // Bench executables are named `<bench>-<hash>`; strip the hash.
+            let exe = std::env::args().next().unwrap_or_default();
+            let stem = std::path::Path::new(&exe)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("bench")
+                .rsplit_once('-')
+                .map(|(name, _)| name.to_string())
+                .unwrap_or_else(|| "bench".to_string());
+            $crate::write_json_baseline(&stem);
+        }
+    };
+}

@@ -1,0 +1,98 @@
+//! Offline vendored shim for the subset of `proptest` this workspace
+//! uses. The build container has no crates.io access, so this path crate
+//! stands in for the registry crate.
+//!
+//! Differences from upstream, by design:
+//! * generation is deterministic (seeded per test name) — every run
+//!   explores the same cases, which suits a reproduction repo;
+//! * no shrinking — a failing case panics with the bound values visible
+//!   in the assertion message instead of a minimised counterexample;
+//! * `prop_assert*` panic immediately rather than returning `Err`.
+//!
+//! The supported surface: `proptest! { #![proptest_config(..)] #[test]
+//! fn name(x in strategy, ..) { .. } }`, range/tuple/`Just` strategies,
+//! `prop_map`/`prop_flat_map`, `collection::vec`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare a block of property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                #[allow(clippy::redundant_closure_call)]
+                (move || $body)();
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a boolean property; panics with the condition on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Assert equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Assert inequality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skip the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

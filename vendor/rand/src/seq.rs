@@ -1,0 +1,63 @@
+//! Sequence utilities: the `SliceRandom` shuffle used by permutation
+//! generators and workload samplers.
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    /// Uniform Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    type Item;
+
+    /// Partially shuffle so the first `amount` elements are a uniform
+    /// sample without replacement; returns `(sampled, rest)`.
+    ///
+    /// Note: upstream `rand` places the sample at the *end* of the slice;
+    /// this workspace's callers read the sample from the front
+    /// (`pool[..amount]`), so the shim puts it there.
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.random_range(i..self.len());
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, SmallRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}
