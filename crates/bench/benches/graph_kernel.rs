@@ -7,7 +7,8 @@ use ft_core::params::Params;
 use ft_graph::gen::{random_bipartite_adjacency, random_dag, rng};
 use ft_graph::matching::hopcroft_karp;
 use ft_graph::menger::max_disjoint_paths;
-use ft_graph::traversal::{bfs, Direction};
+use ft_graph::traversal::{bfs, bfs_into, Direction};
+use ft_graph::TraversalWorkspace;
 use std::hint::black_box;
 
 fn bench_bfs(c: &mut Criterion) {
@@ -22,6 +23,21 @@ fn bench_bfs(c: &mut Criterion) {
                 |_| true,
                 |_| true,
             ))
+        })
+    });
+}
+
+/// The zero-allocation path: same BFS, but over the cached CSR snapshot
+/// with a reused workspace — tracked separately from the allocating one.
+fn bench_bfs_reused(c: &mut Criterion) {
+    let ftn = FtNetwork::build(Params::reduced(2, 8, 8, 1.0));
+    let csr = ftn.csr();
+    let src = ftn.input(0);
+    let mut ws = TraversalWorkspace::new();
+    c.bench_function("bfs_forward_ftn_nu2_reused", |b| {
+        b.iter(|| {
+            bfs_into(csr, &[src], Direction::Forward, |_| true, |_| true, &mut ws);
+            black_box(ws.num_reached())
         })
     });
 }
@@ -57,6 +73,7 @@ fn bench_matching(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_bfs,
+    bench_bfs_reused,
     bench_disjoint_paths,
     bench_dinic_random_dag,
     bench_matching

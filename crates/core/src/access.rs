@@ -22,8 +22,9 @@
 //! the Lemma 6 induction tracks.
 
 use crate::network::{FtNetwork, Side};
+use ft_graph::traversal::{bfs_into, Direction};
+use ft_graph::workspace::TraversalWorkspace;
 use ft_graph::{Digraph, VertexId};
-use std::collections::VecDeque;
 
 /// Direction of an access computation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,42 +35,51 @@ pub enum AccessDir {
     Backward,
 }
 
+impl AccessDir {
+    fn traversal(self) -> Direction {
+        match self {
+            AccessDir::Forward => Direction::Forward,
+            AccessDir::Backward => Direction::Backward,
+        }
+    }
+}
+
 /// BFS from `source` through vertices accepted by `idle`, following
-/// `dir`. The source itself is always allowed (terminals are never
-/// faulty; a busy terminal would simply not be queried). Returns the
-/// reached mask, including the source.
+/// `dir`, into a reusable workspace. The source itself is always allowed
+/// (terminals are never faulty; a busy terminal would simply not be
+/// queried). After the call the workspace holds the access set
+/// (`ws.reached`, `ws.order`, `ws.count_reached_in`).
+pub fn access_set_into<G: Digraph>(
+    g: &G,
+    source: VertexId,
+    dir: AccessDir,
+    idle: impl Fn(VertexId) -> bool,
+    ws: &mut TraversalWorkspace,
+) {
+    bfs_into(
+        g,
+        &[source],
+        dir.traversal(),
+        |_| true,
+        |v| v == source || idle(v),
+        ws,
+    );
+}
+
+/// [`access_set_into`] materialised as a boolean mask over all vertices.
 pub fn access_set<G: Digraph>(
     g: &G,
     source: VertexId,
     dir: AccessDir,
     idle: impl Fn(VertexId) -> bool,
 ) -> Vec<bool> {
+    let mut ws = TraversalWorkspace::new();
+    access_set_into(g, source, dir, idle, &mut ws);
     let mut seen = vec![false; g.num_vertices()];
-    let mut queue = VecDeque::new();
-    seen[source.index()] = true;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let edges = match dir {
-            AccessDir::Forward => g.out_edge_slice(u),
-            AccessDir::Backward => g.in_edge_slice(u),
-        };
-        for &e in edges {
-            let v = match dir {
-                AccessDir::Forward => g.edge_head(e),
-                AccessDir::Backward => g.edge_tail(e),
-            };
-            if !seen[v.index()] && idle(v) {
-                seen[v.index()] = true;
-                queue.push_back(v);
-            }
-        }
+    for &v in ws.order() {
+        seen[v.index()] = true;
     }
     seen
-}
-
-/// Number of reached vertices whose ids lie in `range`.
-pub fn count_in_range(mask: &[bool], range: std::ops::Range<u32>) -> usize {
-    range.filter(|&i| mask[i as usize]).count()
 }
 
 /// Lemma 3's quantity: how many vertices of grid `j`'s **boundary
@@ -80,6 +90,18 @@ pub fn count_in_range(mask: &[bool], range: std::ops::Range<u32>) -> usize {
 ///
 /// `alive[v]` must be false at faulty vertices.
 pub fn grid_access_count(ftn: &FtNetwork, alive: &[bool], side: Side, j: usize) -> usize {
+    grid_access_count_into(ftn, alive, side, j, &mut TraversalWorkspace::new())
+}
+
+/// [`grid_access_count`] with a caller-owned workspace (trial loops run
+/// it 2n times per certification).
+pub fn grid_access_count_into(
+    ftn: &FtNetwork,
+    alive: &[bool],
+    side: Side,
+    j: usize,
+    ws: &mut TraversalWorkspace,
+) -> usize {
     let nu = ftn.params().nu as usize;
     let (source, dir, boundary_stage) = match side {
         Side::Input => (ftn.input(j), AccessDir::Forward, nu),
@@ -105,9 +127,15 @@ pub fn grid_access_count(ftn: &FtNetwork, alive: &[bool], side: Side, j: usize) 
         }
         false
     };
-    let mask = access_set(ftn.net(), source, dir, |v| alive[v.index()] && in_grid(v));
+    access_set_into(
+        ftn.csr(),
+        source,
+        dir,
+        |v| alive[v.index()] && in_grid(v),
+        ws,
+    );
     let base = ftn.stage_base(boundary_stage);
-    count_in_range(&mask, base + lo as u32..base + hi as u32)
+    ws.count_reached_in(base + lo as u32..base + hi as u32)
 }
 
 /// Whether every terminal's grid keeps **majority access** (strictly
@@ -117,9 +145,10 @@ pub fn all_grids_majority(ftn: &FtNetwork, alive: &[bool]) -> (bool, f64) {
     let l = ftn.rows();
     let mut ok = true;
     let mut min_frac = 1.0_f64;
+    let mut ws = TraversalWorkspace::new();
     for side in [Side::Input, Side::Output] {
         for j in 0..ftn.n() {
-            let c = grid_access_count(ftn, alive, side, j);
+            let c = grid_access_count_into(ftn, alive, side, j, &mut ws);
             let frac = c as f64 / l as f64;
             min_frac = min_frac.min(frac);
             if 2 * c <= l {
@@ -169,6 +198,7 @@ pub fn majority_access_report(
     let mut idle_terminals = 0;
     let mut with_majority = 0;
     let mut min_fraction = 1.0_f64;
+    let mut ws = TraversalWorkspace::new();
     for j in 0..ftn.n() {
         let (t, dir) = match side {
             Side::Input => (ftn.input(j), AccessDir::Forward),
@@ -178,8 +208,14 @@ pub fn majority_access_report(
             continue;
         }
         idle_terminals += 1;
-        let mask = access_set(ftn.net(), t, dir, |v| alive[v.index()] && !busy[v.index()]);
-        let c = count_in_range(&mask, mid.clone());
+        access_set_into(
+            ftn.csr(),
+            t,
+            dir,
+            |v| alive[v.index()] && !busy[v.index()],
+            &mut ws,
+        );
+        let c = ws.count_reached_in(mid.clone());
         if c > half {
             with_majority += 1;
         }
@@ -206,12 +242,19 @@ pub fn access_profile(
         Side::Input => (ftn.input(j), AccessDir::Forward),
         Side::Output => (ftn.output(j), AccessDir::Backward),
     };
-    let mask = access_set(ftn.net(), t, dir, |v| alive[v.index()] && !busy[v.index()]);
+    let mut ws = TraversalWorkspace::new();
+    access_set_into(
+        ftn.csr(),
+        t,
+        dir,
+        |v| alive[v.index()] && !busy[v.index()],
+        &mut ws,
+    );
     let stages = ftn.num_stages();
     let mut profile = Vec::with_capacity(stages);
     for s in 0..stages {
         let r = ftn.net().stage_range(s);
-        profile.push(count_in_range(&mask, r));
+        profile.push(ws.count_reached_in(r));
     }
     profile
 }

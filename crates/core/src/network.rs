@@ -120,6 +120,12 @@ impl FtNetwork {
         &self.net
     }
 
+    /// Cached CSR snapshot of the network graph (built lazily on first
+    /// use) — the representation every Monte Carlo hot path traverses.
+    pub fn csr(&self) -> &ft_graph::Csr {
+        self.net.csr()
+    }
+
     /// Number of terminals per side, `n = 4^ν`.
     pub fn n(&self) -> usize {
         self.params.n()

@@ -15,14 +15,21 @@ use ft_graph::{DiGraph, Digraph, UnionFind};
 /// Union–find over the vertices with one union per closed edge.
 pub fn contraction_classes<G: Digraph>(g: &G, inst: &FailureInstance) -> UnionFind {
     let mut uf = UnionFind::new(g.num_vertices());
-    for e in 0..g.num_edges() {
-        let e = EdgeId::from(e);
-        if inst.is_closed(e) {
-            let (t, h) = g.endpoints(e);
-            uf.union(t.0, h.0);
-        }
-    }
+    contraction_classes_into(g, inst, &mut uf);
     uf
+}
+
+/// [`contraction_classes`] into a caller-owned [`UnionFind`] (reset
+/// here): iterates only the closed switches via the packed mask's
+/// word-skipping, so a trial at the paper's tiny ε costs O(m/32 +
+/// closures) instead of a per-switch scan — the Monte Carlo hot path.
+pub fn contraction_classes_into<G: Digraph>(g: &G, inst: &FailureInstance, uf: &mut UnionFind) {
+    debug_assert_eq!(uf.len(), g.num_vertices());
+    uf.reset();
+    for e in inst.closed_edges() {
+        let (t, h) = g.endpoints(e);
+        uf.union(t.0, h.0);
+    }
 }
 
 /// Returns the first pair of distinct terminals that contract to a single
@@ -55,6 +62,36 @@ pub fn terminals_shorted<G: Digraph>(
     terminals: &[VertexId],
 ) -> bool {
     find_shorted_pair(g, inst, terminals).is_some()
+}
+
+/// [`terminals_shorted`] with a caller-owned [`UnionFind`], for trial
+/// loops. Avoids the root→terminal map of [`find_shorted_pair`]: after
+/// contraction, two *distinct* terminals short iff uniting the terminals
+/// one by one into the first ever finds a pair already connected.
+///
+/// `terminals` must be pairwise distinct vertex ids (they are for every
+/// terminal list in this workspace; duplicates would be reported as
+/// shorts).
+pub fn terminals_shorted_with<G: Digraph>(
+    g: &G,
+    inst: &FailureInstance,
+    terminals: &[VertexId],
+    uf: &mut UnionFind,
+) -> bool {
+    contraction_classes_into(g, inst, uf);
+    let Some((&first, rest)) = terminals.split_first() else {
+        return false;
+    };
+    for &t in rest {
+        debug_assert_ne!(t, first, "terminals must be distinct");
+        // A failed union means `t` already shares an electrical node
+        // with an earlier terminal (possibly through `first`'s growing
+        // set) — exactly a shorted pair.
+        if !uf.union(first.0, t.0) {
+            return true;
+        }
+    }
+    false
 }
 
 /// The fully contracted network: closed edges merge endpoint classes,
@@ -179,6 +216,26 @@ mod tests {
             0,
             "normal edge inside one electrical node is dropped"
         );
+    }
+
+    #[test]
+    fn shorted_with_matches_allocating_on_random_instances() {
+        use crate::model::FailureModel;
+        use ft_graph::gen::rng;
+        let g = chain4();
+        let model = FailureModel::new(0.1, 0.3);
+        let mut r = rng(3);
+        let mut uf = ft_graph::UnionFind::new(g.num_vertices());
+        let terminals = [v(0), v(2), v(3)];
+        for _ in 0..200 {
+            let inst = FailureInstance::sample(&model, &mut r, g.num_edges());
+            assert_eq!(
+                terminals_shorted(&g, &inst, &terminals),
+                terminals_shorted_with(&g, &inst, &terminals, &mut uf),
+                "{:?}",
+                inst.counts()
+            );
+        }
     }
 
     #[test]

@@ -6,100 +6,116 @@
 //! per-edge state vector and answers the queries the rest of the pipeline
 //! needs (normal/usable filters, failure counts, faulty-vertex marks).
 
+use crate::mask::FailureMask;
 use crate::model::{FailureModel, SwitchState};
 use ft_graph::ids::{EdgeId, VertexId};
 use ft_graph::Digraph;
 use rand::rngs::SmallRng;
 
 /// One sampled assignment of a state to every switch of a network.
+///
+/// Backed by a word-packed [`FailureMask`] (two bits per switch), so a
+/// trial's reset is a word memset and every fault-dependent pass
+/// (repair, contraction, shorting) iterates failures by skipping
+/// all-normal words instead of scanning every switch.
 #[derive(Clone, Debug)]
 pub struct FailureInstance {
-    states: Vec<SwitchState>,
+    mask: FailureMask,
 }
 
 impl FailureInstance {
     /// Samples an instance for a network with `num_edges` switches.
     pub fn sample(model: &FailureModel, rng: &mut SmallRng, num_edges: usize) -> Self {
         FailureInstance {
-            states: model.sample(rng, num_edges),
+            mask: model.sample_mask(rng, num_edges),
         }
     }
 
     /// Re-samples in place, reusing the allocation (hot Monte Carlo path).
     pub fn resample(&mut self, model: &FailureModel, rng: &mut SmallRng, num_edges: usize) {
-        let mut states = std::mem::take(&mut self.states);
-        model.sample_into(rng, num_edges, &mut states);
-        self.states = states;
+        model.sample_into(rng, num_edges, &mut self.mask);
     }
 
-    /// Wraps an explicit state vector (tests, adversarial instances).
+    /// Packs an explicit state vector (tests, adversarial instances).
     pub fn from_states(states: Vec<SwitchState>) -> Self {
-        FailureInstance { states }
+        FailureInstance {
+            mask: FailureMask::from_states(&states),
+        }
+    }
+
+    /// Wraps an already packed mask.
+    pub fn from_mask(mask: FailureMask) -> Self {
+        FailureInstance { mask }
     }
 
     /// An all-normal instance.
     pub fn perfect(num_edges: usize) -> Self {
         FailureInstance {
-            states: vec![SwitchState::Normal; num_edges],
+            mask: FailureMask::new(num_edges),
         }
+    }
+
+    /// The underlying packed mask.
+    pub fn mask(&self) -> &FailureMask {
+        &self.mask
+    }
+
+    /// Overwrites the state of one switch — used by exhaustive
+    /// enumeration, which walks the `3^m` assignments by incremental
+    /// odometer updates instead of rebuilding an instance per state.
+    pub fn set_state(&mut self, e: EdgeId, s: SwitchState) {
+        self.mask.set(e.index(), s);
     }
 
     /// Number of switches covered.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.mask.len()
     }
 
     /// Whether the instance covers zero switches.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.mask.is_empty()
     }
 
     /// State of switch `e`.
     #[inline]
     pub fn state(&self, e: EdgeId) -> SwitchState {
-        self.states[e.index()]
+        self.mask.state(e.index())
     }
 
     /// Whether switch `e` is in the normal state.
     #[inline]
     pub fn is_normal(&self, e: EdgeId) -> bool {
-        self.states[e.index()] == SwitchState::Normal
+        self.mask.is_normal(e.index())
     }
 
     /// Whether switch `e` still *exists* as a conductor (normal or
     /// closed — an open-failed switch is gone).
     #[inline]
     pub fn is_usable(&self, e: EdgeId) -> bool {
-        self.states[e.index()] != SwitchState::Open
+        self.mask.is_usable(e.index())
     }
 
     /// Whether switch `e` is closed-failed (its endpoints contract).
     #[inline]
     pub fn is_closed(&self, e: EdgeId) -> bool {
-        self.states[e.index()] == SwitchState::Closed
+        self.mask.is_closed(e.index())
     }
 
     /// `(open, closed, normal)` counts.
     pub fn counts(&self) -> (usize, usize, usize) {
-        let mut open = 0;
-        let mut closed = 0;
-        for &s in &self.states {
-            match s {
-                SwitchState::Open => open += 1,
-                SwitchState::Closed => closed += 1,
-                SwitchState::Normal => {}
-            }
-        }
-        (open, closed, self.states.len() - open - closed)
+        self.mask.counts()
     }
 
-    /// Ids of all failed (non-normal) switches.
+    /// Ids of all failed (non-normal) switches, skipping all-normal
+    /// words — O(m/32 + failures).
     pub fn failed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s != SwitchState::Normal)
-            .map(|(i, _)| EdgeId::from(i))
+        self.mask.iter_failed().map(EdgeId::from)
+    }
+
+    /// Ids of all closed-failed switches, skipping all-normal words.
+    pub fn closed_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.mask.iter_closed().map(EdgeId::from)
     }
 
     /// Marks every vertex incident with a failed switch — the paper's

@@ -27,6 +27,7 @@ pub mod contraction;
 pub mod edge_replace;
 pub mod hammock;
 pub mod instance;
+pub mod mask;
 pub mod model;
 pub mod montecarlo;
 pub mod onenet;
@@ -36,8 +37,9 @@ pub mod sp;
 
 pub use hammock::Hammock;
 pub use instance::FailureInstance;
+pub use mask::FailureMask;
 pub use model::{FailureModel, SwitchState};
-pub use montecarlo::Estimate;
+pub use montecarlo::{Estimate, TrialScratch};
 pub use onenet::{construct_onenet, OneNet};
 pub use reliability::{Connectivity, FailureProbs, TwoTerminal};
 pub use repair::Repaired;

@@ -1,0 +1,257 @@
+//! Word-packed failure masks: two bits per switch.
+//!
+//! A failure instance over `m` switches was previously a
+//! `Vec<SwitchState>` — one byte per switch, 1 MB per trial at the
+//! 10⁶-edge scale, re-zeroed byte by byte every Monte Carlo trial.
+//! [`FailureMask`] packs the three states into two bits per switch
+//! (`00` normal, `01` open, `10` closed; `11` never occurs), so:
+//!
+//! * clearing touches 1/4 of the memory (and is a plain word memset);
+//! * `counts` is two `popcount`s per 32 switches;
+//! * iterating failed/closed switches skips whole all-normal words —
+//!   at the paper's tiny ε almost every word is skipped, making
+//!   fault-dependent passes (repair, contraction) O(failures), not O(m);
+//! * the dense sampling regime can fill a whole word (32 switches) with
+//!   one store.
+
+use crate::model::SwitchState;
+
+/// Bit-plane of the `open` bits within one word (even positions).
+const OPEN_PLANE: u64 = 0x5555_5555_5555_5555;
+/// Bit-plane of the `closed` bits within one word (odd positions).
+const CLOSED_PLANE: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+/// Switches per 64-bit word.
+pub(crate) const PER_WORD: usize = 32;
+
+/// A packed assignment of a [`SwitchState`] to each of `len` switches.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureMask {
+    pub(crate) words: Vec<u64>,
+    len: usize,
+}
+
+impl FailureMask {
+    /// An all-normal mask over `len` switches.
+    pub fn new(len: usize) -> Self {
+        FailureMask {
+            words: vec![0; len.div_ceil(PER_WORD)],
+            len,
+        }
+    }
+
+    /// Resets to all-normal over `len` switches, reusing the allocation.
+    pub fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(PER_WORD);
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.len = len;
+    }
+
+    /// Number of switches covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero switches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// State of switch `i`.
+    #[inline]
+    pub fn state(&self, i: usize) -> SwitchState {
+        debug_assert!(i < self.len);
+        match (self.words[i / PER_WORD] >> ((i % PER_WORD) * 2)) & 3 {
+            0 => SwitchState::Normal,
+            1 => SwitchState::Open,
+            2 => SwitchState::Closed,
+            _ => unreachable!("11 code never written"),
+        }
+    }
+
+    /// Sets the state of switch `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, s: SwitchState) {
+        debug_assert!(i < self.len);
+        let shift = (i % PER_WORD) * 2;
+        let w = &mut self.words[i / PER_WORD];
+        *w = (*w & !(3 << shift)) | ((s as u64) << shift);
+    }
+
+    /// Whether switch `i` is in the normal state.
+    #[inline]
+    pub fn is_normal(&self, i: usize) -> bool {
+        (self.words[i / PER_WORD] >> ((i % PER_WORD) * 2)) & 3 == 0
+    }
+
+    /// Whether switch `i` still conducts (normal or closed).
+    #[inline]
+    pub fn is_usable(&self, i: usize) -> bool {
+        (self.words[i / PER_WORD] >> ((i % PER_WORD) * 2)) & 1 == 0
+    }
+
+    /// Whether switch `i` is closed-failed.
+    #[inline]
+    pub fn is_closed(&self, i: usize) -> bool {
+        (self.words[i / PER_WORD] >> ((i % PER_WORD) * 2)) & 2 != 0
+    }
+
+    /// `(open, closed, normal)` counts — two popcounts per word.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut open = 0usize;
+        let mut closed = 0usize;
+        for &w in &self.words {
+            open += (w & OPEN_PLANE).count_ones() as usize;
+            closed += (w & CLOSED_PLANE).count_ones() as usize;
+        }
+        (open, closed, self.len - open - closed)
+    }
+
+    /// Indices of all failed (non-normal) switches, ascending. Skips
+    /// all-normal words, so iteration is O(words + failures).
+    pub fn iter_failed(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter_plane(OPEN_PLANE | CLOSED_PLANE)
+    }
+
+    /// Indices of all closed-failed switches, ascending.
+    pub fn iter_closed(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter_plane(CLOSED_PLANE)
+    }
+
+    /// Indices of all open-failed switches, ascending.
+    pub fn iter_open(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter_plane(OPEN_PLANE)
+    }
+
+    fn iter_plane(&self, plane: u64) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w & plane;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * PER_WORD + tz / 2)
+            })
+        })
+    }
+
+    /// Unpacks into a state vector (tests, debugging).
+    pub fn to_states(&self) -> Vec<SwitchState> {
+        (0..self.len).map(|i| self.state(i)).collect()
+    }
+
+    /// Packs a state slice into a fresh mask.
+    pub fn from_states(states: &[SwitchState]) -> Self {
+        let mut mask = FailureMask::new(states.len());
+        for (i, &s) in states.iter().enumerate() {
+            if s != SwitchState::Normal {
+                mask.set(i, s);
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FailureModel;
+    use ft_graph::gen::rng;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = FailureMask::new(100);
+        assert_eq!(m.len(), 100);
+        assert!(!m.is_empty());
+        m.set(0, SwitchState::Open);
+        m.set(31, SwitchState::Closed);
+        m.set(32, SwitchState::Closed);
+        m.set(99, SwitchState::Open);
+        assert_eq!(m.state(0), SwitchState::Open);
+        assert_eq!(m.state(31), SwitchState::Closed);
+        assert_eq!(m.state(32), SwitchState::Closed);
+        assert_eq!(m.state(99), SwitchState::Open);
+        assert_eq!(m.state(50), SwitchState::Normal);
+        // overwrite back to normal
+        m.set(31, SwitchState::Normal);
+        assert_eq!(m.state(31), SwitchState::Normal);
+        assert_eq!(m.counts(), (2, 1, 97));
+    }
+
+    #[test]
+    fn predicates_match_states() {
+        let states = [
+            SwitchState::Normal,
+            SwitchState::Open,
+            SwitchState::Closed,
+            SwitchState::Normal,
+        ];
+        let m = FailureMask::from_states(&states);
+        for (i, &s) in states.iter().enumerate() {
+            assert_eq!(m.state(i), s);
+            assert_eq!(m.is_normal(i), s == SwitchState::Normal);
+            assert_eq!(m.is_usable(i), s != SwitchState::Open);
+            assert_eq!(m.is_closed(i), s == SwitchState::Closed);
+        }
+        assert_eq!(m.to_states(), states);
+    }
+
+    #[test]
+    fn iterators_skip_normal_words() {
+        let mut m = FailureMask::new(1000);
+        m.set(3, SwitchState::Open);
+        m.set(64, SwitchState::Closed);
+        m.set(999, SwitchState::Closed);
+        assert_eq!(m.iter_failed().collect::<Vec<_>>(), vec![3, 64, 999]);
+        assert_eq!(m.iter_closed().collect::<Vec<_>>(), vec![64, 999]);
+        assert_eq!(m.iter_open().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut m = FailureMask::new(64);
+        m.set(10, SwitchState::Open);
+        m.reset(32);
+        assert_eq!(m.len(), 32);
+        assert_eq!(m.counts(), (0, 0, 32));
+        m.reset(128);
+        assert_eq!(m.counts(), (0, 0, 128));
+    }
+
+    #[test]
+    fn iterators_match_sampled_instances() {
+        let model = FailureModel::new(0.05, 0.08);
+        let mut r = rng(17);
+        let mut mask = FailureMask::new(0);
+        for _ in 0..10 {
+            model.sample_into(&mut r, 500, &mut mask);
+            let states = mask.to_states();
+            let failed: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s != SwitchState::Normal)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(mask.iter_failed().collect::<Vec<_>>(), failed);
+            let closed: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s == SwitchState::Closed)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(mask.iter_closed().collect::<Vec<_>>(), closed);
+        }
+    }
+
+    #[test]
+    fn empty_mask() {
+        let m = FailureMask::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.counts(), (0, 0, 0));
+        assert_eq!(m.iter_failed().count(), 0);
+    }
+}

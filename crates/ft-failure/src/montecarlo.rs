@@ -6,6 +6,10 @@
 //! the extreme probabilities the paper lives at), and a threaded driver
 //! for the expensive end-to-end experiments.
 
+use crate::instance::FailureInstance;
+use crate::model::FailureModel;
+use ft_graph::workspace::TraversalWorkspace;
+use ft_graph::{Digraph, FlowWorkspace, UnionFind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,6 +123,64 @@ where
     result
 }
 
+/// Per-worker scratch state for zero-allocation trial loops: one
+/// traversal workspace, one flow workspace and one union–find, each
+/// reused (and cleared in O(touched) / O(n)) across every trial the
+/// worker runs.
+#[derive(Clone, Debug)]
+pub struct TrialScratch {
+    /// BFS/Dinic workspace, cleared per use via epochs.
+    pub ws: TraversalWorkspace,
+    /// Vertex-disjoint-path workspace (flow network + arc tables).
+    pub fw: FlowWorkspace,
+    /// Union–find over the vertices, for contraction/shorting events.
+    pub uf: UnionFind,
+}
+
+impl TrialScratch {
+    /// Scratch for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        TrialScratch {
+            ws: TraversalWorkspace::new(),
+            fw: FlowWorkspace::new(),
+            uf: UnionFind::new(num_vertices),
+        }
+    }
+}
+
+/// Threaded Monte Carlo over failure instances of a fixed network:
+/// **each worker owns one packed failure mask and one scratch** for its
+/// whole batch, so the per-trial cost is sampling (O(failures) at small
+/// ε) plus whatever `event` touches — no allocation, no O(m) clearing.
+///
+/// `event(g, inst, scratch)` decides one trial. Deterministic for a
+/// fixed `(seed, threads)` pair; with `threads = 1` the trial stream
+/// equals the single-threaded driver's for the derived worker seed.
+pub fn mc_event_probability_parallel<G, F>(
+    g: &G,
+    model: &FailureModel,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+    event: F,
+) -> Estimate
+where
+    G: Digraph + Sync,
+    F: Fn(&G, &FailureInstance, &mut TrialScratch) -> bool + Sync,
+{
+    let m = g.num_edges();
+    let n = g.num_vertices();
+    let event = &event;
+    estimate_probability_parallel(trials, threads, seed, move |_| {
+        let mut inst = FailureInstance::perfect(m);
+        let mut scratch = TrialScratch::new(n);
+        move |rng: &mut SmallRng| {
+            inst.resample(model, rng, m);
+            event(g, &inst, &mut scratch)
+        }
+    })
+}
+
 /// Draws a Binomial(n, p) sample — convenience for calibration tests.
 pub fn binomial_sample(rng: &mut SmallRng, n: u64, p: f64) -> u64 {
     let mut k = 0;
@@ -213,6 +275,33 @@ mod tests {
             |rng: &mut SmallRng| rng.random::<f64>() < 0.2
         });
         assert_eq!(e.trials, 500);
+    }
+
+    #[test]
+    fn worker_owned_scratch_driver_converges() {
+        use ft_graph::ids::v;
+        use ft_graph::traversal::{bfs_into, Direction};
+        use ft_graph::DiGraph;
+        // two-edge chain 0 -> 1 -> 2; P(0 reaches 2 through usable
+        // switches) = (1 − ε₁)²
+        let mut g = DiGraph::new();
+        g.add_vertices(3);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        let model = FailureModel::new(0.2, 0.1);
+        let est = mc_event_probability_parallel(&g, &model, 40_000, 4, 21, |g, inst, scratch| {
+            bfs_into(
+                g,
+                &[v(0)],
+                Direction::Forward,
+                |e| inst.is_usable(e),
+                |_| true,
+                &mut scratch.ws,
+            );
+            scratch.ws.reached(v(2))
+        });
+        assert_eq!(est.trials, 40_000);
+        assert!((est.p() - 0.64).abs() < 0.01, "estimate {}", est.p());
     }
 
     #[test]

@@ -15,8 +15,9 @@ use crate::instance::FailureInstance;
 use crate::model::{FailureModel, SwitchState};
 use crate::montecarlo::{estimate_probability, Estimate};
 use ft_graph::ids::{EdgeId, VertexId};
-use ft_graph::traversal::{bfs, Direction};
-use ft_graph::{DiGraph, Digraph, UnionFind};
+use ft_graph::traversal::{bfs, bfs_into, Direction};
+use ft_graph::workspace::TraversalWorkspace;
+use ft_graph::{Csr, DiGraph, Digraph, UnionFind};
 use rand::rngs::SmallRng;
 
 /// A graph with a single input and a single output terminal.
@@ -70,12 +71,18 @@ impl TwoTerminal {
     /// connect them, ignoring direction).
     pub fn is_shorted(&self, inst: &FailureInstance) -> bool {
         let mut uf = UnionFind::new(self.graph.num_vertices());
-        for e in 0..self.graph.num_edges() {
-            let e = EdgeId::from(e);
-            if inst.is_closed(e) {
-                let (t, h) = self.graph.endpoints(e);
-                uf.union(t.0, h.0);
-            }
+        self.is_shorted_with(inst, &mut uf)
+    }
+
+    /// [`Self::is_shorted`] with a caller-owned [`UnionFind`] (reset
+    /// here), iterating only the closed switches — the Monte Carlo hot
+    /// path.
+    pub fn is_shorted_with(&self, inst: &FailureInstance, uf: &mut UnionFind) -> bool {
+        debug_assert_eq!(uf.len(), self.graph.num_vertices());
+        uf.reset();
+        for e in inst.closed_edges() {
+            let (t, h) = self.graph.endpoints(e);
+            uf.union(t.0, h.0);
         }
         uf.same(self.source.0, self.sink.0)
     }
@@ -110,26 +117,40 @@ impl TwoTerminal {
             model.eps_open,      // Open
             model.eps_close,     // Closed
         ];
+        const DIGIT_STATE: [SwitchState; 3] =
+            [SwitchState::Normal, SwitchState::Open, SwitchState::Closed];
+        let csr = Csr::from_digraph(&self.graph);
+        let dir = match conn {
+            Connectivity::Undirected => Direction::Undirected,
+            Connectivity::Directed => Direction::Forward,
+        };
+        let mut ws = TraversalWorkspace::new();
+        let mut uf = UnionFind::new(self.graph.num_vertices());
         let mut p_open = 0.0;
         let mut p_short = 0.0;
-        let mut states = vec![SwitchState::Normal; m];
         let mut idx = vec![0u8; m];
+        // the instance mirrors `idx` and is updated digit by digit as
+        // the base-3 odometer turns — no per-assignment rebuild, and the
+        // 3^m shorted/connected checks share one workspace + union–find
+        let mut inst = FailureInstance::perfect(m);
         loop {
             let mut p = 1.0;
-            for i in 0..m {
-                states[i] = match idx[i] {
-                    0 => SwitchState::Normal,
-                    1 => SwitchState::Open,
-                    _ => SwitchState::Closed,
-                };
-                p *= probs[idx[i] as usize];
+            for &d in &idx {
+                p *= probs[d as usize];
             }
             if p > 0.0 {
-                let inst = FailureInstance::from_states(states.clone());
-                if self.is_shorted(&inst) {
+                if self.is_shorted_with(&inst, &mut uf) {
                     p_short += p;
                 }
-                if !self.is_connected(&inst, conn) {
+                bfs_into(
+                    &csr,
+                    &[self.source],
+                    dir,
+                    |e| inst.is_usable(e),
+                    |_| true,
+                    &mut ws,
+                );
+                if !ws.reached(self.sink) {
                     p_open += p;
                 }
             }
@@ -141,15 +162,21 @@ impl TwoTerminal {
                 }
                 idx[i] += 1;
                 if idx[i] < 3 {
+                    inst.set_state(EdgeId::from(i), DIGIT_STATE[idx[i] as usize]);
                     break;
                 }
                 idx[i] = 0;
+                inst.set_state(EdgeId::from(i), SwitchState::Normal);
                 i += 1;
             }
         }
     }
 
     /// Monte Carlo estimates of `(p_open, p_short)`.
+    ///
+    /// Zero-allocation trial loop: the topology is frozen into a [`Csr`]
+    /// once, and one packed instance, one traversal workspace and one
+    /// union–find are reused for every trial.
     pub fn mc_failure_probs(
         &self,
         model: &FailureModel,
@@ -158,16 +185,31 @@ impl TwoTerminal {
         seed: u64,
     ) -> (Estimate, Estimate) {
         let m = self.graph.num_edges();
+        let csr = Csr::from_digraph(&self.graph);
+        let dir = match conn {
+            Connectivity::Undirected => Direction::Undirected,
+            Connectivity::Directed => Direction::Forward,
+        };
         let mut inst = FailureInstance::perfect(m);
+        let mut ws = TraversalWorkspace::new();
+        let mut uf = UnionFind::new(self.graph.num_vertices());
         let mut opens = 0u64;
         let mut shorts = 0u64;
         let mut rng = ft_graph::gen::rng(seed);
         for _ in 0..trials {
             inst.resample(model, &mut rng, m);
-            if !self.is_connected(&inst, conn) {
+            bfs_into(
+                &csr,
+                &[self.source],
+                dir,
+                |e| inst.is_usable(e),
+                |_| true,
+                &mut ws,
+            );
+            if !ws.reached(self.sink) {
                 opens += 1;
             }
-            if self.is_shorted(&inst) {
+            if self.is_shorted_with(&inst, &mut uf) {
                 shorts += 1;
             }
         }

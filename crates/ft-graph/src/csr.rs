@@ -16,17 +16,40 @@ pub struct Csr {
     out_start: Vec<u32>,
     /// Edge ids leaving each vertex, grouped by tail.
     out_list: Vec<EdgeId>,
+    /// Heads of the edges in `out_list`, parallel to it — BFS reads the
+    /// neighbour directly instead of chasing `edges[e]`.
+    out_head: Vec<VertexId>,
     in_start: Vec<u32>,
     in_list: Vec<EdgeId>,
+    /// Tails of the edges in `in_list`, parallel to it.
+    in_tail: Vec<VertexId>,
     /// `(tail, head)` per edge, shared with the builder graph.
     edges: Vec<(VertexId, VertexId)>,
 }
 
 impl Csr {
     /// Freezes `g` into CSR form. Edge and vertex ids are preserved.
+    ///
+    /// # Panics
+    /// Panics if the graph has `u32::MAX` or more edges or vertices: the
+    /// CSR offsets are `u32`, and a larger graph would silently truncate
+    /// (the id sentinels [`EdgeId::NONE`]/[`VertexId::NONE`] also reserve
+    /// `u32::MAX`).
     pub fn from_digraph(g: &DiGraph) -> Self {
         let n = g.num_vertices();
         let m = g.num_edges();
+        assert!(
+            m < u32::MAX as usize,
+            "Csr::from_digraph: {m} edges overflow the u32 CSR offsets \
+             (max {} edges)",
+            u32::MAX - 1
+        );
+        assert!(
+            n < u32::MAX as usize,
+            "Csr::from_digraph: {n} vertices overflow the u32 vertex ids \
+             (max {} vertices)",
+            u32::MAX - 1
+        );
         let mut out_start = vec![0u32; n + 1];
         let mut in_start = vec![0u32; n + 1];
         let mut edges = Vec::with_capacity(m);
@@ -40,21 +63,29 @@ impl Csr {
             in_start[i + 1] += in_start[i];
         }
         let mut out_list = vec![EdgeId::NONE; m];
+        let mut out_head = vec![VertexId::NONE; m];
         let mut in_list = vec![EdgeId::NONE; m];
+        let mut in_tail = vec![VertexId::NONE; m];
         let mut out_fill = out_start.clone();
         let mut in_fill = in_start.clone();
         for (e, &(t, h)) in edges.iter().enumerate() {
             let e = EdgeId::from(e);
-            out_list[out_fill[t.index()] as usize] = e;
+            let oi = out_fill[t.index()] as usize;
+            out_list[oi] = e;
+            out_head[oi] = h;
             out_fill[t.index()] += 1;
-            in_list[in_fill[h.index()] as usize] = e;
+            let ii = in_fill[h.index()] as usize;
+            in_list[ii] = e;
+            in_tail[ii] = t;
             in_fill[h.index()] += 1;
         }
         Csr {
             out_start,
             out_list,
+            out_head,
             in_start,
             in_list,
+            in_tail,
             edges,
         }
     }
@@ -103,6 +134,22 @@ impl Csr {
         let lo = self.in_start[v.index()] as usize;
         let hi = self.in_start[v.index() + 1] as usize;
         &self.in_list[lo..hi]
+    }
+
+    /// Heads of the edges leaving `v`, parallel to [`Self::out_edges`].
+    #[inline]
+    pub fn out_heads(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.out_start[v.index()] as usize;
+        let hi = self.out_start[v.index() + 1] as usize;
+        &self.out_head[lo..hi]
+    }
+
+    /// Tails of the edges entering `v`, parallel to [`Self::in_edges`].
+    #[inline]
+    pub fn in_tails(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_start[v.index()] as usize;
+        let hi = self.in_start[v.index() + 1] as usize;
+        &self.in_tail[lo..hi]
     }
 
     /// Out-degree of `v`.
@@ -164,6 +211,16 @@ impl Digraph for Csr {
     #[inline]
     fn in_edge_slice(&self, v: VertexId) -> &[EdgeId] {
         Csr::in_edges(self, v)
+    }
+
+    #[inline]
+    fn out_head_slice(&self, v: VertexId) -> Option<&[VertexId]> {
+        Some(Csr::out_heads(self, v))
+    }
+
+    #[inline]
+    fn in_tail_slice(&self, v: VertexId) -> Option<&[VertexId]> {
+        Some(Csr::in_tails(self, v))
     }
 }
 

@@ -41,13 +41,16 @@ pub mod staged;
 pub mod traversal;
 pub mod tree;
 pub mod unionfind;
+pub mod workspace;
 
 pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use ids::{EdgeId, VertexId};
+pub use maxflow::FlowWorkspace;
 pub use paths::Path;
 pub use staged::{StagedBuilder, StagedNetwork};
 pub use unionfind::UnionFind;
+pub use workspace::TraversalWorkspace;
 
 /// Minimal read-only digraph interface implemented by both [`DiGraph`] and
 /// [`Csr`], so traversal and flow algorithms are written once.
@@ -62,6 +65,23 @@ pub trait Digraph {
     fn out_edge_slice(&self, v: VertexId) -> &[EdgeId];
     /// Edges entering `v`.
     fn in_edge_slice(&self, v: VertexId) -> &[EdgeId];
+
+    /// Heads of the edges leaving `v`, parallel to
+    /// [`Self::out_edge_slice`], when the representation stores them
+    /// (CSR does). Traversals use this to skip the per-edge `endpoints`
+    /// lookup; builder graphs return `None` and fall back to
+    /// [`Self::other_endpoint`].
+    #[inline]
+    fn out_head_slice(&self, _v: VertexId) -> Option<&[VertexId]> {
+        None
+    }
+
+    /// Tails of the edges entering `v`, parallel to
+    /// [`Self::in_edge_slice`], when the representation stores them.
+    #[inline]
+    fn in_tail_slice(&self, _v: VertexId) -> Option<&[VertexId]> {
+        None
+    }
 
     /// Tail of `e`.
     #[inline]

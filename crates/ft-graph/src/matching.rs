@@ -21,14 +21,60 @@ pub struct Matching {
 const FREE: u32 = u32::MAX;
 const INF: u32 = u32::MAX;
 
+/// Reusable buffers for [`hopcroft_karp_into`]: the pair arrays plus the
+/// layered-BFS scratch. One workspace serves instances of any size —
+/// buffers are resized (never shrunk below capacity) per call, so
+/// repeated matchings in expansion-verification loops allocate nothing
+/// after the first.
+#[derive(Clone, Debug, Default)]
+pub struct MatchingWorkspace {
+    /// `pair_left[l]` = matched right vertex, or `u32::MAX` — valid
+    /// after [`hopcroft_karp_into`] returns.
+    pub pair_left: Vec<u32>,
+    /// `pair_right[r]` = matched left vertex, or `u32::MAX`.
+    pub pair_right: Vec<u32>,
+    dist: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl MatchingWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Maximum matching in the bipartite graph `adj` where `adj[l]` lists the
 /// right-neighbours of left vertex `l`, with `right_count` right vertices.
 pub fn hopcroft_karp(adj: &[Vec<u32>], right_count: usize) -> Matching {
+    let mut ws = MatchingWorkspace::new();
+    let size = hopcroft_karp_into(adj, right_count, &mut ws);
+    Matching {
+        pair_left: ws.pair_left,
+        pair_right: ws.pair_right,
+        size,
+    }
+}
+
+/// [`hopcroft_karp`] writing the pair arrays into a reusable
+/// [`MatchingWorkspace`]; returns the matching size. Results are
+/// identical to the allocating entry point.
+pub fn hopcroft_karp_into(
+    adj: &[Vec<u32>],
+    right_count: usize,
+    ws: &mut MatchingWorkspace,
+) -> usize {
     let n = adj.len();
-    let mut pair_left = vec![FREE; n];
-    let mut pair_right = vec![FREE; right_count];
-    let mut dist = vec![INF; n];
-    let mut queue = std::collections::VecDeque::new();
+    ws.pair_left.clear();
+    ws.pair_left.resize(n, FREE);
+    ws.pair_right.clear();
+    ws.pair_right.resize(right_count, FREE);
+    ws.dist.clear();
+    ws.dist.resize(n, INF);
+    let pair_left = &mut ws.pair_left;
+    let pair_right = &mut ws.pair_right;
+    let dist = &mut ws.dist;
+    let queue = &mut ws.queue;
     let mut size = 0usize;
 
     loop {
@@ -37,20 +83,23 @@ pub fn hopcroft_karp(adj: &[Vec<u32>], right_count: usize) -> Matching {
         for l in 0..n {
             if pair_left[l] == FREE {
                 dist[l] = 0;
-                queue.push_back(l as u32);
+                queue.push(l as u32);
             } else {
                 dist[l] = INF;
             }
         }
         let mut found_augmenting = false;
-        while let Some(l) = queue.pop_front() {
+        let mut head = 0;
+        while head < queue.len() {
+            let l = queue[head];
+            head += 1;
             for &r in &adj[l as usize] {
                 let l2 = pair_right[r as usize];
                 if l2 == FREE {
                     found_augmenting = true;
                 } else if dist[l2 as usize] == INF {
                     dist[l2 as usize] = dist[l as usize] + 1;
-                    queue.push_back(l2);
+                    queue.push(l2);
                 }
             }
         }
@@ -84,19 +133,13 @@ pub fn hopcroft_karp(adj: &[Vec<u32>], right_count: usize) -> Matching {
             false
         }
         for l in 0..n as u32 {
-            if pair_left[l as usize] == FREE
-                && try_augment(l, adj, &mut pair_left, &mut pair_right, &mut dist)
-            {
+            if pair_left[l as usize] == FREE && try_augment(l, adj, pair_left, pair_right, dist) {
                 size += 1;
             }
         }
     }
 
-    Matching {
-        pair_left,
-        pair_right,
-        size,
-    }
+    size
 }
 
 /// Whether the bipartite graph has a matching saturating every left
@@ -137,6 +180,7 @@ pub fn regular_bipartite_edge_coloring(adj: &[Vec<u32>], right_count: usize) -> 
     // remaining multiset of edges per left vertex
     let mut remaining: Vec<Vec<u32>> = adj.to_vec();
     let mut colors: Vec<Vec<u32>> = vec![Vec::with_capacity(d); n];
+    let mut ws = MatchingWorkspace::new();
     for _round in 0..d {
         let simple: Vec<Vec<u32>> = remaining
             .iter()
@@ -147,13 +191,13 @@ pub fn regular_bipartite_edge_coloring(adj: &[Vec<u32>], right_count: usize) -> 
                 s
             })
             .collect();
-        let m = hopcroft_karp(&simple, right_count);
+        let size = hopcroft_karp_into(&simple, right_count, &mut ws);
         assert_eq!(
-            m.size, n,
+            size, n,
             "regular bipartite multigraph must have a perfect matching"
         );
         for l in 0..n {
-            let r = m.pair_left[l];
+            let r = ws.pair_left[l];
             colors[l].push(r);
             // remove one copy of (l, r)
             let pos = remaining[l]

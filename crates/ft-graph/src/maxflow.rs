@@ -13,6 +13,7 @@
 //! use in this workspace is.
 
 use crate::ids::{EdgeId, VertexId};
+use crate::workspace::TraversalWorkspace;
 use crate::Digraph;
 use std::collections::VecDeque;
 
@@ -52,6 +53,23 @@ impl FlowNetwork {
         (self.first.len() - 1) as u32
     }
 
+    /// Clears the network down to `n` isolated nodes while keeping every
+    /// allocation (arc list and per-node adjacency capacity). Monte Carlo
+    /// loops rebuild the same-shaped flow problem thousands of times;
+    /// after the first trial a `reset` + rebuild allocates nothing.
+    pub fn reset(&mut self, n: usize) {
+        self.arcs.clear();
+        if self.first.len() > n {
+            self.first.truncate(n);
+        }
+        for f in &mut self.first {
+            f.clear();
+        }
+        if self.first.len() < n {
+            self.first.resize_with(n, Vec::new);
+        }
+    }
+
     /// Adds a directed arc `u → v` with capacity `cap`; returns the arc
     /// index (its residual twin is `index + 1`).
     pub fn add_arc(&mut self, u: u32, v: u32, cap: u32) -> u32 {
@@ -78,34 +96,57 @@ impl FlowNetwork {
     /// units have been pushed (useful for "are there at least r disjoint
     /// paths?" questions).
     pub fn max_flow(&mut self, s: u32, t: u32, limit: Option<u32>) -> u32 {
+        let mut ws = TraversalWorkspace::new();
+        self.max_flow_into(s, t, limit, &mut ws)
+    }
+
+    /// [`Self::max_flow`] borrowing Dinic's level and arc-cursor buffers
+    /// from a reusable [`TraversalWorkspace`] (zero allocations once the
+    /// workspace has grown to the node count). Results are identical.
+    pub fn max_flow_into(
+        &mut self,
+        s: u32,
+        t: u32,
+        limit: Option<u32>,
+        ws: &mut TraversalWorkspace,
+    ) -> u32 {
         assert_ne!(s, t, "source equals sink");
         let n = self.num_nodes();
         let limit = limit.unwrap_or(u32::MAX);
         let mut flow = 0u32;
-        let mut level = vec![u32::MAX; n];
-        let mut iter = vec![0u32; n];
+        // Borrow the workspace's buffers: `dist` is the level array,
+        // `parent` the DFS arc cursor, `queue` the BFS queue. Dinic
+        // phases touch nearly every node, so plain per-phase fills beat
+        // the epoch trick here (one load per level check in the DFS
+        // instead of stamp + level); zero allocation is preserved
+        // because the buffers live in the reusable workspace.
+        ws.begin(n);
         while flow < limit {
             // BFS: build level graph.
-            level.fill(u32::MAX);
-            level[s as usize] = 0;
-            let mut q = VecDeque::new();
-            q.push_back(s);
-            while let Some(u) = q.pop_front() {
+            ws.dist[..n].fill(u32::MAX);
+            ws.dist[s as usize] = 0;
+            ws.queue.clear();
+            ws.queue.push(VertexId(s));
+            let mut head = 0;
+            while head < ws.queue.len() {
+                let u = ws.queue[head].0;
+                head += 1;
+                let du = ws.dist[u as usize];
                 for &ai in &self.first[u as usize] {
                     let a = &self.arcs[ai as usize];
-                    if a.cap > 0 && level[a.to as usize] == u32::MAX {
-                        level[a.to as usize] = level[u as usize] + 1;
-                        q.push_back(a.to);
+                    if a.cap > 0 && ws.dist[a.to as usize] == u32::MAX {
+                        ws.dist[a.to as usize] = du + 1;
+                        ws.queue.push(VertexId(a.to));
                     }
                 }
             }
-            if level[t as usize] == u32::MAX {
+            if ws.dist[t as usize] == u32::MAX {
                 break;
             }
             // DFS blocking flow.
-            iter.fill(0);
+            ws.parent[..n].fill(0);
             loop {
-                let pushed = self.dfs(s, t, limit - flow, &level, &mut iter);
+                let pushed = self.dfs(s, t, limit - flow, ws);
                 if pushed == 0 {
                     break;
                 }
@@ -118,18 +159,18 @@ impl FlowNetwork {
         flow
     }
 
-    fn dfs(&mut self, u: u32, t: u32, up_to: u32, level: &[u32], iter: &mut [u32]) -> u32 {
+    fn dfs(&mut self, u: u32, t: u32, up_to: u32, ws: &mut TraversalWorkspace) -> u32 {
         if u == t {
             return up_to;
         }
-        while (iter[u as usize] as usize) < self.first[u as usize].len() {
-            let ai = self.first[u as usize][iter[u as usize] as usize];
+        while (ws.parent[u as usize] as usize) < self.first[u as usize].len() {
+            let ai = self.first[u as usize][ws.parent[u as usize] as usize];
             let (to, cap) = {
                 let a = &self.arcs[ai as usize];
                 (a.to, a.cap)
             };
-            if cap > 0 && level[to as usize] == level[u as usize] + 1 {
-                let pushed = self.dfs(to, t, up_to.min(cap), level, iter);
+            if cap > 0 && ws.dist[to as usize] == ws.dist[u as usize] + 1 {
+                let pushed = self.dfs(to, t, up_to.min(cap), ws);
                 if pushed > 0 {
                     self.arcs[ai as usize].cap -= pushed;
                     let rev = self.arcs[ai as usize].rev;
@@ -137,7 +178,7 @@ impl FlowNetwork {
                     return pushed;
                 }
             }
-            iter[u as usize] += 1;
+            ws.parent[u as usize] += 1;
         }
         0
     }
@@ -181,6 +222,28 @@ pub struct DisjointOptions {
     pub count_only: bool,
 }
 
+/// Reusable state for repeated vertex-disjoint-path queries: the flow
+/// network (arc pool + adjacency), the Dinic traversal workspace and the
+/// arc-index scratch tables. After the first call on a given graph shape,
+/// [`vertex_disjoint_paths_into`] performs no heap allocation (path
+/// extraction aside).
+#[derive(Clone, Debug, Default)]
+pub struct FlowWorkspace {
+    fnet: FlowNetwork,
+    ws: TraversalWorkspace,
+    sink_arc: Vec<u32>,
+    source_arc: Vec<u32>,
+    graph_arc: Vec<u32>,
+    next_vertex: Vec<VertexId>,
+}
+
+impl FlowWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Maximum family of vertex-disjoint directed paths from `sources` to
 /// `sinks`, using only vertices with `vertex_ok` and edges with `edge_ok`.
 ///
@@ -192,13 +255,30 @@ pub fn vertex_disjoint_paths<G: Digraph>(
     g: &G,
     sources: &[VertexId],
     sinks: &[VertexId],
+    edge_ok: impl FnMut(EdgeId) -> bool,
+    vertex_ok: impl FnMut(VertexId) -> bool,
+    opts: DisjointOptions,
+) -> DisjointPaths {
+    let mut fw = FlowWorkspace::new();
+    vertex_disjoint_paths_into(g, sources, sinks, edge_ok, vertex_ok, opts, &mut fw)
+}
+
+/// [`vertex_disjoint_paths`] borrowing all scratch state from a reusable
+/// [`FlowWorkspace`] — the Monte Carlo hot path. Results are identical.
+#[allow(clippy::too_many_arguments)]
+pub fn vertex_disjoint_paths_into<G: Digraph>(
+    g: &G,
+    sources: &[VertexId],
+    sinks: &[VertexId],
     mut edge_ok: impl FnMut(EdgeId) -> bool,
     mut vertex_ok: impl FnMut(VertexId) -> bool,
     opts: DisjointOptions,
+    fw: &mut FlowWorkspace,
 ) -> DisjointPaths {
     let n = g.num_vertices();
     // Node layout: v_in = 2v, v_out = 2v+1, super-source = 2n, super-sink = 2n+1.
-    let mut fnet = FlowNetwork::new(2 * n + 2);
+    let fnet = &mut fw.fnet;
+    fnet.reset(2 * n + 2);
     let (ss, tt) = ((2 * n) as u32, (2 * n + 1) as u32);
     // split arcs enforce vertex capacity 1
     for vid in 0..n {
@@ -207,20 +287,26 @@ pub fn vertex_disjoint_paths<G: Digraph>(
             fnet.add_arc(2 * vid as u32, 2 * vid as u32 + 1, 1);
         }
     }
-    let mut sink_arc = vec![u32::MAX; n];
+    let sink_arc = &mut fw.sink_arc;
+    sink_arc.clear();
+    sink_arc.resize(n, u32::MAX);
     for &t in sinks {
         if sink_arc[t.index()] == u32::MAX {
             sink_arc[t.index()] = fnet.add_arc(2 * t.index() as u32 + 1, tt, 1);
         }
     }
-    let mut source_arc = vec![u32::MAX; n];
+    let source_arc = &mut fw.source_arc;
+    source_arc.clear();
+    source_arc.resize(n, u32::MAX);
     for &s in sources {
         if source_arc[s.index()] == u32::MAX {
             source_arc[s.index()] = fnet.add_arc(ss, 2 * s.index() as u32, 1);
         }
     }
     // graph arcs: u_out -> w_in
-    let mut graph_arc = vec![u32::MAX; g.num_edges()];
+    let graph_arc = &mut fw.graph_arc;
+    graph_arc.clear();
+    graph_arc.resize(g.num_edges(), u32::MAX);
     for (eid, arc) in graph_arc.iter_mut().enumerate() {
         let e = EdgeId::from(eid);
         if !edge_ok(e) {
@@ -230,7 +316,7 @@ pub fn vertex_disjoint_paths<G: Digraph>(
         *arc = fnet.add_arc(2 * t.index() as u32 + 1, 2 * h.index() as u32, 1);
     }
 
-    let count = fnet.max_flow(ss, tt, opts.limit);
+    let count = fnet.max_flow_into(ss, tt, opts.limit, &mut fw.ws);
     if opts.count_only {
         return DisjointPaths {
             count,
@@ -241,7 +327,9 @@ pub fn vertex_disjoint_paths<G: Digraph>(
     // Extract paths by walking saturated graph arcs from each used source.
     // Unit vertex capacity ⇒ every vertex has at most one saturated
     // outgoing graph arc, so the walk is deterministic.
-    let mut next_vertex: Vec<VertexId> = vec![VertexId::NONE; n];
+    let next_vertex = &mut fw.next_vertex;
+    next_vertex.clear();
+    next_vertex.resize(n, VertexId::NONE);
     for (eid, &ai) in graph_arc.iter().enumerate() {
         if ai != u32::MAX && fnet.flow_on(ai) > 0 {
             let (t, h) = g.endpoints(EdgeId::from(eid));
@@ -463,6 +551,52 @@ mod tests {
             },
         );
         assert_eq!(r.count, 2);
+    }
+
+    #[test]
+    fn reset_reuses_network_allocation() {
+        let mut f = FlowNetwork::new(4);
+        f.add_arc(0, 1, 2);
+        f.add_arc(1, 3, 2);
+        assert_eq!(f.max_flow(0, 3, None), 2);
+        // shrink to a fresh 2-node problem
+        f.reset(2);
+        assert_eq!(f.num_nodes(), 2);
+        f.add_arc(0, 1, 5);
+        assert_eq!(f.max_flow(0, 1, None), 5);
+        // grow again
+        f.reset(3);
+        f.add_arc(0, 1, 1);
+        f.add_arc(1, 2, 3);
+        assert_eq!(f.max_flow(0, 2, None), 1);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_calls() {
+        let g = diamond();
+        let mut fw = FlowWorkspace::new();
+        for (vetoed, expect) in [(None, 1u32), (Some(v(1)), 1), (Some(v(3)), 0)] {
+            let fresh = vertex_disjoint_paths(
+                &g,
+                &[v(0)],
+                &[v(3)],
+                |_| true,
+                |x| Some(x) != vetoed,
+                DisjointOptions::default(),
+            );
+            let reused = vertex_disjoint_paths_into(
+                &g,
+                &[v(0)],
+                &[v(3)],
+                |_| true,
+                |x| Some(x) != vetoed,
+                DisjointOptions::default(),
+                &mut fw,
+            );
+            assert_eq!(fresh.count, expect);
+            assert_eq!(fresh.count, reused.count);
+            assert_eq!(fresh.paths, reused.paths);
+        }
     }
 
     #[test]

@@ -10,14 +10,25 @@
 //! the failure experiments sample subsets anyway.
 
 use crate::ids::{EdgeId, VertexId};
-use crate::maxflow::{vertex_disjoint_paths, DisjointOptions};
+use crate::maxflow::{vertex_disjoint_paths_into, DisjointOptions, FlowWorkspace};
 use crate::Digraph;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 
 /// Maximum number of vertex-disjoint paths from `sources` to `sinks`.
 pub fn max_disjoint_paths<G: Digraph>(g: &G, sources: &[VertexId], sinks: &[VertexId]) -> u32 {
-    vertex_disjoint_paths(
+    max_disjoint_paths_into(g, sources, sinks, &mut FlowWorkspace::new())
+}
+
+/// [`max_disjoint_paths`] with a caller-owned [`FlowWorkspace`] — use in
+/// trial loops so repeated queries allocate nothing.
+pub fn max_disjoint_paths_into<G: Digraph>(
+    g: &G,
+    sources: &[VertexId],
+    sinks: &[VertexId],
+    fw: &mut FlowWorkspace,
+) -> u32 {
+    vertex_disjoint_paths_into(
         g,
         sources,
         sinks,
@@ -27,15 +38,27 @@ pub fn max_disjoint_paths<G: Digraph>(g: &G, sources: &[VertexId], sinks: &[Vert
             count_only: true,
             limit: None,
         },
+        fw,
     )
     .count
 }
 
 /// Whether `r = |S| = |T|` vertex-disjoint paths join `S` to `T`.
 pub fn fully_linkable<G: Digraph>(g: &G, s: &[VertexId], t: &[VertexId]) -> bool {
+    fully_linkable_into(g, s, t, &mut FlowWorkspace::new())
+}
+
+/// [`fully_linkable`] with a caller-owned [`FlowWorkspace`] — use in
+/// trial loops so repeated queries allocate nothing.
+pub fn fully_linkable_into<G: Digraph>(
+    g: &G,
+    s: &[VertexId],
+    t: &[VertexId],
+    fw: &mut FlowWorkspace,
+) -> bool {
     assert_eq!(s.len(), t.len(), "subset sizes differ");
     let r = s.len() as u32;
-    vertex_disjoint_paths(
+    vertex_disjoint_paths_into(
         g,
         s,
         t,
@@ -45,6 +68,7 @@ pub fn fully_linkable<G: Digraph>(g: &G, s: &[VertexId], t: &[VertexId]) -> bool
             count_only: true,
             limit: Some(r),
         },
+        fw,
     )
     .count
         == r
@@ -60,6 +84,7 @@ pub fn verify_superconcentrator_exhaustive<G: Digraph>(
 ) -> Option<(Vec<VertexId>, Vec<VertexId>)> {
     assert_eq!(inputs.len(), outputs.len());
     let n = inputs.len();
+    let mut fw = FlowWorkspace::new();
     for r in 1..=n {
         let mut s_sel = subsets_of_size(n, r);
         let t_sel = subsets_of_size(n, r);
@@ -67,7 +92,7 @@ pub fn verify_superconcentrator_exhaustive<G: Digraph>(
             let s: Vec<VertexId> = pick(inputs, s_mask);
             for &t_mask in &t_sel {
                 let t: Vec<VertexId> = pick(outputs, t_mask);
-                if !fully_linkable(g, &s, &t) {
+                if !fully_linkable_into(g, &s, &t, &mut fw) {
                     return Some((s, t));
                 }
             }
@@ -93,13 +118,14 @@ pub fn verify_superconcentrator_sampled<G: Digraph>(
     }
     let mut src = inputs.to_vec();
     let mut dst = outputs.to_vec();
+    let mut fw = FlowWorkspace::new();
     for _ in 0..trials {
         let r = rng.random_range(1..=n);
         src.shuffle(rng);
         dst.shuffle(rng);
         let s = &src[..r];
         let t = &dst[..r];
-        if !fully_linkable(g, s, t) {
+        if !fully_linkable_into(g, s, t, &mut fw) {
             return Some((s.to_vec(), t.to_vec()));
         }
     }

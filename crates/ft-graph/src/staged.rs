@@ -8,11 +8,13 @@
 //! classical networks (Beneš, Clos, grids) and the fault-tolerant
 //! construction 𝒩 of §6.
 
+use crate::csr::Csr;
 use crate::digraph::DiGraph;
 use crate::ids::{EdgeId, VertexId};
 use crate::traversal;
 use crate::Digraph;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// A directed, staged network with distinguished input/output terminals.
 #[derive(Clone, Debug)]
@@ -22,6 +24,8 @@ pub struct StagedNetwork {
     stages: Vec<Range<u32>>,
     inputs: Vec<VertexId>,
     outputs: Vec<VertexId>,
+    /// Lazily built CSR snapshot shared by all traversal-heavy callers.
+    csr: OnceLock<Csr>,
 }
 
 impl StagedNetwork {
@@ -29,6 +33,14 @@ impl StagedNetwork {
     #[inline]
     pub fn graph(&self) -> &DiGraph {
         &self.graph
+    }
+
+    /// A frozen [`Csr`] snapshot of the graph, built on first use and
+    /// cached. Monte Carlo hot paths (routing, access, certification)
+    /// traverse this instead of the cache-hostile `Vec<Vec>` builder
+    /// adjacency; ids are identical to [`Self::graph`].
+    pub fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::from_digraph(&self.graph))
     }
 
     /// Number of stages.
@@ -107,6 +119,7 @@ impl StagedNetwork {
             stages,
             inputs: self.outputs.clone(),
             outputs: self.inputs.clone(),
+            csr: OnceLock::new(),
         }
     }
 
@@ -147,18 +160,23 @@ impl StagedNetwork {
 }
 
 impl Digraph for StagedNetwork {
+    #[inline]
     fn num_vertices(&self) -> usize {
         self.graph.num_vertices()
     }
+    #[inline]
     fn num_edges(&self) -> usize {
         self.graph.num_edges()
     }
+    #[inline]
     fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
         self.graph.endpoints(e)
     }
+    #[inline]
     fn out_edge_slice(&self, v: VertexId) -> &[EdgeId] {
         self.graph.out_edges(v)
     }
+    #[inline]
     fn in_edge_slice(&self, v: VertexId) -> &[EdgeId] {
         self.graph.in_edges(v)
     }
@@ -220,12 +238,7 @@ impl StagedBuilder {
     /// Panics if the staging invariants are violated (this is a
     /// construction bug, not an input condition).
     pub fn finish(self) -> StagedNetwork {
-        let net = StagedNetwork {
-            graph: self.graph,
-            stages: self.stages,
-            inputs: self.inputs,
-            outputs: self.outputs,
-        };
+        let net = self.finish_unvalidated();
         if let Err(e) = net.validate() {
             panic!("invalid staged network: {e}");
         }
@@ -240,6 +253,7 @@ impl StagedBuilder {
             stages: self.stages,
             inputs: self.inputs,
             outputs: self.outputs,
+            csr: OnceLock::new(),
         }
     }
 }
@@ -275,6 +289,19 @@ mod tests {
         assert_eq!(net.stage_of(v(0)), 0);
         assert_eq!(net.stage_of(v(3)), 1);
         assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn cached_csr_matches_graph() {
+        let net = crossbar();
+        let c = net.csr();
+        assert_eq!(c.num_vertices(), net.graph().num_vertices());
+        assert_eq!(c.num_edges(), net.graph().num_edges());
+        // second call returns the same cached snapshot
+        assert!(std::ptr::eq(c, net.csr()));
+        for e in net.graph().edge_ids() {
+            assert_eq!(c.endpoints(e), net.graph().endpoints(e));
+        }
     }
 
     #[test]

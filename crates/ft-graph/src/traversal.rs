@@ -6,6 +6,7 @@
 //! removed) without materialising a new graph per Monte Carlo trial.
 
 use crate::ids::{EdgeId, VertexId};
+use crate::workspace::TraversalWorkspace;
 use crate::Digraph;
 use std::collections::VecDeque;
 
@@ -83,13 +84,12 @@ pub fn bfs<G: Digraph>(
     }
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()];
-        let visit = |edges: &[EdgeId],
-                     dist: &mut Vec<u32>,
-                     parent_edge: &mut Vec<EdgeId>,
-                     order: &mut Vec<VertexId>,
-                     queue: &mut VecDeque<VertexId>,
-                     edge_ok: &mut dyn FnMut(EdgeId) -> bool,
-                     vertex_ok: &mut dyn FnMut(VertexId) -> bool| {
+        let sides: [&[EdgeId]; 2] = match dir {
+            Direction::Forward => [g.out_edge_slice(u), &[]],
+            Direction::Backward => [g.in_edge_slice(u), &[]],
+            Direction::Undirected => [g.out_edge_slice(u), g.in_edge_slice(u)],
+        };
+        for edges in sides {
             for &e in edges {
                 if !edge_ok(e) {
                     continue;
@@ -102,52 +102,92 @@ pub fn bfs<G: Digraph>(
                     queue.push_back(w);
                 }
             }
-        };
-        match dir {
-            Direction::Forward => visit(
-                g.out_edge_slice(u),
-                &mut dist,
-                &mut parent_edge,
-                &mut order,
-                &mut queue,
-                &mut edge_ok,
-                &mut vertex_ok,
-            ),
-            Direction::Backward => visit(
-                g.in_edge_slice(u),
-                &mut dist,
-                &mut parent_edge,
-                &mut order,
-                &mut queue,
-                &mut edge_ok,
-                &mut vertex_ok,
-            ),
-            Direction::Undirected => {
-                visit(
-                    g.out_edge_slice(u),
-                    &mut dist,
-                    &mut parent_edge,
-                    &mut order,
-                    &mut queue,
-                    &mut edge_ok,
-                    &mut vertex_ok,
-                );
-                visit(
-                    g.in_edge_slice(u),
-                    &mut dist,
-                    &mut parent_edge,
-                    &mut order,
-                    &mut queue,
-                    &mut edge_ok,
-                    &mut vertex_ok,
-                );
-            }
         }
     }
     Bfs {
         dist,
         parent_edge,
         order,
+    }
+}
+
+/// Zero-allocation BFS into a reusable [`TraversalWorkspace`].
+///
+/// Semantically identical to [`bfs`] (same discovery order, distances
+/// and parent edges — pinned by proptests) but borrows its buffers from
+/// `ws` instead of allocating, and clears them in O(touched) via the
+/// workspace epoch. Query the result through the workspace accessors
+/// ([`TraversalWorkspace::reached`], [`TraversalWorkspace::dist`],
+/// [`TraversalWorkspace::order`], [`TraversalWorkspace::path_to`]).
+///
+/// This is the Monte Carlo hot path: run it over a [`crate::Csr`]
+/// snapshot, not the `Vec<Vec>` builder graph.
+pub fn bfs_into<G: Digraph>(
+    g: &G,
+    sources: &[VertexId],
+    dir: Direction,
+    mut edge_ok: impl FnMut(EdgeId) -> bool,
+    mut vertex_ok: impl FnMut(VertexId) -> bool,
+    ws: &mut TraversalWorkspace,
+) {
+    ws.begin(g.num_vertices());
+    for &s in sources {
+        if !ws.is_touched(s.index()) && vertex_ok(s) {
+            ws.touch(s.index());
+            ws.dist[s.index()] = 0;
+            ws.parent[s.index()] = EdgeId::NONE.0;
+            ws.queue.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < ws.queue.len() {
+        let u = ws.queue[head];
+        head += 1;
+        let du = ws.dist[u.index()];
+        // Out-edges pair with their heads, in-edges with their tails;
+        // for a self-loop either one equals `other_endpoint`, so the
+        // parallel slices are valid in every direction.
+        let sides: [(&[EdgeId], Option<&[VertexId]>); 2] = match dir {
+            Direction::Forward => [(g.out_edge_slice(u), g.out_head_slice(u)), (&[], None)],
+            Direction::Backward => [(g.in_edge_slice(u), g.in_tail_slice(u)), (&[], None)],
+            Direction::Undirected => [
+                (g.out_edge_slice(u), g.out_head_slice(u)),
+                (g.in_edge_slice(u), g.in_tail_slice(u)),
+            ],
+        };
+        for (edges, others) in sides {
+            match others {
+                // CSR fast path: neighbour read straight off the
+                // parallel slice, no `endpoints` indirection.
+                Some(others) => {
+                    for (&e, &w) in edges.iter().zip(others) {
+                        if !edge_ok(e) {
+                            continue;
+                        }
+                        if !ws.is_touched(w.index()) && vertex_ok(w) {
+                            ws.touch(w.index());
+                            ws.dist[w.index()] = du + 1;
+                            ws.parent[w.index()] = e.0;
+                            ws.queue.push(w);
+                        }
+                    }
+                }
+                None => {
+                    for &e in edges {
+                        if !edge_ok(e) {
+                            continue;
+                        }
+                        let w = g.other_endpoint(e, u);
+                        if !ws.is_touched(w.index()) && vertex_ok(w) {
+                            ws.touch(w.index());
+                            ws.dist[w.index()] = du + 1;
+                            ws.parent[w.index()] = e.0;
+                            ws.queue.push(w);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -376,6 +416,32 @@ mod tests {
         let g = chain(4);
         let m = reachable(&g, &[v(1)], |_| true, |_| true);
         assert_eq!(m, vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn bfs_into_matches_allocating_bfs() {
+        let g = chain(6);
+        let mut ws = TraversalWorkspace::new();
+        for dir in [
+            Direction::Forward,
+            Direction::Backward,
+            Direction::Undirected,
+        ] {
+            let a = bfs(&g, &[v(2), v(4)], dir, |x| x != e(1), |x| x != v(5));
+            bfs_into(
+                &g,
+                &[v(2), v(4)],
+                dir,
+                |x| x != e(1),
+                |x| x != v(5),
+                &mut ws,
+            );
+            for u in 0..6 {
+                assert_eq!(a.dist[u], ws.dist(v(u as u32)), "dir {dir:?} vertex {u}");
+                assert_eq!(a.parent_edge[u], ws.parent_edge(v(u as u32)));
+            }
+            assert_eq!(a.order, ws.order());
+        }
     }
 
     #[test]

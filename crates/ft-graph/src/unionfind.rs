@@ -8,12 +8,22 @@
 //! are queries against it.
 
 /// Disjoint-set forest over `0..len`.
+///
+/// Entries are epoch-stamped: an element whose stamp does not match the
+/// current epoch is implicitly a singleton (its own root, size 1), so
+/// [`UnionFind::reset`] is O(1) instead of O(n) — Monte Carlo trial
+/// loops at the paper's tiny ε do a handful of unions per trial and
+/// must not pay a full re-initialisation each time.
 #[derive(Clone, Debug)]
 pub struct UnionFind {
-    /// Parent pointer; roots point at themselves.
+    /// Parent pointer; valid only when stamped with the current epoch
+    /// (roots point at themselves).
     parent: Vec<u32>,
-    /// Component size, valid only at roots.
+    /// Component size; valid only at stamped roots.
     size: Vec<u32>,
+    /// `parent[x]`/`size[x]` are live iff `stamp[x] == epoch`.
+    stamp: Vec<u32>,
+    epoch: u32,
     components: usize,
 }
 
@@ -21,9 +31,38 @@ impl UnionFind {
     /// Creates `len` singleton sets.
     pub fn new(len: usize) -> Self {
         UnionFind {
-            parent: (0..len as u32).collect(),
-            size: vec![1; len],
+            parent: vec![0; len],
+            size: vec![0; len],
+            stamp: vec![0; len],
+            epoch: 1,
             components: len,
+        }
+    }
+
+    /// Current parent of `x` (`x` itself while unstamped).
+    #[inline(always)]
+    fn load(&self, x: u32) -> u32 {
+        if self.stamp[x as usize] == self.epoch {
+            self.parent[x as usize]
+        } else {
+            x
+        }
+    }
+
+    /// Writes `parent[x] = p`, stamping the entry live.
+    #[inline(always)]
+    fn store(&mut self, x: u32, p: u32) {
+        self.stamp[x as usize] = self.epoch;
+        self.parent[x as usize] = p;
+    }
+
+    /// Size of the set rooted at stamped-or-implicit root `r`.
+    #[inline(always)]
+    fn root_size(&self, r: u32) -> u32 {
+        if self.stamp[r as usize] == self.epoch {
+            self.size[r as usize]
+        } else {
+            1
         }
     }
 
@@ -44,12 +83,16 @@ impl UnionFind {
 
     /// Representative of `x`'s set (with path halving).
     pub fn find(&mut self, mut x: u32) -> u32 {
-        while self.parent[x as usize] != x {
-            let gp = self.parent[self.parent[x as usize] as usize];
-            self.parent[x as usize] = gp;
+        loop {
+            let p = self.load(x);
+            if p == x {
+                return x;
+            }
+            let gp = self.load(p);
+            // path halving: skip over p (a no-op when p is the root)
+            self.store(x, gp);
             x = gp;
         }
-        x
     }
 
     /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
@@ -58,11 +101,15 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        if self.size[ra as usize] < self.size[rb as usize] {
+        let (mut sa, mut sb) = (self.root_size(ra), self.root_size(rb));
+        if sa < sb {
             std::mem::swap(&mut ra, &mut rb);
+            std::mem::swap(&mut sa, &mut sb);
         }
-        self.parent[rb as usize] = ra;
-        self.size[ra as usize] += self.size[rb as usize];
+        // rb stops being a root (its stale size is never read again)
+        self.store(rb, ra);
+        self.store(ra, ra);
+        self.size[ra as usize] = sa + sb;
         self.components -= 1;
         true
     }
@@ -75,7 +122,7 @@ impl UnionFind {
     /// Size of the set containing `x`.
     pub fn component_size(&mut self, x: u32) -> usize {
         let r = self.find(x);
-        self.size[r as usize] as usize
+        self.root_size(r) as usize
     }
 
     /// Compacts the quotient: returns `(class_of, num_classes)` where
@@ -97,12 +144,15 @@ impl UnionFind {
     }
 
     /// Resets every element to a singleton without reallocating —
-    /// Monte Carlo loops reuse one structure across trials.
+    /// Monte Carlo loops reuse one structure across trials. O(1): the
+    /// epoch bump invalidates every stamped entry (O(n) only on epoch
+    /// wrap-around, once per 2³² resets).
     pub fn reset(&mut self) {
-        for (i, p) in self.parent.iter_mut().enumerate() {
-            *p = i as u32;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
         }
-        self.size.fill(1);
         self.components = self.parent.len();
     }
 }
@@ -171,6 +221,32 @@ mod tests {
         let mut uf = UnionFind::new(0);
         assert!(uf.is_empty());
         assert_eq!(uf.quotient().1, 0);
+    }
+
+    /// Reusing one structure across many reset cycles must behave like a
+    /// fresh structure every time (the epoch-stamp invariant).
+    #[test]
+    fn reset_cycles_match_fresh_structures() {
+        let mut r = rng(0xE90C);
+        let n = 24;
+        let mut reused = UnionFind::new(n);
+        for _ in 0..50 {
+            reused.reset();
+            let mut fresh = UnionFind::new(n);
+            for _ in 0..r.random_range(0..30usize) {
+                let a = r.random_range(0..n) as u32;
+                let b = r.random_range(0..n) as u32;
+                assert_eq!(fresh.union(a, b), reused.union(a, b));
+            }
+            assert_eq!(fresh.num_components(), reused.num_components());
+            for x in 0..n as u32 {
+                assert_eq!(fresh.component_size(x), reused.component_size(x));
+                for y in 0..n as u32 {
+                    assert_eq!(fresh.same(x, y), reused.same(x, y));
+                }
+            }
+            assert_eq!(fresh.quotient(), reused.quotient());
+        }
     }
 
     /// Cross-check against naive connectivity on random union sequences.

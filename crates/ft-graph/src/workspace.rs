@@ -1,0 +1,225 @@
+//! Reusable traversal workspace with epoch-based clearing.
+//!
+//! Monte Carlo experiments run the same traversal kernels millions of
+//! times over one topology. Allocating `dist`/`parent`/`queue` vectors
+//! per trial dominates small-graph trials and trashes the allocator on
+//! big ones, and even a reused buffer pays an O(n) clear per trial if it
+//! is reset with `fill`. [`TraversalWorkspace`] solves both: buffers are
+//! allocated once and *logically* cleared by bumping an epoch counter —
+//! an entry is valid only if its stamp equals the current epoch — so a
+//! reset costs O(1) and a whole trial costs O(vertices touched).
+//!
+//! The workspace is shared by the `_into` entry points of
+//! [`crate::traversal::bfs_into`], [`crate::maxflow`] (Dinic levels and
+//! iterator state) and, through [`crate::maxflow::FlowWorkspace`], the
+//! Menger helpers. One workspace may serve domains of different sizes
+//! back to back (e.g. a graph with `n` vertices and its split flow
+//! network with `2n + 2` nodes): [`TraversalWorkspace::begin`] grows the
+//! buffers on demand and never shrinks them.
+
+use crate::ids::{EdgeId, VertexId};
+use crate::traversal::UNREACHED;
+use crate::Digraph;
+use std::ops::Range;
+
+/// Reusable buffers for BFS-shaped traversals, cleared in O(touched).
+///
+/// After a traversal (`bfs_into` and friends) the workspace *is* the
+/// result: query it with [`reached`](Self::reached),
+/// [`dist`](Self::dist), [`parent_edge`](Self::parent_edge),
+/// [`order`](Self::order) and [`path_to`](Self::path_to). The result
+/// stays valid until the next traversal that borrows the workspace.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalWorkspace {
+    /// Current epoch; an entry `i` is live iff `stamp[i] == epoch`.
+    epoch: u32,
+    stamp: Vec<u32>,
+    /// BFS distance / Dinic level of each touched entry.
+    pub(crate) dist: Vec<u32>,
+    /// BFS parent edge bits / Dinic per-node arc cursor.
+    pub(crate) parent: Vec<u32>,
+    /// FIFO queue; after a BFS this is the discovery order.
+    pub(crate) queue: Vec<VertexId>,
+}
+
+impl TraversalWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new traversal over a domain of `n` entries: grows the
+    /// buffers if needed and invalidates every previous stamp in O(1)
+    /// (O(n) only on epoch wrap-around, once per 2³² traversals).
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
+            self.parent.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Whether entry `i` has been touched in the current traversal.
+    #[inline(always)]
+    pub(crate) fn is_touched(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    /// Marks entry `i` touched in the current traversal.
+    #[inline(always)]
+    pub(crate) fn touch(&mut self, i: usize) {
+        self.stamp[i] = self.epoch;
+    }
+
+    /// Whether `v` was reached by the last traversal.
+    #[inline]
+    pub fn reached(&self, v: VertexId) -> bool {
+        self.is_touched(v.index())
+    }
+
+    /// Distance of `v` from the sources of the last traversal, or
+    /// [`UNREACHED`] if it was not reached.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> u32 {
+        if self.is_touched(v.index()) {
+            self.dist[v.index()]
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// Edge by which `v` was discovered ([`EdgeId::NONE`] for sources
+    /// and unreached vertices).
+    #[inline]
+    pub fn parent_edge(&self, v: VertexId) -> EdgeId {
+        if self.is_touched(v.index()) {
+            EdgeId(self.parent[v.index()])
+        } else {
+            EdgeId::NONE
+        }
+    }
+
+    /// Vertices reached by the last traversal, in discovery order.
+    #[inline]
+    pub fn order(&self) -> &[VertexId] {
+        &self.queue
+    }
+
+    /// Number of vertices reached by the last traversal.
+    #[inline]
+    pub fn num_reached(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// How many reached vertices have ids in `range` — O(reached), not
+    /// O(|range|), so counting boundary-stage access in a huge network
+    /// costs only the vertices the walk actually touched.
+    pub fn count_reached_in(&self, range: Range<u32>) -> usize {
+        self.queue.iter().filter(|v| range.contains(&v.0)).count()
+    }
+
+    /// Reconstructs a path from some source of the last traversal to `v`
+    /// (inclusive), following parent edges backwards. Returns `None` if
+    /// `v` was not reached. `g` must be the graph the traversal ran on.
+    pub fn path_to(&self, g: &impl Digraph, v: VertexId) -> Option<Vec<VertexId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        loop {
+            let e = self.parent_edge(cur);
+            if e.is_none() {
+                break;
+            }
+            cur = g.other_endpoint(e, cur);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::v;
+    use crate::traversal::{bfs_into, Direction};
+    use crate::DiGraph;
+
+    fn chain(n: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_vertices(n);
+        for i in 0..n - 1 {
+            g.add_edge(v(i as u32), v(i as u32 + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn epoch_reset_invalidates_previous_run() {
+        let g = chain(4);
+        let mut ws = TraversalWorkspace::new();
+        bfs_into(&g, &[v(0)], Direction::Forward, |_| true, |_| true, &mut ws);
+        assert!(ws.reached(v(3)));
+        // second run from the far end: old reachability must be gone
+        bfs_into(&g, &[v(3)], Direction::Forward, |_| true, |_| true, &mut ws);
+        assert!(ws.reached(v(3)));
+        assert!(!ws.reached(v(0)));
+        assert_eq!(ws.dist(v(0)), UNREACHED);
+        assert_eq!(ws.parent_edge(v(0)), EdgeId::NONE);
+    }
+
+    #[test]
+    fn grows_across_domains() {
+        let small = chain(3);
+        let big = chain(50);
+        let mut ws = TraversalWorkspace::new();
+        bfs_into(
+            &small,
+            &[v(0)],
+            Direction::Forward,
+            |_| true,
+            |_| true,
+            &mut ws,
+        );
+        assert_eq!(ws.num_reached(), 3);
+        bfs_into(
+            &big,
+            &[v(0)],
+            Direction::Forward,
+            |_| true,
+            |_| true,
+            &mut ws,
+        );
+        assert_eq!(ws.num_reached(), 50);
+        assert_eq!(ws.dist(v(49)), 49);
+    }
+
+    #[test]
+    fn count_reached_in_range() {
+        let g = chain(10);
+        let mut ws = TraversalWorkspace::new();
+        bfs_into(&g, &[v(4)], Direction::Forward, |_| true, |_| true, &mut ws);
+        assert_eq!(ws.count_reached_in(0..10), 6);
+        assert_eq!(ws.count_reached_in(0..4), 0);
+        assert_eq!(ws.count_reached_in(8..10), 2);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = chain(5);
+        let mut ws = TraversalWorkspace::new();
+        bfs_into(&g, &[v(0)], Direction::Forward, |_| true, |_| true, &mut ws);
+        let p = ws.path_to(&g, v(4)).unwrap();
+        assert_eq!(p, vec![v(0), v(1), v(2), v(3), v(4)]);
+        bfs_into(&g, &[v(2)], Direction::Forward, |_| true, |_| true, &mut ws);
+        assert!(ws.path_to(&g, v(0)).is_none());
+    }
+}

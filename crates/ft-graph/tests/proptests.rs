@@ -2,15 +2,19 @@
 
 use ft_graph::gen;
 use ft_graph::ids::VertexId;
-use ft_graph::matching::hopcroft_karp;
-use ft_graph::maxflow::{vertex_disjoint_paths, DisjointOptions, FlowNetwork};
+use ft_graph::matching::{hopcroft_karp, hopcroft_karp_into, MatchingWorkspace};
+use ft_graph::maxflow::{
+    vertex_disjoint_paths, vertex_disjoint_paths_into, DisjointOptions, FlowNetwork,
+};
 use ft_graph::menger::max_disjoint_paths;
 use ft_graph::paths::are_vertex_disjoint;
-use ft_graph::traversal::{bfs_forward, dag_depth, is_acyclic, topo_order};
+use ft_graph::traversal::{
+    bfs, bfs_forward, bfs_into, dag_depth, is_acyclic, topo_order, Direction,
+};
 use ft_graph::tree::{
     contract_stretches, is_forest, leaves, min_internal_degree_3, reduce_to_degree_3,
 };
-use ft_graph::{Csr, DiGraph};
+use ft_graph::{Csr, DiGraph, FlowWorkspace, TraversalWorkspace};
 use proptest::prelude::*;
 
 /// Strategy: a random DAG described by (n, edge list of (a, b) with a < b).
@@ -146,6 +150,73 @@ proptest! {
                 let (a2, b2) = g.endpoints(w[1]);
                 prop_assert!(a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2);
             }
+        }
+    }
+
+    #[test]
+    fn bfs_into_matches_allocating_bfs(g in dag_strategy(), seed in 0u64..1000) {
+        use rand::Rng;
+        let mut r = gen::rng(seed);
+        let n = g.num_vertices();
+        let src = VertexId::from(r.random_range(0..n));
+        let src2 = VertexId::from(r.random_range(0..n));
+        let banned_v = VertexId::from(r.random_range(0..n));
+        let banned_e = r.random_range(0..g.num_edges().max(1)) as u32;
+        let c = Csr::from_digraph(&g);
+        // ONE workspace reused across all six runs: equivalence must hold
+        // regardless of what a previous traversal left in the buffers.
+        let mut ws = TraversalWorkspace::new();
+        for dir in [Direction::Forward, Direction::Backward, Direction::Undirected] {
+            let reference = bfs(
+                &g, &[src, src2], dir,
+                |e| e.0 != banned_e,
+                |v| v != banned_v,
+            );
+            // unfiltered run first to plant stale state in the workspace
+            bfs_into(&g, &[src2], Direction::Forward, |_| true, |_| true, &mut ws);
+            // run over the CSR snapshot: representation must not matter
+            bfs_into(&c, &[src, src2], dir, |e| e.0 != banned_e, |v| v != banned_v, &mut ws);
+            for u in 0..n {
+                let u = VertexId::from(u);
+                prop_assert_eq!(reference.dist[u.index()], ws.dist(u));
+                prop_assert_eq!(reference.parent_edge[u.index()], ws.parent_edge(u));
+            }
+            prop_assert_eq!(&reference.order, ws.order());
+        }
+    }
+
+    #[test]
+    fn disjoint_paths_into_matches_allocating(g in dag_strategy()) {
+        let n = g.num_vertices();
+        let sources: Vec<_> = (0..n / 2).map(VertexId::from).collect();
+        let sinks: Vec<_> = (n / 2..n).map(VertexId::from).collect();
+        let mut fw = FlowWorkspace::new();
+        // repeated queries through one workspace, against fresh calls
+        for banned in [None, Some(VertexId::from(n / 2))] {
+            let fresh = vertex_disjoint_paths(&g, &sources, &sinks, |_| true,
+                |v| Some(v) != banned, DisjointOptions::default());
+            let reused = vertex_disjoint_paths_into(&g, &sources, &sinks, |_| true,
+                |v| Some(v) != banned, DisjointOptions::default(), &mut fw);
+            prop_assert_eq!(fresh.count, reused.count);
+            prop_assert_eq!(&fresh.paths, &reused.paths);
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_into_matches_allocating(seed in 0u64..500) {
+        let mut r = gen::rng(seed);
+        use rand::Rng;
+        let mut ws = MatchingWorkspace::new();
+        for _ in 0..3 {
+            let left = r.random_range(1..12usize);
+            let right = r.random_range(1..12usize);
+            let deg = r.random_range(0..=right.min(5));
+            let adj = gen::random_bipartite_adjacency(&mut r, left, right, deg);
+            let m = hopcroft_karp(&adj, right);
+            let size = hopcroft_karp_into(&adj, right, &mut ws);
+            prop_assert_eq!(m.size, size);
+            prop_assert_eq!(&m.pair_left, &ws.pair_left);
+            prop_assert_eq!(&m.pair_right, &ws.pair_right);
         }
     }
 

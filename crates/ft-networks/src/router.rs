@@ -9,7 +9,8 @@
 //! connect/disconnect churn.
 
 use ft_graph::ids::VertexId;
-use ft_graph::traversal::{bfs, Direction};
+use ft_graph::traversal::{bfs_into, Direction};
+use ft_graph::workspace::TraversalWorkspace;
 use ft_graph::StagedNetwork;
 
 /// Why a connection attempt failed.
@@ -40,24 +41,32 @@ impl std::error::Error for RouteError {}
 pub struct SessionId(pub u32);
 
 /// Greedy circuit router over a staged network.
+///
+/// Path searches run over the network's cached CSR snapshot with a
+/// router-owned [`TraversalWorkspace`], so a `connect` allocates only
+/// the path it establishes.
 #[derive(Clone, Debug)]
 pub struct CircuitRouter<'a> {
     net: &'a StagedNetwork,
     /// Vertices usable at all (repair mask); true = usable.
     alive: Vec<bool>,
-    /// Vertices currently carrying a circuit.
-    busy: Vec<bool>,
+    /// `alive[v] && !busy[v]`, maintained incrementally so the BFS
+    /// filter reads one array instead of two.
+    idle: Vec<bool>,
     sessions: Vec<Option<Vec<VertexId>>>,
+    ws: TraversalWorkspace,
 }
 
 impl<'a> CircuitRouter<'a> {
     /// Router over a fully healthy network.
     pub fn new(net: &'a StagedNetwork) -> Self {
+        let n = net.graph().num_vertices();
         CircuitRouter {
             net,
-            alive: vec![true; net.graph().num_vertices()],
-            busy: vec![false; net.graph().num_vertices()],
+            alive: vec![true; n],
+            idle: vec![true; n],
             sessions: Vec::new(),
+            ws: TraversalWorkspace::new(),
         }
     }
 
@@ -65,16 +74,17 @@ impl<'a> CircuitRouter<'a> {
     pub fn with_alive_mask(net: &'a StagedNetwork, alive: Vec<bool>) -> Self {
         assert_eq!(alive.len(), net.graph().num_vertices());
         CircuitRouter {
+            idle: alive.clone(),
             net,
             alive,
-            busy: vec![false; net.graph().num_vertices()],
             sessions: Vec::new(),
+            ws: TraversalWorkspace::new(),
         }
     }
 
     /// Whether `v` is idle (alive and not carrying a circuit).
     pub fn is_idle(&self, v: VertexId) -> bool {
-        self.alive[v.index()] && !self.busy[v.index()]
+        self.idle[v.index()]
     }
 
     /// Number of live sessions.
@@ -97,20 +107,21 @@ impl<'a> CircuitRouter<'a> {
         if !self.is_idle(output) {
             return Err(RouteError::OutputUnavailable(output));
         }
-        let alive = &self.alive;
-        let busy = &self.busy;
-        let b = bfs(
-            self.net.graph(),
+        let csr = self.net.csr();
+        let idle = &self.idle;
+        bfs_into(
+            csr,
             &[input],
             Direction::Forward,
             |_| true,
-            |v| alive[v.index()] && !busy[v.index()],
+            |v| idle[v.index()],
+            &mut self.ws,
         );
-        let Some(path) = b.path_to(self.net.graph(), output) else {
+        let Some(path) = self.ws.path_to(csr, output) else {
             return Err(RouteError::Blocked(input, output));
         };
         for &v in &path {
-            self.busy[v.index()] = true;
+            self.idle[v.index()] = false;
         }
         let id = SessionId(self.sessions.len() as u32);
         self.sessions.push(Some(path));
@@ -126,7 +137,7 @@ impl<'a> CircuitRouter<'a> {
             .take()
             .expect("session already disconnected");
         for v in path {
-            self.busy[v.index()] = false;
+            self.idle[v.index()] = self.alive[v.index()];
         }
     }
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Bench regression gate: runs the Criterion suite with BENCH_JSON output
+# and fails if any benchmark is more than MAX_RATIO times slower than the
+# committed baseline in bench-results/.
+#
+#   usage: scripts/bench_check.sh [max_ratio]
+#
+# The committed BENCH_*.json files are flat arrays of
+#   {"bench": "<id>", "ns_per_iter": <int>, "iters": <int>}
+# (one file per bench executable, written by the vendored criterion
+# shim). Benchmarks present only on one side are reported but do not
+# fail the gate — new benches need a baseline refresh, which is exactly
+# the signal we want in CI output.
+#
+# Regenerate baselines (same machine you compare on!) with:
+#   BENCH_JSON=$PWD/bench-results cargo bench
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_RATIO="${1:-1.5}"
+BASELINE_DIR="bench-results"
+RUN_DIR="$(mktemp -d)"
+trap 'rm -rf "$RUN_DIR"' EXIT
+
+if [ ! -d "$BASELINE_DIR" ] || ! ls "$BASELINE_DIR"/BENCH_*.json >/dev/null 2>&1; then
+    echo "bench_check: no committed baselines in $BASELINE_DIR/ — nothing to gate" >&2
+    exit 1
+fi
+
+echo "bench_check: running suite (baselines -> $RUN_DIR)"
+BENCH_JSON="$RUN_DIR" cargo bench --quiet
+
+# Flatten "bench<TAB>ns" pairs out of the shim's one-entry-per-line JSON.
+extract() {
+    sed -n 's/.*"bench": "\([^"]*\)", "ns_per_iter": \([0-9]*\).*/\1\t\2/p' "$@"
+}
+
+extract "$BASELINE_DIR"/BENCH_*.json | sort >"$RUN_DIR/baseline.tsv"
+extract "$RUN_DIR"/BENCH_*.json | sort >"$RUN_DIR/current.tsv"
+
+# Surface (but do not fail on) benches missing from either side — print
+# this BEFORE the gate so the diagnostic survives a failing exit below.
+comm -23 <(cut -f1 "$RUN_DIR/baseline.tsv") <(cut -f1 "$RUN_DIR/current.tsv") |
+    sed 's/^/  baseline-only: /'
+comm -13 <(cut -f1 "$RUN_DIR/baseline.tsv") <(cut -f1 "$RUN_DIR/current.tsv") |
+    sed 's/^/  new (no baseline): /'
+
+join -t "$(printf '\t')" "$RUN_DIR/baseline.tsv" "$RUN_DIR/current.tsv" |
+    awk -F '\t' -v max="$MAX_RATIO" '
+    {
+        ratio = ($2 > 0) ? $3 / $2 : 1
+        status = (ratio > max) ? "REGRESSION" : "ok"
+        printf "  %-45s %12d -> %12d ns/iter  (%.2fx) %s\n", $1, $2, $3, ratio, status
+        if (ratio > max) bad++
+    }
+    END {
+        if (bad > 0) {
+            printf "bench_check: %d benchmark(s) regressed beyond %.2fx\n", bad, max
+            exit 1
+        }
+        print "bench_check: all benchmarks within " max "x of baseline"
+    }'

@@ -10,7 +10,7 @@
 //! changed and every recorded experiment/baseline seed is invalidated —
 //! treat that as a breaking change, not a test to update casually.
 
-use fault_tolerant_switching::failure::{FailureInstance, FailureModel};
+use fault_tolerant_switching::failure::{FailureInstance, FailureMask, FailureModel};
 use fault_tolerant_switching::graph::gen::rng;
 use fault_tolerant_switching::graph::EdgeId;
 use rand::Rng;
@@ -86,4 +86,56 @@ fn resample_matches_fresh_sample() {
     let mut reused = FailureInstance::perfect(2048);
     reused.resample(&model, &mut b, 2048);
     assert_eq!(fingerprint(&fresh), fingerprint(&reused));
+}
+
+/// The packed [`FailureMask`] sampler must reproduce the exact golden
+/// stream the unpacked `Vec<SwitchState>` reference sampler is pinned to
+/// (above, `failure_sampling_is_pinned`): in the sparse regime both
+/// consume the RNG identically, so the byte-for-byte states — and hence
+/// the recorded fingerprints — carry over to the bitset representation.
+#[test]
+fn mask_sampling_matches_reference_golden_fingerprint() {
+    let model = FailureModel::new(1e-2, 1e-2);
+    // the mask-backed FailureInstance reproduces the pinned fingerprint
+    let inst = FailureInstance::sample(&model, &mut rng(42), 10_000);
+    assert_eq!(fingerprint(&inst), 0x8d90346320db69e1);
+    // and matches the unpacked reference sampler state by state
+    let states = model.sample_states(&mut rng(42), 10_000);
+    let mask = model.sample_mask(&mut rng(42), 10_000);
+    assert_eq!(mask.to_states(), states);
+    assert_eq!(FailureMask::from_states(&states), mask);
+}
+
+/// Sparse equivalence across asymmetric models: every total failure
+/// probability below `DENSE_CUTOFF` must give bit-identical states
+/// between the packed and reference samplers.
+#[test]
+fn mask_matches_reference_across_sparse_models() {
+    for (e1, e2) in [(3e-3, 1e-3), (1e-2, 2e-2), (0.0, 0.05), (0.06, 0.0)] {
+        let model = FailureModel::new(e1, e2);
+        assert!(model.total() < FailureModel::DENSE_CUTOFF);
+        for seed in [0u64, 7, 0x5EED_CAFE] {
+            let states = model.sample_states(&mut rng(seed), 4096);
+            let inst = FailureInstance::sample(&model, &mut rng(seed), 4096);
+            assert_eq!(inst.mask().to_states(), states, "({e1}, {e2}) seed {seed}");
+        }
+    }
+}
+
+/// The dense word-fill path is deterministic per seed and keeps the
+/// model's marginals (its RNG stream legitimately differs from the
+/// per-switch reference — two switches per `u64` draw).
+#[test]
+fn mask_dense_word_fill_is_deterministic_and_calibrated() {
+    let model = FailureModel::symmetric(0.1); // total 0.2 ≥ DENSE_CUTOFF
+    assert!(model.total() >= FailureModel::DENSE_CUTOFF);
+    let a = FailureInstance::sample(&model, &mut rng(5), 100_000);
+    let b = FailureInstance::sample(&model, &mut rng(5), 100_000);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    let (open, closed, _) = a.counts();
+    assert!((open as f64 / 100_000.0 - 0.1).abs() < 0.01, "open {open}");
+    assert!(
+        (closed as f64 / 100_000.0 - 0.1).abs() < 0.01,
+        "closed {closed}"
+    );
 }
