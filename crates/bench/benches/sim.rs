@@ -1,0 +1,55 @@
+//! Simulation-engine kernels: event-loop throughput with and without
+//! the temporal fault process.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_sim::{run_seed_with, Fabric, HoldingTime, SimConfig, SimWorkspace, TrafficPattern};
+use std::hint::black_box;
+
+fn cfg_1k_calls() -> SimConfig {
+    SimConfig {
+        arrival_rate: 10.0,
+        holding: HoldingTime::Exponential { mean: 1.0 },
+        pattern: TrafficPattern::Uniform,
+        fault_rate: 0.0,
+        fault_open_share: 0.5,
+        mttr: 0.0,
+        duration: 100.0, // ≈ 1000 arrivals
+        warmup: 0.0,
+        buckets: 10,
+    }
+}
+
+/// Pure event-loop churn: ~1000 arrivals plus their hangups on a
+/// strict Clos, no faults — the engine overhead per call.
+fn bench_sim_churn(c: &mut Criterion) {
+    let fabric = Fabric::clos_strict(4, 4);
+    let cfg = cfg_1k_calls();
+    let mut ws = SimWorkspace::default();
+    let mut seed = 0u64;
+    c.bench_function("sim_churn_1k_calls", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
+        })
+    });
+}
+
+/// The same workload with the temporal fault process on: every fault
+/// and repair recomputes the §4 alive mask and reapplies it.
+fn bench_sim_churn_faulty(c: &mut Criterion) {
+    let fabric = Fabric::clos_strict(4, 4);
+    let mut cfg = cfg_1k_calls();
+    cfg.fault_rate = 0.002;
+    cfg.mttr = 10.0;
+    let mut ws = SimWorkspace::default();
+    let mut seed = 0u64;
+    c.bench_function("sim_churn_1k_calls_faulty", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim_churn, bench_sim_churn_faulty);
+criterion_main!(benches);

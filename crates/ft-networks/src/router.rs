@@ -45,6 +45,14 @@ pub struct SessionId(pub u32);
 /// Path searches run over the network's cached CSR snapshot with a
 /// router-owned [`TraversalWorkspace`], so a `connect` allocates only
 /// the path it establishes.
+///
+/// Released session slots go on a free list and are reused by later
+/// `connect`s, so `sessions` stays bounded by the *peak* number of
+/// concurrent circuits under arbitrarily long churn. A [`SessionId`] is
+/// therefore only meaningful while its session is live: holding a stale
+/// id after `disconnect` (or a fault kill) and using it later may
+/// address a different circuit that reused the slot — callers that
+/// outlive their sessions (the simulation engine) must revalidate.
 #[derive(Clone, Debug)]
 pub struct CircuitRouter<'a> {
     net: &'a StagedNetwork,
@@ -54,6 +62,8 @@ pub struct CircuitRouter<'a> {
     /// filter reads one array instead of two.
     idle: Vec<bool>,
     sessions: Vec<Option<Vec<VertexId>>>,
+    /// Released slots in `sessions`, reused before growing the table.
+    free: Vec<u32>,
     ws: TraversalWorkspace,
 }
 
@@ -66,6 +76,7 @@ impl<'a> CircuitRouter<'a> {
             alive: vec![true; n],
             idle: vec![true; n],
             sessions: Vec::new(),
+            free: Vec::new(),
             ws: TraversalWorkspace::new(),
         }
     }
@@ -78,6 +89,7 @@ impl<'a> CircuitRouter<'a> {
             net,
             alive,
             sessions: Vec::new(),
+            free: Vec::new(),
             ws: TraversalWorkspace::new(),
         }
     }
@@ -87,9 +99,21 @@ impl<'a> CircuitRouter<'a> {
         self.idle[v.index()]
     }
 
+    /// Whether `v` is alive (usable under the current repair mask).
+    pub fn is_alive(&self, v: VertexId) -> bool {
+        self.alive[v.index()]
+    }
+
     /// Number of live sessions.
     pub fn active_sessions(&self) -> usize {
-        self.sessions.iter().filter(|s| s.is_some()).count()
+        self.sessions.len() - self.free.len()
+    }
+
+    /// Capacity of the session table (live slots + free-listed slots).
+    /// Bounded by the peak concurrent session count, not by the total
+    /// number of connects ever served.
+    pub fn session_slots(&self) -> usize {
+        self.sessions.len()
     }
 
     /// The path held by a session.
@@ -123,22 +147,89 @@ impl<'a> CircuitRouter<'a> {
         for &v in &path {
             self.idle[v.index()] = false;
         }
-        let id = SessionId(self.sessions.len() as u32);
-        self.sessions.push(Some(path));
+        let id = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.sessions[slot as usize].is_none());
+                self.sessions[slot as usize] = Some(path);
+                SessionId(slot)
+            }
+            None => {
+                let id = SessionId(self.sessions.len() as u32);
+                self.sessions.push(Some(path));
+                id
+            }
+        };
         Ok(id)
     }
 
-    /// Releases a session's circuit.
-    ///
-    /// # Panics
-    /// Panics if the session does not exist or was already disconnected.
-    pub fn disconnect(&mut self, id: SessionId) {
-        let path = self.sessions[id.0 as usize]
-            .take()
-            .expect("session already disconnected");
+    /// Releases a session's circuit. Returns whether a live circuit was
+    /// actually torn down: disconnecting an unknown or
+    /// already-disconnected session is a checked no-op yielding `false`.
+    pub fn disconnect(&mut self, id: SessionId) -> bool {
+        let Some(slot) = self.sessions.get_mut(id.0 as usize) else {
+            return false;
+        };
+        let Some(path) = slot.take() else {
+            return false;
+        };
         for v in path {
             self.idle[v.index()] = self.alive[v.index()];
         }
+        self.free.push(id.0);
+        true
+    }
+
+    /// Kills every live session whose path crosses vertex `v` (a switch
+    /// endpoint that just failed). Freed vertices become idle again;
+    /// the killed sessions' slots return to the free list. Returns the
+    /// killed ids in ascending slot order (deterministic).
+    pub fn kill_sessions_through(&mut self, v: VertexId) -> Vec<SessionId> {
+        self.kill_sessions_where(|u| u == v, true)
+    }
+
+    /// Replaces the repair mask wholesale (a fault or repair event
+    /// changed the set of usable vertices), killing every live session
+    /// that crosses a now-dead vertex and recomputing idleness. Returns
+    /// the killed ids in ascending slot order.
+    pub fn set_alive_mask(&mut self, alive: &[bool]) -> Vec<SessionId> {
+        assert_eq!(alive.len(), self.alive.len(), "alive mask length mismatch");
+        self.alive.copy_from_slice(alive);
+        // Idleness is rebuilt wholesale below, so the kill pass skips
+        // its per-path idle restoration.
+        let killed = self.kill_sessions_where(|u| !alive[u.index()], false);
+        // Rebuild idleness from scratch: alive and not on any live path.
+        // O(V + total live path length), only paid on fault/repair events.
+        self.idle.copy_from_slice(&self.alive);
+        for path in self.sessions.iter().flatten() {
+            for &u in path {
+                self.idle[u.index()] = false;
+            }
+        }
+        killed
+    }
+
+    fn kill_sessions_where(
+        &mut self,
+        dead: impl Fn(VertexId) -> bool,
+        restore_idle: bool,
+    ) -> Vec<SessionId> {
+        let mut killed = Vec::new();
+        for (slot, entry) in self.sessions.iter_mut().enumerate() {
+            let crosses = entry
+                .as_ref()
+                .is_some_and(|path| path.iter().any(|&u| dead(u)));
+            if crosses {
+                let path = entry.take().expect("checked is_some above");
+                if restore_idle {
+                    for u in path {
+                        self.idle[u.index()] = self.alive[u.index()];
+                    }
+                }
+                self.free.push(slot as u32);
+                killed.push(SessionId(slot as u32));
+            }
+        }
+        killed
     }
 
     /// The underlying network.
@@ -276,12 +367,97 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already disconnected")]
-    fn double_disconnect_panics() {
+    fn double_disconnect_is_checked_noop() {
         let net = crossbar(2);
         let mut router = CircuitRouter::new(&net);
         let id = router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
-        router.disconnect(id);
-        router.disconnect(id);
+        assert!(router.disconnect(id));
+        // second teardown: no-op, reported as such
+        assert!(!router.disconnect(id));
+        // unknown session ids are also a checked no-op
+        assert!(!router.disconnect(SessionId(999)));
+        assert_eq!(router.active_sessions(), 0);
+        // the network is fully released — the pair reconnects
+        router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
+    }
+
+    #[test]
+    fn session_table_stays_bounded_under_long_churn() {
+        // Regression for unbounded session growth: churn way more than
+        // 2x the terminal count through the router; the slot table must
+        // stay at the peak concurrency, not the total connect count.
+        let c = Clos::strictly_nonblocking(2, 3); // 6 terminals
+        let net = &c.net;
+        let n = c.terminals();
+        let mut router = CircuitRouter::new(net);
+        let mut r = rng(17);
+        let mut live: Vec<SessionId> = Vec::new();
+        let mut connects = 0usize;
+        while connects < 4 * n {
+            if live.len() < n && (live.is_empty() || r.random_bool(0.5)) {
+                let i = (0..n).find(|&i| router.is_idle(net.inputs()[i]));
+                let o = (0..n).find(|&o| router.is_idle(net.outputs()[o]));
+                if let (Some(i), Some(o)) = (i, o) {
+                    live.push(router.connect(net.inputs()[i], net.outputs()[o]).unwrap());
+                    connects += 1;
+                }
+            } else {
+                let k = r.random_range(0..live.len());
+                assert!(router.disconnect(live.swap_remove(k)));
+            }
+        }
+        assert!(connects >= 2 * n);
+        assert!(
+            router.session_slots() <= n,
+            "session table grew to {} slots for {} terminals ({} connects)",
+            router.session_slots(),
+            n,
+            connects
+        );
+    }
+
+    #[test]
+    fn kill_sessions_through_vertex_frees_path() {
+        let net = crossbar(3);
+        let mut router = CircuitRouter::new(&net);
+        let a = router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
+        let b = router.connect(net.inputs()[1], net.outputs()[1]).unwrap();
+        let killed = router.kill_sessions_through(net.inputs()[0]);
+        assert_eq!(killed, vec![a]);
+        assert_eq!(router.active_sessions(), 1);
+        assert!(router.session_path(a).is_none());
+        assert!(router.session_path(b).is_some());
+        // the killed path's vertices are idle again
+        assert!(router.is_idle(net.inputs()[0]));
+        assert!(router.is_idle(net.outputs()[0]));
+        router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
+    }
+
+    #[test]
+    fn set_alive_mask_kills_crossing_sessions_and_restores() {
+        let c = Clos::strictly_nonblocking(2, 2); // 4 terminals
+        let net = &c.net;
+        let mut router = CircuitRouter::new(net);
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(router.connect(net.inputs()[i], net.outputs()[i]).unwrap());
+        }
+        // kill the internal vertices of session 0's path
+        let path: Vec<_> = router.session_path(ids[0]).unwrap().to_vec();
+        let mut alive = vec![true; net.graph().num_vertices()];
+        for &v in &path[1..path.len() - 1] {
+            alive[v.index()] = false;
+        }
+        let killed = router.set_alive_mask(&alive);
+        assert_eq!(killed, vec![ids[0]]);
+        assert_eq!(router.active_sessions(), 3);
+        // endpoints idle again, dead internals are not idle
+        assert!(router.is_idle(net.inputs()[0]));
+        assert!(!router.is_idle(path[1]));
+        assert!(!router.is_alive(path[1]));
+        // full repair: revive everything; the pair reconnects
+        let revived = router.set_alive_mask(&vec![true; net.graph().num_vertices()]);
+        assert!(revived.is_empty());
+        router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
     }
 }

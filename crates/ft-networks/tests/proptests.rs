@@ -129,3 +129,124 @@ proptest! {
         prop_assert!(!rearr.is_strict_by_theorem() || n == 1);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Router state invariant under random connect / disconnect /
+    /// double-disconnect / vertex-kill / revive sequences:
+    ///
+    /// * `idle[v] == alive[v] && (no live session path contains v)`;
+    /// * live session paths are pairwise vertex-disjoint;
+    /// * the live-session census matches external bookkeeping;
+    /// * the slot table never exceeds peak concurrency.
+    #[test]
+    fn router_invariant_under_random_ops(seed in 0u64..20_000, steps in 30usize..120) {
+        use ft_networks::{RouteError, SessionId};
+        use rand::Rng;
+        let c = Clos::strictly_nonblocking(2, 3); // 6 terminals
+        let net = &c.net;
+        let nv = net.graph().num_vertices();
+        let n = c.terminals();
+        let terminal: Vec<bool> = {
+            let mut t = vec![false; nv];
+            for &v in net.inputs().iter().chain(net.outputs()) {
+                t[v.index()] = true;
+            }
+            t
+        };
+        let mut router = CircuitRouter::new(net);
+        let mut r = rng(seed);
+        let mut live: Vec<SessionId> = Vec::new();
+        let mut stale: Vec<SessionId> = Vec::new();
+        let mut alive = vec![true; nv];
+        let mut peak = 0usize;
+        for _ in 0..steps {
+            match r.random_range(0..6u32) {
+                0..=2 => {
+                    // connect a random pair (may legitimately fail)
+                    let i = r.random_range(0..n);
+                    let o = r.random_range(0..n);
+                    match router.connect(net.inputs()[i], net.outputs()[o]) {
+                        Ok(id) => live.push(id),
+                        Err(RouteError::Blocked(_, _))
+                        | Err(RouteError::InputUnavailable(_))
+                        | Err(RouteError::OutputUnavailable(_)) => {}
+                    }
+                }
+                3 => {
+                    // disconnect a live session, or replay a stale id
+                    if !live.is_empty() && (stale.is_empty() || r.random_bool(0.7)) {
+                        let k = r.random_range(0..live.len());
+                        let id = live.swap_remove(k);
+                        prop_assert!(router.disconnect(id));
+                        stale.push(id);
+                    } else if !stale.is_empty() {
+                        // double-disconnect of an id no live call holds
+                        // must be a no-op unless the slot was reused by
+                        // a *current* live session
+                        let id = stale[r.random_range(0..stale.len())];
+                        if !live.contains(&id) {
+                            router.disconnect(id);
+                            // note: may return true if slot reused —
+                            // the ABA the engine guards with tokens;
+                            // remove it from live bookkeeping if so
+                            prop_assert!(router.session_path(id).is_none());
+                        }
+                    }
+                }
+                4 => {
+                    // kill a random internal vertex
+                    let v = ft_graph::VertexId::from(r.random_range(0..nv));
+                    if !terminal[v.index()] {
+                        alive[v.index()] = false;
+                        let killed = router.set_alive_mask(&alive);
+                        for id in killed {
+                            let k = live.iter().position(|&x| x == id);
+                            prop_assert!(k.is_some(), "killed unknown session");
+                            live.swap_remove(k.unwrap());
+                            stale.push(id);
+                        }
+                    }
+                }
+                _ => {
+                    // full repair
+                    alive.iter_mut().for_each(|a| *a = true);
+                    let killed = router.set_alive_mask(&alive);
+                    prop_assert!(killed.is_empty());
+                }
+            }
+            peak = peak.max(live.len());
+            // ---- invariant check ----
+            prop_assert_eq!(router.active_sessions(), live.len());
+            prop_assert!(router.session_slots() <= peak.max(1));
+            let mut on_path = vec![false; nv];
+            let mut paths: Vec<&[ft_graph::VertexId]> = Vec::new();
+            for &id in &live {
+                let p = router.session_path(id);
+                prop_assert!(p.is_some(), "live session lost its path");
+                paths.push(p.unwrap());
+            }
+            prop_assert!(
+                ft_graph::paths::are_vertex_disjoint(paths.iter().copied()),
+                "live paths overlap"
+            );
+            for p in &paths {
+                for &v in *p {
+                    on_path[v.index()] = true;
+                    prop_assert!(alive[v.index()], "session crosses dead vertex");
+                }
+            }
+            for v in 0..nv {
+                let expect = alive[v] && !on_path[v];
+                prop_assert_eq!(
+                    router.is_idle(ft_graph::VertexId::from(v)),
+                    expect,
+                    "idle[{}] mismatch (alive {}, on_path {})",
+                    v, alive[v], on_path[v]
+                );
+                prop_assert_eq!(router.is_alive(ft_graph::VertexId::from(v)), alive[v]);
+            }
+        }
+    }
+}

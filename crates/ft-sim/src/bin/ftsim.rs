@@ -1,0 +1,95 @@
+//! `ftsim` — run a plain-text scenario through the discrete-event
+//! engine and emit a JSON report.
+//!
+//! ```text
+//! usage: ftsim SCENARIO [--out PATH] [--threads N]
+//!
+//!   SCENARIO      path to a scenario spec (`-` reads stdin)
+//!   --out PATH    also write the JSON report to PATH
+//!   --threads N   override the scenario's worker count
+//! ```
+//!
+//! The report goes to stdout; diagnostics go to stderr. Exit status is
+//! nonzero on any parse or I/O error. See `ft_sim::scenario` for the
+//! spec format.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: ftsim SCENARIO [--out PATH] [--threads N]\n       (SCENARIO = path to a spec file, or `-` for stdin)"
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut threads_override: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            "--out" => {
+                out_path = Some(it.next().ok_or("--out needs a path")?);
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                threads_override = Some(n.parse().map_err(|_| format!("bad thread count `{n}`"))?);
+            }
+            other if scenario_path.is_none() => scenario_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let scenario_path = scenario_path.ok_or_else(|| usage().to_string())?;
+    let text = if scenario_path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&scenario_path)
+            .map_err(|e| format!("reading {scenario_path}: {e}"))?
+    };
+
+    let mut scenario = ft_sim::Scenario::parse(&text)?;
+    if let Some(t) = threads_override {
+        scenario.threads = t;
+    }
+    let fabric = scenario.fabric.build();
+    eprintln!(
+        "ftsim: {} ({} switches, {} terminals), {} seed(s), duration {}",
+        fabric.label(),
+        fabric.net().size(),
+        fabric.terminals(),
+        scenario.seeds,
+        scenario.config.duration,
+    );
+    let outcomes = ft_sim::run_sweep(
+        &fabric,
+        &scenario.config,
+        &scenario.seed_list(),
+        scenario.threads,
+    );
+    let report = ft_sim::Report::new(scenario, &fabric, outcomes);
+    let json = report.to_json();
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("ftsim: report written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ftsim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

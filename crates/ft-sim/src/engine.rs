@@ -1,0 +1,745 @@
+//! The deterministic discrete-event engine.
+//!
+//! One [`run_seed`] drives a [`CircuitRouter`] through virtual time:
+//! Poisson call arrivals (optionally burst-modulated) draw terminal
+//! pairs from the traffic pattern and holding times from the holding
+//! distribution; an aggregate temporal fault process fails healthy
+//! switches at per-switch rate `fault_rate` (exact superposition:
+//! next-failure ~ `Exp(healthy · rate)`, resampled — valid by
+//! memorylessness — whenever the healthy count changes); each fault
+//! recomputes the §4 repair mask, kills the circuits crossing discarded
+//! vertices and immediately tries to re-route them; repairs restore
+//! switches after `Exp(mttr)` and retry the calls still waiting.
+//!
+//! Everything randomized flows through one seeded RNG in event order,
+//! so a `(scenario, seed)` pair reproduces a byte-identical event
+//! stream — pinned by the FNV fingerprint every run accumulates over
+//! the events it processes.
+
+use crate::events::{EventKind, EventQueue};
+use crate::fabric::Fabric;
+use crate::metrics::{Bucket, Metrics};
+use crate::workload::{exp_draw, HoldingTime, TrafficPattern};
+use ft_failure::{FailureInstance, SwitchState};
+use ft_graph::gen::{random_permutation, rng};
+use ft_graph::{Digraph, EdgeId};
+use ft_networks::{CircuitRouter, RouteError, SessionId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Resolved simulation parameters (one seed's worth of work).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Network-wide Poisson call arrival rate (calls per time unit).
+    pub arrival_rate: f64,
+    /// Holding-time distribution.
+    pub holding: HoldingTime,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Per-switch exponential failure rate (0 = fault-free).
+    pub fault_rate: f64,
+    /// Share of switch failures that are open (the rest are closed).
+    pub fault_open_share: f64,
+    /// Mean time to repair a failed switch (0 = failures permanent).
+    pub mttr: f64,
+    /// Simulated duration.
+    pub duration: f64,
+    /// Warm-up time excluded from headline counters.
+    pub warmup: f64,
+    /// Number of time-series buckets over `[0, duration]`.
+    pub buckets: usize,
+}
+
+/// Outcome of simulating one seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeedOutcome {
+    /// The seed.
+    pub seed: u64,
+    /// Aggregated metrics.
+    pub metrics: Metrics,
+    /// FNV fingerprint of the processed event stream.
+    pub fingerprint: u64,
+    /// Number of events processed.
+    pub events: u64,
+}
+
+/// Reusable per-worker buffers: one allocation set serves every seed a
+/// sweep worker runs (the `mc_event_probability_parallel` discipline:
+/// one RNG + one workspace per worker).
+#[derive(Clone, Debug, Default)]
+pub struct SimWorkspace {
+    queue: EventQueue,
+    calls: Vec<Option<Call>>,
+    pending: Vec<PendingCall>,
+    stage_of: Vec<u32>,
+    busy_now: Vec<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Call {
+    token: u64,
+    src: usize,
+    dst: usize,
+    hangup_time: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingCall {
+    src: usize,
+    dst: usize,
+    hangup_time: f64,
+    killed_at_epoch: u64,
+    /// Whether the kill was counted in `metrics.dropped` (post-warmup).
+    /// The eventual reroute/abandon increments the matching counter
+    /// only if so, preserving `dropped == rerouted + abandoned`.
+    counted: bool,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01B3;
+
+struct Engine<'a> {
+    fabric: &'a Fabric,
+    cfg: &'a SimConfig,
+    rng: SmallRng,
+    router: CircuitRouter<'a>,
+    inst: FailureInstance,
+    healthy: usize,
+    fault_epoch: u32,
+    arrival_epoch: u32,
+    burst_on: bool,
+    /// Monotone counter of fault+repair events (reroute latency unit).
+    churn_epoch: u64,
+    token_counter: u64,
+    perm: Vec<u32>,
+    now: f64,
+    last_t: f64,
+    active_now: u64,
+    metrics: Metrics,
+    fingerprint: u64,
+    events: u64,
+    ws: &'a mut SimWorkspace,
+}
+
+/// Runs one seed with fresh buffers.
+pub fn run_seed(fabric: &Fabric, cfg: &SimConfig, seed: u64) -> SeedOutcome {
+    run_seed_with(fabric, cfg, seed, &mut SimWorkspace::default())
+}
+
+/// Runs one seed reusing a worker-owned [`SimWorkspace`].
+pub fn run_seed_with(
+    fabric: &Fabric,
+    cfg: &SimConfig,
+    seed: u64,
+    ws: &mut SimWorkspace,
+) -> SeedOutcome {
+    assert!(
+        cfg.fault_rate == 0.0 || fabric.supports_faults(),
+        "fabric {} cannot express switch faults as vertex discards",
+        fabric.label()
+    );
+    let net = fabric.net();
+    let n = fabric.terminals();
+    let num_stages = net.num_stages();
+
+    // Reset the workspace for this seed.
+    ws.queue.reset();
+    ws.calls.clear();
+    ws.pending.clear();
+    ws.busy_now.clear();
+    ws.busy_now.resize(num_stages, 0);
+    // Rebuilt every run (O(V)): a reused workspace may have last seen a
+    // different fabric with the same vertex count.
+    ws.stage_of.clear();
+    ws.stage_of.resize(net.num_vertices(), 0);
+    for s in 0..num_stages {
+        for v in net.stage_range(s) {
+            ws.stage_of[v as usize] = s as u32;
+        }
+    }
+    let mut r = rng(seed);
+    let perm = if matches!(cfg.pattern, TrafficPattern::Permutation) {
+        random_permutation(&mut r, n)
+    } else {
+        Vec::new()
+    };
+
+    let metrics = Metrics {
+        stage_busy_time: vec![0.0; num_stages],
+        measured_time: cfg.duration - cfg.warmup,
+        buckets: vec![Bucket::default(); cfg.buckets.max(1)],
+        ..Metrics::default()
+    };
+
+    let m = net.num_edges();
+    let mut engine = Engine {
+        fabric,
+        cfg,
+        router: CircuitRouter::new(net),
+        inst: FailureInstance::perfect(m),
+        healthy: m,
+        fault_epoch: 0,
+        arrival_epoch: 0,
+        burst_on: false,
+        churn_epoch: 0,
+        token_counter: 0,
+        perm,
+        now: 0.0,
+        last_t: 0.0,
+        active_now: 0,
+        metrics,
+        fingerprint: FNV_OFFSET,
+        events: 0,
+        ws,
+        rng: r,
+    };
+    engine.schedule_initial();
+    engine.run();
+    SeedOutcome {
+        seed,
+        metrics: engine.metrics,
+        fingerprint: engine.fingerprint,
+        events: engine.events,
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn schedule_initial(&mut self) {
+        let mean = 1.0 / self.arrival_rate();
+        let dt = exp_draw(&mut self.rng, mean);
+        self.ws.queue.push(dt, EventKind::Arrival { epoch: 0 });
+        if self.cfg.fault_rate > 0.0 && self.healthy > 0 {
+            let mean = 1.0 / (self.healthy as f64 * self.cfg.fault_rate);
+            let dt = exp_draw(&mut self.rng, mean);
+            self.ws.queue.push(dt, EventKind::Fault { epoch: 0 });
+        }
+        if let Some((_, mean_off, _)) = self.cfg.pattern.burst_params() {
+            let dt = exp_draw(&mut self.rng, mean_off);
+            self.ws.queue.push(dt, EventKind::BurstToggle);
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(ev) = self.ws.queue.pop() {
+            if ev.time > self.cfg.duration {
+                break;
+            }
+            self.advance_clock(ev.time);
+            self.absorb(&ev.kind, ev.time);
+            self.events += 1;
+            match ev.kind {
+                EventKind::Arrival { epoch } => self.on_arrival(epoch),
+                EventKind::Hangup { slot, token } => self.on_hangup(slot, token),
+                EventKind::Fault { epoch } => self.on_fault(epoch),
+                EventKind::Repair { edge } => self.on_repair(edge),
+                EventKind::BurstToggle => self.on_burst_toggle(),
+            }
+        }
+        self.advance_clock(self.cfg.duration);
+        // Calls still waiting for a reroute at the end of the run never
+        // re-established: they are lost (counted iff their drop was).
+        self.metrics.abandoned += self.ws.pending.iter().filter(|p| p.counted).count() as u64;
+        self.ws.pending.clear();
+    }
+
+    /// Folds one event into the stream fingerprint (stale events
+    /// included — they are part of the processed stream).
+    fn absorb(&mut self, kind: &EventKind, time: f64) {
+        let (tag, a, b) = match *kind {
+            EventKind::Arrival { epoch } => (1u64, epoch as u64, 0),
+            EventKind::Hangup { slot, token } => (2, slot as u64, token),
+            EventKind::Fault { epoch } => (3, epoch as u64, 0),
+            EventKind::Repair { edge } => (4, edge.index() as u64, 0),
+            EventKind::BurstToggle => (5, 0, 0),
+        };
+        for word in [tag, time.to_bits(), a, b] {
+            self.fingerprint = (self.fingerprint ^ word).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Advances occupancy integrals over the measured window.
+    fn advance_clock(&mut self, to: f64) {
+        let a = self.last_t.max(self.cfg.warmup);
+        let b = to.min(self.cfg.duration);
+        if b > a {
+            let dt = b - a;
+            self.metrics.active_time += self.active_now as f64 * dt;
+            for (acc, &busy) in self
+                .metrics
+                .stage_busy_time
+                .iter_mut()
+                .zip(self.ws.busy_now.iter())
+            {
+                *acc += busy as f64 * dt;
+            }
+        }
+        self.last_t = to;
+        self.now = to;
+    }
+
+    fn measured(&self) -> bool {
+        self.now >= self.cfg.warmup
+    }
+
+    fn bucket(&mut self) -> &mut Bucket {
+        let k = self.metrics.buckets.len();
+        let idx = ((self.now / self.cfg.duration) * k as f64) as usize;
+        &mut self.metrics.buckets[idx.min(k - 1)]
+    }
+
+    fn arrival_rate(&self) -> f64 {
+        let boost = match self.cfg.pattern.burst_params() {
+            Some((_, _, boost)) if self.burst_on => boost,
+            _ => 1.0,
+        };
+        self.cfg.arrival_rate * boost
+    }
+
+    fn schedule_next_arrival(&mut self) {
+        let mean = 1.0 / self.arrival_rate();
+        let dt = exp_draw(&mut self.rng, mean);
+        let epoch = self.arrival_epoch;
+        self.ws
+            .queue
+            .push(self.now + dt, EventKind::Arrival { epoch });
+    }
+
+    /// Establishes bookkeeping for a freshly connected session.
+    fn admit(&mut self, id: SessionId, src: usize, dst: usize, hangup_time: f64) {
+        let slot = id.0 as usize;
+        if self.ws.calls.len() <= slot {
+            self.ws.calls.resize(slot + 1, None);
+        }
+        let token = self.token_counter;
+        self.token_counter += 1;
+        self.ws.calls[slot] = Some(Call {
+            token,
+            src,
+            dst,
+            hangup_time,
+        });
+        self.ws
+            .queue
+            .push(hangup_time, EventKind::Hangup { slot: id.0, token });
+        if let Some(path) = self.router.session_path(id) {
+            for &v in path {
+                self.ws.busy_now[self.ws.stage_of[v.index()] as usize] += 1;
+            }
+        }
+        self.active_now += 1;
+    }
+
+    fn on_arrival(&mut self, epoch: u32) {
+        if epoch != self.arrival_epoch {
+            return; // stale draw from before a rate change
+        }
+        self.schedule_next_arrival();
+        let n = self.fabric.terminals();
+        let (src, dst) = self.cfg.pattern.sample_pair(&mut self.rng, n, &self.perm);
+        let input = self.fabric.net().inputs()[src];
+        let output = self.fabric.net().outputs()[dst];
+        let measured = self.measured();
+        if measured {
+            self.metrics.offered += 1;
+        }
+        self.bucket().offered += 1;
+        match self.router.connect(input, output) {
+            Ok(id) => {
+                let holding = self.cfg.holding.sample(&mut self.rng);
+                if measured {
+                    self.metrics.connected += 1;
+                    let len = self
+                        .router
+                        .session_path(id)
+                        .map_or(0, |p| p.len() as u64 - 1);
+                    self.metrics.total_path_len += len;
+                    self.metrics.max_path_len = self.metrics.max_path_len.max(len);
+                }
+                self.bucket().connected += 1;
+                self.admit(id, src, dst, self.now + holding);
+            }
+            Err(RouteError::Blocked(_, _)) => {
+                if measured {
+                    self.metrics.blocked += 1;
+                }
+                self.bucket().blocked += 1;
+            }
+            Err(_) => {
+                // Terminals are exempt from repair discards, so an
+                // unavailable terminal is a busy terminal.
+                debug_assert!(self.router.is_alive(input) && self.router.is_alive(output));
+                if measured {
+                    self.metrics.rejected_busy += 1;
+                }
+            }
+        }
+    }
+
+    fn on_hangup(&mut self, slot: u32, token: u64) {
+        let live = self
+            .ws
+            .calls
+            .get(slot as usize)
+            .and_then(|c| c.as_ref())
+            .is_some_and(|c| c.token == token);
+        if !live {
+            return; // session was killed by a fault (slot possibly reused)
+        }
+        self.ws.calls[slot as usize] = None;
+        let id = SessionId(slot);
+        if let Some(path) = self.router.session_path(id) {
+            for &v in path {
+                self.ws.busy_now[self.ws.stage_of[v.index()] as usize] -= 1;
+            }
+        }
+        let torn_down = self.router.disconnect(id);
+        debug_assert!(torn_down);
+        self.active_now -= 1;
+        if self.measured() {
+            self.metrics.completed += 1;
+        }
+    }
+
+    /// Uniformly random healthy switch (rejection sampling with a
+    /// deterministic linear-scan fallback).
+    fn pick_healthy_edge(&mut self) -> EdgeId {
+        let m = self.inst.len();
+        for _ in 0..128 {
+            let e = EdgeId::from(self.rng.random_range(0..m));
+            if self.inst.is_normal(e) {
+                return e;
+            }
+        }
+        let start = self.rng.random_range(0..m);
+        for k in 0..m {
+            let e = EdgeId::from((start + k) % m);
+            if self.inst.is_normal(e) {
+                return e;
+            }
+        }
+        unreachable!("pick_healthy_edge called with no healthy switch");
+    }
+
+    /// Recomputes the repair mask from the cumulative instance, applies
+    /// it to the router and returns the killed sessions.
+    fn apply_mask(&mut self) -> Vec<SessionId> {
+        let alive = self.fabric.alive_mask(&self.inst);
+        let killed = self.router.set_alive_mask(&alive);
+        // Rebuild per-stage occupancy from the surviving sessions.
+        self.ws.busy_now.iter_mut().for_each(|b| *b = 0);
+        for (slot, call) in self.ws.calls.iter().enumerate() {
+            if call.is_some() {
+                if let Some(path) = self.router.session_path(SessionId(slot as u32)) {
+                    for &v in path {
+                        self.ws.busy_now[self.ws.stage_of[v.index()] as usize] += 1;
+                    }
+                }
+            }
+        }
+        killed
+    }
+
+    fn on_fault(&mut self, epoch: u32) {
+        if epoch != self.fault_epoch || self.healthy == 0 {
+            return; // stale draw from before a healthy-count change
+        }
+        self.churn_epoch += 1;
+        let e = self.pick_healthy_edge();
+        let state = if self.rng.random::<f64>() < self.cfg.fault_open_share {
+            SwitchState::Open
+        } else {
+            SwitchState::Closed
+        };
+        self.inst.set_state(e, state);
+        self.healthy -= 1;
+        if self.measured() {
+            self.metrics.faults += 1;
+        }
+        let killed = self.apply_mask();
+        let measured = self.measured();
+        // Drain every victim's call record BEFORE attempting reroutes:
+        // a reroute may reuse any just-freed slot (free-list order is
+        // unspecified), and admitting into a later victim's slot would
+        // otherwise clobber its record mid-loop.
+        let victims: Vec<Call> = killed
+            .iter()
+            .map(|id| {
+                self.ws.calls[id.0 as usize]
+                    .take()
+                    .expect("killed session had no call record")
+            })
+            .collect();
+        for call in victims {
+            if measured {
+                self.metrics.dropped += 1;
+            }
+            self.bucket().dropped += 1;
+            self.active_now -= 1;
+            // Immediate reroute: the repaired fabric may still hold an
+            // idle path for the same endpoints.
+            self.try_reroute(
+                call.src,
+                call.dst,
+                call.hangup_time,
+                self.churn_epoch,
+                measured,
+            );
+        }
+        if self.cfg.mttr > 0.0 {
+            let dt = exp_draw(&mut self.rng, self.cfg.mttr);
+            self.ws
+                .queue
+                .push(self.now + dt, EventKind::Repair { edge: e });
+        }
+        self.reschedule_faults();
+    }
+
+    fn on_repair(&mut self, edge: EdgeId) {
+        debug_assert!(!self.inst.is_normal(edge));
+        self.churn_epoch += 1;
+        self.inst.set_state(edge, SwitchState::Normal);
+        self.healthy += 1;
+        if self.measured() {
+            self.metrics.repairs += 1;
+        }
+        let killed = self.apply_mask();
+        debug_assert!(killed.is_empty(), "repair can only grow the alive set");
+        self.reschedule_faults();
+        // Waiting calls retry in kill order; expired ones are lost.
+        let mut waiting = std::mem::take(&mut self.ws.pending);
+        waiting.retain(|p| {
+            if p.hangup_time <= self.now {
+                if p.counted {
+                    self.metrics.abandoned += 1;
+                }
+                return false;
+            }
+            !self.try_reroute_inner(p.src, p.dst, p.hangup_time, p.killed_at_epoch, p.counted)
+        });
+        debug_assert!(self.ws.pending.is_empty());
+        self.ws.pending = waiting;
+    }
+
+    /// Resamples the aggregate next-fault draw after a healthy-count
+    /// change (exact by memorylessness of the exponential).
+    fn reschedule_faults(&mut self) {
+        self.fault_epoch += 1;
+        if self.cfg.fault_rate > 0.0 && self.healthy > 0 {
+            let mean = 1.0 / (self.healthy as f64 * self.cfg.fault_rate);
+            let dt = exp_draw(&mut self.rng, mean);
+            let epoch = self.fault_epoch;
+            self.ws
+                .queue
+                .push(self.now + dt, EventKind::Fault { epoch });
+        }
+    }
+
+    fn try_reroute(
+        &mut self,
+        src: usize,
+        dst: usize,
+        hangup_time: f64,
+        killed_at: u64,
+        counted: bool,
+    ) {
+        if !self.try_reroute_inner(src, dst, hangup_time, killed_at, counted) {
+            self.ws.pending.push(PendingCall {
+                src,
+                dst,
+                hangup_time,
+                killed_at_epoch: killed_at,
+                counted,
+            });
+        }
+    }
+
+    /// Attempts to re-establish a killed call. Returns whether it
+    /// succeeded (bookkeeping done). `counted` says whether the kill
+    /// entered `metrics.dropped`; the reroute counter mirrors it so the
+    /// `dropped == rerouted + abandoned` identity holds under warmup.
+    fn try_reroute_inner(
+        &mut self,
+        src: usize,
+        dst: usize,
+        hangup_time: f64,
+        killed_at: u64,
+        counted: bool,
+    ) -> bool {
+        let input = self.fabric.net().inputs()[src];
+        let output = self.fabric.net().outputs()[dst];
+        match self.router.connect(input, output) {
+            Ok(id) => {
+                if counted {
+                    self.metrics.rerouted += 1;
+                    self.metrics.reroute_latency_events += self.churn_epoch - killed_at;
+                }
+                self.admit(id, src, dst, hangup_time);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn on_burst_toggle(&mut self) {
+        let Some((mean_on, mean_off, _)) = self.cfg.pattern.burst_params() else {
+            return;
+        };
+        self.burst_on = !self.burst_on;
+        let phase_mean = if self.burst_on { mean_on } else { mean_off };
+        let dt = exp_draw(&mut self.rng, phase_mean);
+        self.ws.queue.push(self.now + dt, EventKind::BurstToggle);
+        // The arrival rate changed: invalidate the pending interarrival
+        // draw and resample under the new rate (exact by memorylessness).
+        self.arrival_epoch += 1;
+        self.schedule_next_arrival();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> SimConfig {
+        SimConfig {
+            arrival_rate: 4.0,
+            holding: HoldingTime::Exponential { mean: 1.0 },
+            pattern: TrafficPattern::Uniform,
+            fault_rate: 0.0,
+            fault_open_share: 0.5,
+            mttr: 0.0,
+            duration: 50.0,
+            warmup: 0.0,
+            buckets: 5,
+        }
+    }
+
+    #[test]
+    fn arrival_accounting_is_conserved() {
+        let fabric = Fabric::clos_strict(2, 3);
+        let out = run_seed(&fabric, &base_cfg(), 7);
+        let m = &out.metrics;
+        assert!(m.offered > 100);
+        assert_eq!(m.offered, m.connected + m.blocked + m.rejected_busy);
+        // fault-free: no drops, every connected call completes or is
+        // still live at the end
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.faults, 0);
+        assert!(m.completed <= m.connected);
+        let bucket_offered: u64 = m.buckets.iter().map(|b| b.offered).sum();
+        assert_eq!(bucket_offered, m.offered);
+    }
+
+    #[test]
+    fn strictly_nonblocking_fabric_never_blocks() {
+        let fabric = Fabric::clos_strict(2, 3);
+        let mut cfg = base_cfg();
+        cfg.arrival_rate = 20.0; // saturating load
+        let out = run_seed(&fabric, &cfg, 11);
+        assert_eq!(out.metrics.blocked, 0, "{:?}", out.metrics);
+        assert!(out.metrics.rejected_busy > 0, "load too low to saturate");
+    }
+
+    #[test]
+    fn same_seed_reproduces_fingerprint_and_metrics() {
+        let fabric = Fabric::clos_strict(2, 2);
+        let mut cfg = base_cfg();
+        cfg.fault_rate = 0.002;
+        cfg.mttr = 5.0;
+        let a = run_seed(&fabric, &cfg, 42);
+        let b = run_seed(&fabric, &cfg, 42);
+        assert_eq!(a, b);
+        let c = run_seed(&fabric, &cfg, 43);
+        assert_ne!(a.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_buffers() {
+        let fabric = Fabric::clos_strict(2, 2);
+        let mut cfg = base_cfg();
+        cfg.fault_rate = 0.005;
+        cfg.mttr = 3.0;
+        let mut ws = SimWorkspace::default();
+        let first = run_seed_with(&fabric, &cfg, 1, &mut ws);
+        let second = run_seed_with(&fabric, &cfg, 2, &mut ws);
+        assert_eq!(first, run_seed(&fabric, &cfg, 1));
+        assert_eq!(second, run_seed(&fabric, &cfg, 2));
+    }
+
+    #[test]
+    fn faults_drop_and_reroute_sessions() {
+        let fabric = Fabric::clos_strict(2, 3);
+        let mut cfg = base_cfg();
+        cfg.arrival_rate = 3.0;
+        cfg.holding = HoldingTime::Exponential { mean: 4.0 };
+        cfg.fault_rate = 0.004;
+        cfg.mttr = 10.0;
+        cfg.duration = 400.0;
+        let out = run_seed(&fabric, &cfg, 5);
+        let m = &out.metrics;
+        assert!(m.faults > 10, "faults {}", m.faults);
+        assert!(m.repairs > 0);
+        assert!(m.dropped > 0);
+        assert_eq!(m.dropped, m.rerouted + m.abandoned);
+        // The strict Clos has spare middle capacity: most drops reroute.
+        assert!(m.rerouted > 0);
+    }
+
+    #[test]
+    fn permanent_faults_degrade_until_blocked() {
+        let fabric = Fabric::clos_strict(2, 2);
+        let mut cfg = base_cfg();
+        cfg.fault_rate = 0.02;
+        cfg.mttr = 0.0; // no repair: the fabric decays
+        cfg.duration = 300.0;
+        let out = run_seed(&fabric, &cfg, 3);
+        assert!(out.metrics.blocked > 0, "{:?}", out.metrics);
+        assert_eq!(out.metrics.repairs, 0);
+    }
+
+    #[test]
+    fn warmup_gates_headline_counters_not_buckets() {
+        let fabric = Fabric::crossbar(4);
+        let mut cfg = base_cfg();
+        cfg.warmup = 25.0;
+        let full = run_seed(&fabric, &cfg, 9);
+        cfg.warmup = 0.0;
+        let ungated = run_seed(&fabric, &cfg, 9);
+        assert!(full.metrics.offered < ungated.metrics.offered);
+        // identical event streams: warmup changes accounting, not dynamics
+        assert_eq!(full.fingerprint, ungated.fingerprint);
+        let fb: u64 = full.metrics.buckets.iter().map(|b| b.offered).sum();
+        let ub: u64 = ungated.metrics.buckets.iter().map(|b| b.offered).sum();
+        assert_eq!(fb, ub);
+    }
+
+    #[test]
+    fn bursty_pattern_raises_offered_load() {
+        let fabric = Fabric::crossbar(8);
+        let mut quiet = base_cfg();
+        quiet.duration = 200.0;
+        let mut bursty = quiet.clone();
+        bursty.pattern = TrafficPattern::Bursty {
+            mean_on: 5.0,
+            mean_off: 5.0,
+            boost: 6.0,
+        };
+        let q = run_seed(&fabric, &quiet, 21);
+        let b = run_seed(&fabric, &bursty, 21);
+        // on/off split ~50/50 at 6x boost => ~3.5x the arrivals
+        assert!(
+            b.metrics.offered as f64 > 2.0 * q.metrics.offered as f64,
+            "quiet {} bursty {}",
+            q.metrics.offered,
+            b.metrics.offered
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot express switch faults")]
+    fn crossbar_with_faults_is_rejected() {
+        let fabric = Fabric::crossbar(4);
+        let mut cfg = base_cfg();
+        cfg.fault_rate = 0.01;
+        run_seed(&fabric, &cfg, 1);
+    }
+}

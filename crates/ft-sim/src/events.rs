@@ -1,0 +1,182 @@
+//! The event queue: a monotone virtual clock over a binary heap.
+//!
+//! Every state change in the simulation is an [`Event`] — call
+//! arrivals, hangups, switch faults, repair completions, burst-phase
+//! toggles — ordered by `(time, seq)` where `seq` is a monotone
+//! insertion counter. The counter makes the ordering *total* even when
+//! two events share a timestamp, which is what makes the processed
+//! event stream (and hence every report) byte-reproducible per seed.
+
+use ft_graph::ids::EdgeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an event does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new call arrives. `epoch` guards against stale scheduling: the
+    /// arrival process is resampled (epoch bumped) when the arrival
+    /// rate changes, and events from older epochs are ignored — exact
+    /// for Poisson arrivals by memorylessness.
+    Arrival {
+        /// Arrival-process epoch the event was scheduled under.
+        epoch: u32,
+    },
+    /// A live call completes naturally. `token` revalidates the slot:
+    /// if the session was killed by a fault (and the slot possibly
+    /// reused), the token mismatches and the hangup is a no-op.
+    Hangup {
+        /// Router session slot.
+        slot: u32,
+        /// Call token the slot held when the hangup was scheduled.
+        token: u64,
+    },
+    /// The next switch failure of the aggregate fault process. `epoch`
+    /// guards staleness: the superposition rate changes whenever the
+    /// healthy-switch count does, so the pending draw is invalidated
+    /// and resampled (exact by memorylessness).
+    Fault {
+        /// Fault-process epoch the event was scheduled under.
+        epoch: u32,
+    },
+    /// Repair of one failed switch completes (scheduled at fault time).
+    Repair {
+        /// The switch being restored to the normal state.
+        edge: EdgeId,
+    },
+    /// The bursty traffic modulator flips between its on/off phases.
+    BurstToggle,
+}
+
+/// One scheduled event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Virtual time at which the event fires.
+    pub time: f64,
+    /// Monotone insertion counter breaking time ties deterministically.
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of events keyed by `(time, seq)`.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    ///
+    /// # Panics
+    /// Panics on a non-finite timestamp (a scheduling bug upstream).
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite(), "non-finite event time {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Earliest pending timestamp, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Clears pending events and resets the sequence counter (workspace
+    /// reuse between seeds of a sweep).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, EventKind::BurstToggle);
+        q.push(1.0, EventKind::Arrival { epoch: 0 });
+        q.push(2.0, EventKind::Fault { epoch: 0 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Hangup { slot: 0, token: 0 });
+        q.push(1.0, EventKind::Hangup { slot: 1, token: 0 });
+        q.push(1.0, EventKind::Hangup { slot: 2, token: 0 });
+        let slots: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Hangup { slot, .. } => slot,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(slots, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reset_clears_and_restarts_seq() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::BurstToggle);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.push(5.0, EventKind::BurstToggle);
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.pop().unwrap().seq, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite event time")]
+    fn rejects_nan_time() {
+        EventQueue::new().push(f64::NAN, EventKind::BurstToggle);
+    }
+}

@@ -1,0 +1,182 @@
+//! Switch fabrics the engine can drive, and the repair discipline that
+//! turns a cumulative failure instance into a router alive-mask.
+//!
+//! The discipline is §4's: a failed switch makes both its endpoints
+//! faulty; repair discards faulty *internal* vertices (terminals are
+//! exempt, per §6's definition of faultiness); a failed switch incident
+//! to a terminal is masked by discarding its internal endpoint instead.
+//! For the fault-tolerant network 𝒩 this is exactly
+//! [`Survivor::routable_alive`]; for the classical fabrics the same
+//! rule is applied generically. A fabric where some switch joins two
+//! terminals directly (the crossbar) cannot express that switch's
+//! failure as a vertex discard, so such fabrics only support fault-free
+//! scenarios — the scenario validator enforces this.
+
+use ft_core::network::FtNetwork;
+use ft_core::params::Params;
+use ft_core::repair::Survivor;
+use ft_failure::FailureInstance;
+use ft_graph::{Digraph, StagedNetwork};
+use ft_networks::{crossbar, Benes, Clos};
+
+/// A switch fabric under simulation.
+#[derive(Debug)]
+pub enum Fabric {
+    /// The n² crossbar (trivially strictly nonblocking, fault-free only).
+    Crossbar(StagedNetwork),
+    /// A three-stage Clos network.
+    Clos(Clos),
+    /// A Beneš network (rearrangeable; greedy routing may block).
+    Benes(Benes),
+    /// The paper's fault-tolerant network 𝒩.
+    Ftn(Box<FtNetwork>),
+}
+
+impl Fabric {
+    /// Builds an `n × n` crossbar fabric.
+    pub fn crossbar(n: usize) -> Fabric {
+        Fabric::Crossbar(crossbar(n))
+    }
+
+    /// Builds a strictly nonblocking Clos `C(2n−1, n, r)` fabric.
+    pub fn clos_strict(n: usize, r: usize) -> Fabric {
+        Fabric::Clos(Clos::strictly_nonblocking(n, r))
+    }
+
+    /// Builds a rearrangeable Clos `C(n, n, r)` fabric.
+    pub fn clos_rearrangeable(n: usize, r: usize) -> Fabric {
+        Fabric::Clos(Clos::rearrangeable(n, r))
+    }
+
+    /// Builds a Beneš fabric on `2^k` terminals.
+    pub fn benes(k: u32) -> Fabric {
+        Fabric::Benes(Benes::new(k))
+    }
+
+    /// Builds a reduced-profile fault-tolerant network 𝒩.
+    pub fn ftn_reduced(nu: u32, width: usize, degree: usize, gamma_factor: f64) -> Fabric {
+        Fabric::Ftn(Box::new(FtNetwork::build(Params::reduced(
+            nu,
+            width,
+            degree,
+            gamma_factor,
+        ))))
+    }
+
+    /// The underlying staged network.
+    pub fn net(&self) -> &StagedNetwork {
+        match self {
+            Fabric::Crossbar(net) => net,
+            Fabric::Clos(c) => &c.net,
+            Fabric::Benes(b) => &b.net,
+            Fabric::Ftn(f) => f.net(),
+        }
+    }
+
+    /// Number of input terminals (= output terminals).
+    pub fn terminals(&self) -> usize {
+        self.net().inputs().len()
+    }
+
+    /// A short human/JSON label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Fabric::Crossbar(net) => format!("crossbar {}", net.inputs().len()),
+            Fabric::Clos(c) => format!("clos m={} n={} r={}", c.m, c.n, c.r),
+            Fabric::Benes(b) => format!("benes n={}", b.terminals()),
+            Fabric::Ftn(f) => format!("ftn nu={} n={}", f.params().nu, f.n()),
+        }
+    }
+
+    /// Whether the §4 vertex-discard discipline can express every
+    /// switch failure: true iff no switch joins two terminals directly.
+    pub fn supports_faults(&self) -> bool {
+        let g = self.net();
+        let is_terminal = terminal_mask(g);
+        (0..g.num_edges()).all(|e| {
+            let (t, h) = g.endpoints(ft_graph::EdgeId::from(e));
+            !is_terminal[t.index()] || !is_terminal[h.index()]
+        })
+    }
+
+    /// The routable alive-mask for the current cumulative failure
+    /// instance, under the §4 repair discipline.
+    pub fn alive_mask(&self, inst: &FailureInstance) -> Vec<bool> {
+        match self {
+            Fabric::Ftn(f) => Survivor::new(f, inst).routable_alive(),
+            _ => generic_routable_alive(self.net(), inst),
+        }
+    }
+}
+
+fn terminal_mask(g: &StagedNetwork) -> Vec<bool> {
+    let mut is_terminal = vec![false; g.num_vertices()];
+    for &t in g.inputs().iter().chain(g.outputs()) {
+        is_terminal[t.index()] = true;
+    }
+    is_terminal
+}
+
+/// The generic §4 repair discipline on a staged network: faulty
+/// internal vertices (any incident failed switch) are discarded,
+/// terminals are exempt, and a failed terminal-incident switch is
+/// masked by discarding its internal endpoint.
+pub fn generic_routable_alive(g: &StagedNetwork, inst: &FailureInstance) -> Vec<bool> {
+    assert_eq!(inst.len(), g.num_edges(), "instance/network size mismatch");
+    let is_terminal = terminal_mask(g);
+    let mut alive = vec![true; g.num_vertices()];
+    for e in inst.failed_edges() {
+        let (t, h) = g.endpoints(e);
+        if !is_terminal[t.index()] {
+            alive[t.index()] = false;
+        }
+        if !is_terminal[h.index()] {
+            alive[h.index()] = false;
+        }
+    }
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_failure::SwitchState;
+
+    #[test]
+    fn crossbar_rejects_faults_clos_supports_them() {
+        assert!(!Fabric::crossbar(3).supports_faults());
+        assert!(Fabric::clos_strict(2, 2).supports_faults());
+        assert!(Fabric::benes(2).supports_faults());
+        assert!(Fabric::ftn_reduced(1, 8, 4, 1.0).supports_faults());
+    }
+
+    #[test]
+    fn generic_mask_exempts_terminals_and_kills_internal_endpoint() {
+        let f = Fabric::clos_strict(2, 2);
+        let g = f.net();
+        // fail switch 0: input 0 -> first stage-1 link
+        let mut states = vec![SwitchState::Normal; g.num_edges()];
+        states[0] = SwitchState::Open;
+        let inst = FailureInstance::from_states(states);
+        let alive = f.alive_mask(&inst);
+        let (t, h) = g.endpoints(ft_graph::EdgeId::from(0usize));
+        assert_eq!(t, g.inputs()[0]);
+        assert!(alive[t.index()], "terminal must stay alive");
+        assert!(!alive[h.index()], "internal endpoint must be discarded");
+    }
+
+    #[test]
+    fn perfect_instance_keeps_everything_alive() {
+        let f = Fabric::clos_strict(2, 3);
+        let inst = FailureInstance::perfect(f.net().num_edges());
+        assert!(f.alive_mask(&inst).iter().all(|&a| a));
+    }
+
+    #[test]
+    fn labels_and_terminals() {
+        assert_eq!(Fabric::crossbar(4).terminals(), 4);
+        assert_eq!(Fabric::clos_strict(2, 3).terminals(), 6);
+        assert_eq!(Fabric::benes(3).terminals(), 8);
+        assert!(Fabric::clos_strict(2, 3).label().starts_with("clos"));
+    }
+}

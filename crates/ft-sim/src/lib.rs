@@ -1,0 +1,67 @@
+//! # ft-sim — discrete-event traffic & fault-lifetime simulation
+//!
+//! The paper's headline claim is *operational*: an (ε, δ)-nonblocking
+//! network keeps serving circuits **while switches fail and repairs
+//! run**. The rest of the workspace evaluates static failure snapshots;
+//! this crate adds the time axis. A deterministic discrete-event engine
+//! drives a [`ft_networks::CircuitRouter`] through virtual time:
+//!
+//! * [`events`] — the event queue: arrivals, hangups, switch faults,
+//!   repair completions, burst toggles, totally ordered by
+//!   `(time, seq)`;
+//! * [`workload`] — Poisson arrivals (optionally burst-modulated) with
+//!   exponential or heavy-tailed holding times under uniform,
+//!   permutation, hotspot and bursty traffic patterns;
+//! * [`fabric`] — the switch fabrics under test and the §4 repair
+//!   discipline that turns a cumulative failure instance into a router
+//!   alive-mask;
+//! * [`engine`] — the event loop: faults kill the circuits crossing
+//!   discarded vertices and trigger immediate re-routes; repairs retry
+//!   the calls still waiting;
+//! * [`metrics`] — blocking probability, drops, reroute latency, path
+//!   lengths, per-stage utilisation, time buckets, and the Erlang-B
+//!   reference for low-load sanity checks;
+//! * [`sweep`] — the multi-seed parallel driver (one workspace per
+//!   worker, results independent of thread count);
+//! * [`scenario`] / [`report`] — the plain-text spec the `ftsim` CLI
+//!   parses and the byte-reproducible JSON report it emits.
+//!
+//! **Determinism guarantee:** all randomness flows through one seeded
+//! RNG in event order, event ties break by insertion sequence, and the
+//! JSON writer is byte-stable — a fixed `(scenario, seed)` pair
+//! reproduces the identical event stream (pinned by an FNV fingerprint)
+//! and the identical report, across runs and thread counts.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod events;
+pub mod fabric;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+pub mod workload;
+
+pub use engine::{run_seed, run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
+pub use events::{Event, EventKind, EventQueue};
+pub use fabric::Fabric;
+pub use metrics::{erlang_b, Bucket, Metrics};
+pub use report::Report;
+pub use scenario::{FabricSpec, Scenario};
+pub use sweep::run_sweep;
+pub use workload::{HoldingTime, TrafficPattern};
+
+/// Parses a scenario, runs its sweep and assembles the report — the
+/// CLI's whole pipeline, reusable from tests and examples.
+pub fn run_scenario_text(text: &str) -> Result<Report, String> {
+    let scenario = Scenario::parse(text)?;
+    let fabric = scenario.fabric.build();
+    let outcomes = run_sweep(
+        &fabric,
+        &scenario.config,
+        &scenario.seed_list(),
+        scenario.threads,
+    );
+    Ok(Report::new(scenario, &fabric, outcomes))
+}

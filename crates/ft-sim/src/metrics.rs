@@ -1,0 +1,197 @@
+//! The metrics pipeline: counters, occupancy integrals, per-stage
+//! utilisation, time-series buckets, and the Erlang-B reference.
+//!
+//! Headline counters are gated on the scenario's warm-up time so
+//! steady-state rates are not diluted by the empty-network transient;
+//! time-series buckets always span the full run (the transient is
+//! exactly what they are for).
+
+/// Per-bucket time-series counts (buckets partition `[0, duration]`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Bucket {
+    /// Call arrivals in the bucket.
+    pub offered: u64,
+    /// Calls connected.
+    pub connected: u64,
+    /// Calls refused for lack of an idle path.
+    pub blocked: u64,
+    /// Live sessions killed by switch faults.
+    pub dropped: u64,
+}
+
+/// Aggregated outcome of one simulated seed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Call arrivals (post-warm-up).
+    pub offered: u64,
+    /// Calls connected.
+    pub connected: u64,
+    /// Calls refused because a terminal was busy with another circuit.
+    pub rejected_busy: u64,
+    /// Calls refused for lack of an idle path — *blocking* proper.
+    pub blocked: u64,
+    /// Calls that completed naturally (hangup).
+    pub completed: u64,
+    /// Live sessions killed because a fault discarded a vertex on
+    /// their path.
+    pub dropped: u64,
+    /// Dropped sessions successfully re-routed before their hangup.
+    pub rerouted: u64,
+    /// Dropped sessions never re-established (lost for good).
+    pub abandoned: u64,
+    /// Total fault/repair events a rerouted call waited through before
+    /// re-establishment (0 = rerouted within the killing fault event).
+    pub reroute_latency_events: u64,
+    /// Switch-fault events.
+    pub faults: u64,
+    /// Repair completions.
+    pub repairs: u64,
+    /// Total switch count over established paths.
+    pub total_path_len: u64,
+    /// Longest established path (switches).
+    pub max_path_len: u64,
+    /// ∫ active-session count dt over the measured window.
+    pub active_time: f64,
+    /// Per-stage ∫ busy-vertex count dt over the measured window.
+    pub stage_busy_time: Vec<f64>,
+    /// Length of the measured window (duration − warmup).
+    pub measured_time: f64,
+    /// Full-run time series.
+    pub buckets: Vec<Bucket>,
+}
+
+impl Metrics {
+    /// Fraction of offered calls refused for lack of an idle path.
+    pub fn blocking_probability(&self) -> f64 {
+        ratio(self.blocked, self.offered)
+    }
+
+    /// Fraction of offered calls refused because a terminal was busy.
+    pub fn busy_rejection(&self) -> f64 {
+        ratio(self.rejected_busy, self.offered)
+    }
+
+    /// Fraction of connected calls later killed by a fault and never
+    /// re-established.
+    pub fn drop_rate(&self) -> f64 {
+        ratio(self.abandoned, self.connected)
+    }
+
+    /// Mean path length (switches) over established circuits.
+    pub fn mean_path_len(&self) -> f64 {
+        if self.connected == 0 {
+            0.0
+        } else {
+            self.total_path_len as f64 / self.connected as f64
+        }
+    }
+
+    /// Time-averaged number of active sessions (the carried load in
+    /// erlangs).
+    pub fn carried_erlangs(&self) -> f64 {
+        if self.measured_time > 0.0 {
+            self.active_time / self.measured_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean busy fraction of stage `s` (`stage_size` vertices).
+    pub fn stage_utilisation(&self, s: usize, stage_size: usize) -> f64 {
+        if self.measured_time > 0.0 && stage_size > 0 {
+            self.stage_busy_time[s] / (self.measured_time * stage_size as f64)
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean fault/repair events waited by calls that were re-routed.
+    pub fn mean_reroute_latency_events(&self) -> f64 {
+        if self.rerouted == 0 {
+            0.0
+        } else {
+            self.reroute_latency_events as f64 / self.rerouted as f64
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The Erlang-B blocking probability of an `m`-server loss system
+/// offered `a` erlangs, by the standard recurrence
+/// `B(a, k) = a·B(a, k−1) / (k + a·B(a, k−1))`, `B(a, 0) = 1`.
+///
+/// The low-load sanity reference: a fabric with `m` independent
+/// circuits and Poisson arrivals cleared on blocking must reproduce
+/// this curve, whatever the holding-time distribution (Erlang-B
+/// insensitivity).
+pub fn erlang_b(a: f64, m: u32) -> f64 {
+    assert!(a >= 0.0, "offered load must be nonnegative");
+    let mut b = 1.0;
+    for k in 1..=m {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // B(a, 0) = 1 for any load; B(0, m) = 0 for m >= 1
+        assert_eq!(erlang_b(5.0, 0), 1.0);
+        assert_eq!(erlang_b(0.0, 10), 0.0);
+        // single server: B = a / (1 + a)
+        assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(0.5, 1) - 1.0 / 3.0).abs() < 1e-12);
+        // classical table value: B(10 erlangs, 10 servers) ≈ 0.2146
+        assert!((erlang_b(10.0, 10) - 0.2146).abs() < 5e-4);
+        // monotone in load, anti-monotone in servers
+        assert!(erlang_b(2.0, 5) < erlang_b(4.0, 5));
+        assert!(erlang_b(4.0, 8) < erlang_b(4.0, 5));
+    }
+
+    #[test]
+    fn ratios_handle_empty_runs() {
+        let m = Metrics::default();
+        assert_eq!(m.blocking_probability(), 0.0);
+        assert_eq!(m.busy_rejection(), 0.0);
+        assert_eq!(m.drop_rate(), 0.0);
+        assert_eq!(m.mean_path_len(), 0.0);
+        assert_eq!(m.carried_erlangs(), 0.0);
+        assert_eq!(m.mean_reroute_latency_events(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = Metrics {
+            offered: 100,
+            connected: 80,
+            blocked: 15,
+            rejected_busy: 5,
+            abandoned: 8,
+            rerouted: 4,
+            reroute_latency_events: 6,
+            total_path_len: 240,
+            active_time: 50.0,
+            measured_time: 25.0,
+            stage_busy_time: vec![12.5],
+            ..Metrics::default()
+        };
+        assert!((m.blocking_probability() - 0.15).abs() < 1e-12);
+        assert!((m.busy_rejection() - 0.05).abs() < 1e-12);
+        assert!((m.drop_rate() - 0.1).abs() < 1e-12);
+        assert!((m.mean_path_len() - 3.0).abs() < 1e-12);
+        assert!((m.carried_erlangs() - 2.0).abs() < 1e-12);
+        assert!((m.stage_utilisation(0, 2) - 0.25).abs() < 1e-12);
+        assert!((m.mean_reroute_latency_events() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,408 @@
+//! Plain-text scenario specs for the `ftsim` CLI.
+//!
+//! A scenario is a list of `key = value` lines; `#` starts a comment.
+//! Example:
+//!
+//! ```text
+//! # strict Clos under churn faults
+//! network     = clos-strict 4 4
+//! pattern     = uniform
+//! arrival_rate = 6.0
+//! holding     = exp 1.0
+//! fault_rate  = 0.0005
+//! fault_open_share = 0.5
+//! mttr        = 20
+//! duration    = 50
+//! warmup      = 0
+//! seeds       = 3
+//! seed_base   = 1
+//! buckets     = 5
+//! threads     = 0
+//! ```
+//!
+//! Recognised `network` families: `crossbar N`, `clos-strict N R`,
+//! `clos-rearr N R`, `benes K`, `ftn NU WIDTH DEGREE GAMMA`.
+//! Recognised `pattern`s: `uniform`, `permutation`,
+//! `hotspot FRAC P_HOT`, `bursty MEAN_ON MEAN_OFF BOOST`.
+//! Recognised `holding`s: `exp MEAN`, `pareto SHAPE MEAN`.
+//! `threads = 0` means one worker per available core.
+
+use crate::engine::SimConfig;
+use crate::fabric::Fabric;
+use crate::workload::{HoldingTime, TrafficPattern};
+
+/// Which fabric a scenario builds (kept symbolic so reports can echo it).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FabricSpec {
+    /// `crossbar N`
+    Crossbar(usize),
+    /// `clos-strict N R`
+    ClosStrict(usize, usize),
+    /// `clos-rearr N R`
+    ClosRearrangeable(usize, usize),
+    /// `benes K`
+    Benes(u32),
+    /// `ftn NU WIDTH DEGREE GAMMA`
+    Ftn(u32, usize, usize, f64),
+}
+
+impl FabricSpec {
+    /// Builds the fabric.
+    pub fn build(&self) -> Fabric {
+        match *self {
+            FabricSpec::Crossbar(n) => Fabric::crossbar(n),
+            FabricSpec::ClosStrict(n, r) => Fabric::clos_strict(n, r),
+            FabricSpec::ClosRearrangeable(n, r) => Fabric::clos_rearrangeable(n, r),
+            FabricSpec::Benes(k) => Fabric::benes(k),
+            FabricSpec::Ftn(nu, w, d, g) => Fabric::ftn_reduced(nu, w, d, g),
+        }
+    }
+
+    /// The spec as it appeared in the scenario text.
+    pub fn to_spec_string(&self) -> String {
+        match *self {
+            FabricSpec::Crossbar(n) => format!("crossbar {n}"),
+            FabricSpec::ClosStrict(n, r) => format!("clos-strict {n} {r}"),
+            FabricSpec::ClosRearrangeable(n, r) => format!("clos-rearr {n} {r}"),
+            FabricSpec::Benes(k) => format!("benes {k}"),
+            FabricSpec::Ftn(nu, w, d, g) => format!("ftn {nu} {w} {d} {g}"),
+        }
+    }
+}
+
+/// A parsed scenario: fabric, simulation parameters, seeds, threading.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Fabric to build.
+    pub fabric: FabricSpec,
+    /// Per-seed simulation parameters.
+    pub config: SimConfig,
+    /// Seeds to sweep: `seed_base .. seed_base + seeds`.
+    pub seed_base: u64,
+    /// Number of seeds.
+    pub seeds: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Scenario {
+    /// Parses a scenario from text. Unknown keys, malformed values and
+    /// inconsistent combinations are reported with line numbers.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut fabric: Option<FabricSpec> = None;
+        let mut pattern = TrafficPattern::Uniform;
+        let mut holding = HoldingTime::Exponential { mean: 1.0 };
+        let mut arrival_rate = 1.0f64;
+        let mut fault_rate = 0.0f64;
+        let mut fault_open_share = 0.5f64;
+        let mut mttr = 0.0f64;
+        let mut duration = 100.0f64;
+        let mut warmup = 0.0f64;
+        let mut buckets = 10usize;
+        let mut seeds = 1u64;
+        let mut seed_base = 1u64;
+        let mut threads = 0usize;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| at(format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let words: Vec<&str> = value.split_whitespace().collect();
+            match key {
+                "network" => fabric = Some(parse_network(&words).map_err(at)?),
+                "pattern" => pattern = parse_pattern(&words).map_err(at)?,
+                "holding" => holding = parse_holding(&words).map_err(at)?,
+                "arrival_rate" => arrival_rate = parse_num(value).map_err(at)?,
+                "fault_rate" => fault_rate = parse_num(value).map_err(at)?,
+                "fault_open_share" => fault_open_share = parse_num(value).map_err(at)?,
+                "mttr" => mttr = parse_num(value).map_err(at)?,
+                "duration" => duration = parse_num(value).map_err(at)?,
+                "warmup" => warmup = parse_num(value).map_err(at)?,
+                "buckets" => buckets = parse_int(value).map_err(at)?,
+                "seeds" => seeds = parse_int(value).map_err(at)? as u64,
+                "seed_base" => seed_base = parse_int(value).map_err(at)? as u64,
+                "threads" => threads = parse_int(value).map_err(at)?,
+                other => return Err(at(format!("unknown key `{other}`"))),
+            }
+        }
+
+        let fabric = fabric.ok_or("scenario must set `network = ...`")?;
+        let scenario = Scenario {
+            fabric,
+            config: SimConfig {
+                arrival_rate,
+                holding,
+                pattern,
+                fault_rate,
+                fault_open_share,
+                mttr,
+                duration,
+                warmup,
+                buckets,
+            },
+            seed_base,
+            seeds,
+            threads,
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let c = &self.config;
+        if !(c.arrival_rate > 0.0 && c.arrival_rate.is_finite()) {
+            return Err(format!(
+                "arrival_rate must be positive, got {}",
+                c.arrival_rate
+            ));
+        }
+        if c.holding.mean() <= 0.0 || !c.holding.mean().is_finite() {
+            return Err("holding mean must be positive".into());
+        }
+        if let HoldingTime::Pareto { shape, .. } = c.holding {
+            if shape <= 1.0 {
+                return Err(format!(
+                    "pareto shape must exceed 1 for a finite mean, got {shape}"
+                ));
+            }
+        }
+        if c.fault_rate < 0.0 || c.mttr < 0.0 {
+            return Err("fault_rate and mttr must be nonnegative".into());
+        }
+        if !(0.0..=1.0).contains(&c.fault_open_share) {
+            return Err(format!(
+                "fault_open_share must be in [0, 1], got {}",
+                c.fault_open_share
+            ));
+        }
+        if !(c.duration > 0.0 && c.duration.is_finite()) {
+            return Err(format!("duration must be positive, got {}", c.duration));
+        }
+        if c.warmup < 0.0 || c.warmup >= c.duration {
+            return Err(format!(
+                "warmup must be in [0, duration), got {} of {}",
+                c.warmup, c.duration
+            ));
+        }
+        if c.buckets == 0 {
+            return Err("buckets must be at least 1".into());
+        }
+        if self.seeds == 0 {
+            return Err("seeds must be at least 1".into());
+        }
+        if let TrafficPattern::Hotspot {
+            hot_fraction,
+            p_hot,
+        } = c.pattern
+        {
+            let frac_ok = 0.0 < hot_fraction && hot_fraction <= 1.0;
+            if !frac_ok || !(0.0..=1.0).contains(&p_hot) {
+                return Err("hotspot needs 0 < FRAC <= 1 and 0 <= P_HOT <= 1".into());
+            }
+        }
+        if let TrafficPattern::Bursty {
+            mean_on,
+            mean_off,
+            boost,
+        } = c.pattern
+        {
+            if mean_on <= 0.0 || mean_off <= 0.0 || boost < 1.0 {
+                return Err("bursty needs MEAN_ON, MEAN_OFF > 0 and BOOST >= 1".into());
+            }
+        }
+        if c.fault_rate > 0.0 && matches!(self.fabric, FabricSpec::Crossbar(_)) {
+            return Err(
+                "crossbar switches join two terminals: the vertex-discard repair \
+                 discipline cannot express their failures — use a staged fabric \
+                 (clos/benes/ftn) or set fault_rate = 0"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// The seed list the sweep runs.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds).map(|k| self.seed_base + k).collect()
+    }
+}
+
+fn parse_num(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|_| format!("expected a number, got `{s}`"))
+        .and_then(|x| {
+            if x.is_finite() {
+                Ok(x)
+            } else {
+                Err(format!("expected a finite number, got `{s}`"))
+            }
+        })
+}
+
+fn parse_int(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("expected a nonnegative integer, got `{s}`"))
+}
+
+fn parse_network(words: &[&str]) -> Result<FabricSpec, String> {
+    let usage = "network = crossbar N | clos-strict N R | clos-rearr N R | benes K | ftn NU WIDTH DEGREE GAMMA";
+    let int = |s: &str| parse_int(s);
+    match words {
+        ["crossbar", n] => Ok(FabricSpec::Crossbar(int(n)?.max(1))),
+        ["clos-strict", n, r] => Ok(FabricSpec::ClosStrict(int(n)?.max(1), int(r)?.max(1))),
+        ["clos-rearr", n, r] => Ok(FabricSpec::ClosRearrangeable(
+            int(n)?.max(1),
+            int(r)?.max(1),
+        )),
+        ["benes", k] => Ok(FabricSpec::Benes(int(k)?.clamp(1, 16) as u32)),
+        ["ftn", nu, w, d, g] => Ok(FabricSpec::Ftn(
+            int(nu)?.clamp(1, 8) as u32,
+            int(w)?,
+            int(d)?,
+            parse_num(g)?,
+        )),
+        _ => Err(format!(
+            "unrecognised network `{}`; {usage}",
+            words.join(" ")
+        )),
+    }
+}
+
+fn parse_pattern(words: &[&str]) -> Result<TrafficPattern, String> {
+    let usage =
+        "pattern = uniform | permutation | hotspot FRAC P_HOT | bursty MEAN_ON MEAN_OFF BOOST";
+    match words {
+        ["uniform"] => Ok(TrafficPattern::Uniform),
+        ["permutation"] => Ok(TrafficPattern::Permutation),
+        ["hotspot", f, p] => Ok(TrafficPattern::Hotspot {
+            hot_fraction: parse_num(f)?,
+            p_hot: parse_num(p)?,
+        }),
+        ["bursty", on, off, boost] => Ok(TrafficPattern::Bursty {
+            mean_on: parse_num(on)?,
+            mean_off: parse_num(off)?,
+            boost: parse_num(boost)?,
+        }),
+        _ => Err(format!(
+            "unrecognised pattern `{}`; {usage}",
+            words.join(" ")
+        )),
+    }
+}
+
+fn parse_holding(words: &[&str]) -> Result<HoldingTime, String> {
+    let usage = "holding = exp MEAN | pareto SHAPE MEAN";
+    match words {
+        ["exp", mean] => Ok(HoldingTime::Exponential {
+            mean: parse_num(mean)?,
+        }),
+        ["pareto", shape, mean] => Ok(HoldingTime::Pareto {
+            shape: parse_num(shape)?,
+            mean: parse_num(mean)?,
+        }),
+        _ => Err(format!(
+            "unrecognised holding `{}`; {usage}",
+            words.join(" ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# comment line
+network = clos-strict 2 3   # trailing comment
+pattern = hotspot 0.25 0.8
+holding = pareto 2.5 1.5
+arrival_rate = 4
+fault_rate = 0.001
+mttr = 10
+duration = 200
+warmup = 20
+seeds = 4
+seed_base = 7
+buckets = 8
+threads = 2
+";
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let s = Scenario::parse(GOOD).unwrap();
+        assert_eq!(s.fabric, FabricSpec::ClosStrict(2, 3));
+        assert_eq!(
+            s.config.pattern,
+            TrafficPattern::Hotspot {
+                hot_fraction: 0.25,
+                p_hot: 0.8
+            }
+        );
+        assert_eq!(
+            s.config.holding,
+            HoldingTime::Pareto {
+                shape: 2.5,
+                mean: 1.5
+            }
+        );
+        assert_eq!(s.config.arrival_rate, 4.0);
+        assert_eq!(s.config.warmup, 20.0);
+        assert_eq!(s.seed_list(), vec![7, 8, 9, 10]);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.fabric.to_spec_string(), "clos-strict 2 3");
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let s = Scenario::parse("network = benes 3\n").unwrap();
+        assert_eq!(s.fabric, FabricSpec::Benes(3));
+        assert_eq!(s.config.pattern, TrafficPattern::Uniform);
+        assert_eq!(s.config.fault_rate, 0.0);
+        assert_eq!(s.seeds, 1);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = Scenario::parse("network = clos-strict 2 2\nbogus_key = 1\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Scenario::parse("network = hypercube 4\n").unwrap_err();
+        assert!(err.contains("unrecognised network"), "{err}");
+        let err = Scenario::parse("pattern = uniform\n").unwrap_err();
+        assert!(err.contains("must set `network"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad = [
+            "network = clos-strict 2 2\narrival_rate = 0\n",
+            "network = clos-strict 2 2\nholding = pareto 0.9 1\n",
+            "network = clos-strict 2 2\nduration = 100\nwarmup = 100\n",
+            "network = clos-strict 2 2\nseeds = 0\n",
+            "network = clos-strict 2 2\nfault_open_share = 1.5\n",
+            "network = crossbar 4\nfault_rate = 0.01\n",
+            "network = clos-strict 2 2\npattern = bursty 1 1 0.5\n",
+        ];
+        for text in bad {
+            assert!(Scenario::parse(text).is_err(), "accepted: {text}");
+        }
+    }
+
+    #[test]
+    fn specs_build_their_fabrics() {
+        for (text, terminals) in [
+            ("network = crossbar 4\n", 4),
+            ("network = clos-strict 2 3\n", 6),
+            ("network = clos-rearr 2 2\n", 4),
+            ("network = benes 2\n", 4),
+        ] {
+            let s = Scenario::parse(text).unwrap();
+            assert_eq!(s.fabric.build().terminals(), terminals, "{text}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Multi-seed parallel sweeps.
+//!
+//! The driver follows the `mc_event_probability_parallel` worker
+//! discipline: each thread owns **one RNG-per-seed engine and one
+//! reusable [`SimWorkspace`]** for its whole block of seeds, so a
+//! sweep's steady-state allocation is one workspace per worker.
+//! Results land in seed order regardless of the worker count — per-seed
+//! runs are independent, so `threads` affects wall clock only, never
+//! the report bytes.
+
+use crate::engine::{run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
+use crate::fabric::Fabric;
+
+/// Runs every seed of `seeds` on `threads` workers (0 = one per
+/// available core). Outcomes come back in `seeds` order.
+pub fn run_sweep(
+    fabric: &Fabric,
+    cfg: &SimConfig,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<SeedOutcome> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let threads = threads.clamp(1, seeds.len().max(1));
+    if threads <= 1 || seeds.len() <= 1 {
+        let mut ws = SimWorkspace::default();
+        return seeds
+            .iter()
+            .map(|&s| run_seed_with(fabric, cfg, s, &mut ws))
+            .collect();
+    }
+    let mut outcomes: Vec<Option<SeedOutcome>> = vec![None; seeds.len()];
+    let chunk = seeds.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (seed_block, out_block) in seeds.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let mut ws = SimWorkspace::default();
+                for (&seed, slot) in seed_block.iter().zip(out_block.iter_mut()) {
+                    *slot = Some(run_seed_with(fabric, cfg, seed, &mut ws));
+                }
+            });
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("sweep worker left a seed unfilled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{HoldingTime, TrafficPattern};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            arrival_rate: 5.0,
+            holding: HoldingTime::Exponential { mean: 1.0 },
+            pattern: TrafficPattern::Uniform,
+            fault_rate: 0.003,
+            fault_open_share: 0.5,
+            mttr: 8.0,
+            duration: 40.0,
+            warmup: 0.0,
+            buckets: 4,
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let fabric = Fabric::clos_strict(2, 2);
+        let cfg = cfg();
+        let seeds: Vec<u64> = (1..=6).collect();
+        let serial = run_sweep(&fabric, &cfg, &seeds, 1);
+        let parallel = run_sweep(&fabric, &cfg, &seeds, 3);
+        let auto = run_sweep(&fabric, &cfg, &seeds, 0);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, auto);
+        let got: Vec<u64> = serial.iter().map(|o| o.seed).collect();
+        assert_eq!(got, seeds);
+    }
+
+    #[test]
+    fn single_seed_sweep() {
+        let fabric = Fabric::clos_strict(2, 2);
+        let out = run_sweep(&fabric, &cfg(), &[9], 4);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seed, 9);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`core`] — the paper's contribution: the fault-tolerant nonblocking
 //!   network 𝒩, its repair/certification pipeline, and the §5
 //!   lower-bound machinery.
+//! * [`sim`] — the discrete-event traffic & fault-lifetime simulation
+//!   engine behind the `ftsim` scenario CLI.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -21,3 +23,4 @@ pub use ft_expander as expander;
 pub use ft_failure as failure;
 pub use ft_graph as graph;
 pub use ft_networks as networks;
+pub use ft_sim as sim;

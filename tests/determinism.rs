@@ -139,3 +139,56 @@ fn mask_dense_word_fill_is_deterministic_and_calibrated() {
         "closed {closed}"
     );
 }
+
+/// The simulation engine's event stream is part of the same contract:
+/// a fixed `(scenario, seed)` pair must reproduce the identical stream
+/// (pinned by its FNV fingerprint) and a byte-identical JSON report,
+/// across runs, thread counts and build profiles. As with the RNG
+/// constants above, a change here invalidates every recorded scenario —
+/// treat it as a breaking change.
+#[test]
+fn sim_event_stream_and_report_are_pinned() {
+    use fault_tolerant_switching::sim;
+
+    const SCENARIO: &str = "\
+network = clos-strict 2 3
+arrival_rate = 4
+holding = exp 0.8
+fault_rate = 0.003
+mttr = 10
+duration = 60
+seeds = 2
+seed_base = 5
+buckets = 4
+threads = 2
+";
+    let report = sim::run_scenario_text(SCENARIO).expect("scenario parses");
+    assert_eq!(report.outcomes.len(), 2);
+    // golden event-stream fingerprints (recorded 2026-07; see header)
+    assert_eq!(report.outcomes[0].seed, 5);
+    assert_eq!(report.outcomes[0].events, 387);
+    assert_eq!(report.outcomes[0].fingerprint, 0x42539ac153522201);
+    assert_eq!(report.outcomes[1].seed, 6);
+    assert_eq!(report.outcomes[1].events, 422);
+    assert_eq!(report.outcomes[1].fingerprint, 0x273cb6c362afa936);
+
+    // byte-identical report across repeated runs and thread counts
+    let json = report.to_json();
+    let again = sim::run_scenario_text(SCENARIO).unwrap().to_json();
+    assert_eq!(json, again);
+    let serial = {
+        let mut s = sim::Scenario::parse(SCENARIO).unwrap();
+        s.threads = 1;
+        let fabric = s.fabric.build();
+        let outcomes = sim::run_sweep(&fabric, &s.config, &s.seed_list(), 1);
+        sim::Report::new(s, &fabric, outcomes).to_json()
+    };
+    // the only difference between the two texts is the echoed thread
+    // count — which the report deliberately does NOT echo, because it
+    // must not affect results
+    assert_eq!(json, serial);
+
+    // pin a few rendered bytes so the JSON writer itself cannot drift
+    assert!(json.contains("\"fingerprint\": \"0x42539ac153522201\""));
+    assert!(json.contains("\"network\": \"clos-strict 2 3\""));
+}

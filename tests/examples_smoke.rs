@@ -28,8 +28,8 @@ fn all_examples_run_to_completion() {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let examples = examples();
     assert!(
-        examples.len() >= 6,
-        "expected at least the six seed examples, found {examples:?}"
+        examples.len() >= 7,
+        "expected the six seed examples plus exchange_day, found {examples:?}"
     );
     for example in &examples {
         let out = Command::new(&cargo)
