@@ -40,7 +40,7 @@
 //! * [`recursive`] — the un-truncated \[P82\] recursive network;
 //! * [`access`] — access sets and majority-access (Lemmas 3, 6);
 //! * [`repair`] — terminal-aware repair (§4);
-//! * [`certify`] — structural certification (Lemmas 3–7, Theorem 2);
+//! * [`mod@certify`] — structural certification (Lemmas 3–7, Theorem 2);
 //! * [`routing`] — greedy routing workloads on the survivor (§4);
 //! * [`lowerbound`] — the §5 machinery (Lemmas 1–2, Theorem 1 audit);
 //! * [`theory`] — every closed-form bound as an executable formula.

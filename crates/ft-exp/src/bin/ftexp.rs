@@ -1,0 +1,123 @@
+//! `ftexp` — run a `.ftexp` parameter-grid study and emit the
+//! deterministic JSON/CSV tables.
+//!
+//! ```text
+//! usage: ftexp SPEC [--out PATH] [--csv PATH] [--cache DIR]
+//!              [--no-cache] [--recompute] [--threads N]
+//!
+//!   SPEC          path to a grid spec (`-` reads stdin)
+//!   --out PATH    also write the JSON table to PATH
+//!   --csv PATH    also write the CSV table to PATH
+//!   --cache DIR   cell cache directory (default: SPEC.cache;
+//!                 stdin specs default to no cache)
+//!   --no-cache    disable the cell cache entirely
+//!   --recompute   ignore cache hits, recompute and rewrite every cell
+//!   --threads N   worker threads (0 = one per core; default: the
+//!                 spec's `threads` directive)
+//! ```
+//!
+//! The JSON table goes to stdout; diagnostics go to stderr, including
+//! the run-accounting line
+//! `ftexp: cells total=T computed=A cached=B skipped=C`
+//! (CI greps it to assert a cache-warm rerun computes zero cells —
+//! the accounting is *not* part of the JSON, which must stay
+//! byte-identical across cold and warm runs). Exit status is nonzero
+//! on any parse or I/O error.
+
+use ft_exp::{run_grid, to_csv, to_json, GridSpec, RunOptions};
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: ftexp SPEC [--out PATH] [--csv PATH] [--cache DIR] [--no-cache] [--recompute] [--threads N]\n       (SPEC = path to a grid spec file, or `-` for stdin)"
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut recompute = false;
+    let mut threads_override: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            "--out" => out_path = Some(it.next().ok_or("--out needs a path")?),
+            "--csv" => csv_path = Some(it.next().ok_or("--csv needs a path")?),
+            "--cache" => cache_dir = Some(PathBuf::from(it.next().ok_or("--cache needs a dir")?)),
+            "--no-cache" => no_cache = true,
+            "--recompute" => recompute = true,
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                threads_override = Some(n.parse().map_err(|_| format!("bad thread count `{n}`"))?);
+            }
+            other if spec_path.is_none() => spec_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| usage().to_string())?;
+    let text = if spec_path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?
+    };
+
+    let spec = GridSpec::parse(&text)?;
+    let cache_dir = if no_cache {
+        None
+    } else {
+        cache_dir
+            .or_else(|| (spec_path != "-").then(|| PathBuf::from(format!("{spec_path}.cache"))))
+    };
+    let opts = RunOptions {
+        threads: threads_override.unwrap_or_else(|| spec.base.threads()),
+        cache_dir,
+        recompute,
+    };
+    eprintln!(
+        "ftexp: {} sweep axis(es), {} cell(s), static_trials {}{}",
+        spec.sweeps.len(),
+        spec.num_cells(),
+        spec.static_trials,
+        match &opts.cache_dir {
+            Some(d) => format!(", cache {}", d.display()),
+            None => ", cache disabled".into(),
+        }
+    );
+    let result = run_grid(&spec, &opts)?;
+    eprintln!("ftexp: {}", result.summary_line());
+
+    let json = to_json(&spec, &result);
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("ftexp: JSON table written to {path}");
+    }
+    if let Some(path) = csv_path {
+        let csv = to_csv(&spec, &result);
+        std::fs::write(&path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("ftexp: CSV table written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ftexp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The on-disk cell cache: one flat text file per completed cell.
+//!
+//! A cell is keyed by the FNV content hash of its canonical resolved
+//! scenario plus the static-check trial count
+//! ([`crate::grid::cell_hash`]), so interrupted or re-run studies only
+//! compute missing cells and *any* change to a cell's parameters (or to
+//! the cache format) is a clean miss, never a stale hit. Files are
+//! self-describing `key = value` text; every number round-trips exactly
+//! (integers verbatim, `f64` through Rust's shortest-round-trip
+//! formatting), which is what lets a cache-warm run render the
+//! byte-identical aggregate report a cold run does — pinned by
+//! `tests/determinism.rs`. A file that fails any check (version, hash,
+//! structure) is treated as a miss and silently recomputed.
+
+use crate::result::{CellData, SeedRow};
+use ft_failure::Estimate;
+use std::path::{Path, PathBuf};
+
+/// Format tag written to (and required of) every cache file.
+const VERSION: &str = "ftexp cell-cache v1";
+
+/// The cache file path for a cell hash.
+pub fn cell_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.ftcell"))
+}
+
+/// Renders a completed cell for the cache.
+pub fn render(hash: u64, data: &CellData) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(VERSION);
+    out.push('\n');
+    push(&mut out, "hash", &format!("{hash:016x}"));
+    push(&mut out, "fabric", &data.fabric_label);
+    push(&mut out, "switches", &data.switches.to_string());
+    push(&mut out, "terminals", &data.terminals.to_string());
+    push(&mut out, "seed_rows", &data.seeds.len().to_string());
+    if let Some(est) = data.static_est {
+        push(&mut out, "static_successes", &est.successes.to_string());
+        push(&mut out, "static_trials", &est.trials.to_string());
+    }
+    for row in &data.seeds {
+        push(&mut out, "seed", &row.seed.to_string());
+        push(&mut out, "events", &row.events.to_string());
+        push(
+            &mut out,
+            "fingerprint",
+            &format!("{:016x}", row.fingerprint),
+        );
+        push(&mut out, "offered", &row.offered.to_string());
+        push(&mut out, "connected", &row.connected.to_string());
+        push(&mut out, "blocked", &row.blocked.to_string());
+        push(&mut out, "rejected_busy", &row.rejected_busy.to_string());
+        push(&mut out, "dropped", &row.dropped.to_string());
+        push(&mut out, "rerouted", &row.rerouted.to_string());
+        push(&mut out, "abandoned", &row.abandoned.to_string());
+        push(&mut out, "faults", &row.faults.to_string());
+        push(&mut out, "repairs", &row.repairs.to_string());
+        push(&mut out, "blocking", &row.blocking.to_string());
+        push(&mut out, "busy_rejection", &row.busy_rejection.to_string());
+        push(&mut out, "drop_rate", &row.drop_rate.to_string());
+        push(
+            &mut out,
+            "carried_erlangs",
+            &row.carried_erlangs.to_string(),
+        );
+        push(&mut out, "mean_path_len", &row.mean_path_len.to_string());
+        push(
+            &mut out,
+            "mean_reroute_latency",
+            &row.mean_reroute_latency.to_string(),
+        );
+        push(&mut out, "util_max", &row.util_max.to_string());
+    }
+    out
+}
+
+fn push(out: &mut String, key: &str, value: &str) {
+    out.push_str(key);
+    out.push_str(" = ");
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Parses a cache file back into a [`CellData`]. `None` = malformed or
+/// wrong version/hash — callers treat it as a miss.
+pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
+    let mut lines = text.lines();
+    if lines.next()? != VERSION {
+        return None;
+    }
+    /// Per-seed fields following each `seed` line (completeness check).
+    const SEED_FIELDS: usize = 18;
+    let mut header: Vec<(String, String)> = Vec::new();
+    let mut seeds: Vec<SeedRow> = Vec::new();
+    let mut fields_in_row = SEED_FIELDS;
+    for line in lines {
+        let (key, value) = line.split_once(" = ")?;
+        if key == "seed" {
+            if fields_in_row != SEED_FIELDS {
+                return None; // truncated previous row
+            }
+            fields_in_row = 0;
+            seeds.push(SeedRow {
+                seed: value.parse().ok()?,
+                ..SeedRow::default()
+            });
+            continue;
+        }
+        match seeds.last_mut() {
+            None => header.push((key.to_string(), value.to_string())),
+            Some(row) => {
+                let v = value;
+                match key {
+                    "events" => row.events = v.parse().ok()?,
+                    "fingerprint" => row.fingerprint = u64::from_str_radix(v, 16).ok()?,
+                    "offered" => row.offered = v.parse().ok()?,
+                    "connected" => row.connected = v.parse().ok()?,
+                    "blocked" => row.blocked = v.parse().ok()?,
+                    "rejected_busy" => row.rejected_busy = v.parse().ok()?,
+                    "dropped" => row.dropped = v.parse().ok()?,
+                    "rerouted" => row.rerouted = v.parse().ok()?,
+                    "abandoned" => row.abandoned = v.parse().ok()?,
+                    "faults" => row.faults = v.parse().ok()?,
+                    "repairs" => row.repairs = v.parse().ok()?,
+                    "blocking" => row.blocking = v.parse().ok()?,
+                    "busy_rejection" => row.busy_rejection = v.parse().ok()?,
+                    "drop_rate" => row.drop_rate = v.parse().ok()?,
+                    "carried_erlangs" => row.carried_erlangs = v.parse().ok()?,
+                    "mean_path_len" => row.mean_path_len = v.parse().ok()?,
+                    "mean_reroute_latency" => row.mean_reroute_latency = v.parse().ok()?,
+                    "util_max" => row.util_max = v.parse().ok()?,
+                    _ => return None,
+                }
+                fields_in_row += 1;
+            }
+        }
+    }
+    if fields_in_row != SEED_FIELDS {
+        return None; // truncated final row
+    }
+    let get = |k: &str| {
+        header
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    };
+    if u64::from_str_radix(get("hash")?, 16).ok()? != expect_hash {
+        return None;
+    }
+    let static_est = match (get("static_successes"), get("static_trials")) {
+        (Some(s), Some(t)) => Some(Estimate {
+            successes: s.parse().ok()?,
+            trials: t.parse().ok()?,
+        }),
+        (None, None) => None,
+        _ => return None,
+    };
+    if seeds.is_empty() || get("seed_rows")?.parse::<usize>().ok()? != seeds.len() {
+        return None; // truncated between complete rows
+    }
+    Some(CellData {
+        fabric_label: get("fabric")?.to_string(),
+        switches: get("switches")?.parse().ok()?,
+        terminals: get("terminals")?.parse().ok()?,
+        seeds,
+        static_est,
+    })
+}
+
+/// Loads a cell from `dir`, verifying version and hash. `None` = miss.
+pub fn load(dir: &Path, hash: u64) -> Option<CellData> {
+    let text = std::fs::read_to_string(cell_path(dir, hash)).ok()?;
+    parse(&text, hash)
+}
+
+/// Stores a completed cell in `dir` (best-effort: an unwritable cache
+/// degrades to recomputation, never to failure). The write goes to a
+/// temporary sibling and is renamed into place, so an interrupted run
+/// can never leave a half-written file under the final name — and the
+/// `seed_rows` header catches truncation even if it somehow does.
+pub fn store(dir: &Path, hash: u64, data: &CellData) -> std::io::Result<()> {
+    let path = cell_path(dir, hash);
+    let tmp = path.with_extension("ftcell.tmp");
+    std::fs::write(&tmp, render(hash, data))?;
+    std::fs::rename(&tmp, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellData {
+        CellData {
+            fabric_label: "clos m=3 n=2 r=2".into(),
+            switches: 24,
+            terminals: 4,
+            seeds: vec![
+                SeedRow {
+                    seed: 1,
+                    events: 321,
+                    fingerprint: 0xDEAD_BEEF_0123_4567,
+                    offered: 100,
+                    connected: 90,
+                    blocked: 4,
+                    rejected_busy: 6,
+                    dropped: 3,
+                    rerouted: 2,
+                    abandoned: 1,
+                    faults: 5,
+                    repairs: 4,
+                    blocking: 0.04,
+                    busy_rejection: 0.06,
+                    drop_rate: 1.0 / 90.0,
+                    carried_erlangs: 2.517_342_109_8,
+                    mean_path_len: 3.733_333_333_333_333_3,
+                    mean_reroute_latency: 0.5,
+                    util_max: 0.312_500_001,
+                },
+                SeedRow {
+                    seed: 2,
+                    blocking: f64::MIN_POSITIVE,
+                    ..SeedRow::default()
+                },
+            ],
+            static_est: Some(Estimate {
+                successes: 17,
+                trials: 1000,
+            }),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let data = sample();
+        let text = render(42, &data);
+        let back = parse(&text, 42).expect("parses");
+        assert_eq!(back, data);
+        // and renders back to the identical bytes — the property the
+        // cold-vs-warm byte-identical aggregate depends on
+        assert_eq!(render(42, &back), text);
+    }
+
+    #[test]
+    fn wrong_hash_version_or_structure_is_a_miss() {
+        let data = sample();
+        let text = render(42, &data);
+        assert!(parse(&text, 43).is_none(), "hash mismatch must miss");
+        let other = text.replace(VERSION, "ftexp cell-cache v0");
+        assert!(parse(&other, 42).is_none(), "old version must miss");
+        let truncated = &text[..text.len() / 2];
+        // truncation either drops rows or breaks a line; both must miss
+        // or at worst parse fewer seeds — never panic
+        let _ = parse(truncated, 42);
+        let garbled = text.replace("blocking", "blockiNG");
+        assert!(parse(&garbled, 42).is_none());
+        // truncation at a *complete* row boundary: structurally valid,
+        // caught only by the seed_rows header count
+        let boundary = text.find("seed = 2").unwrap();
+        assert!(
+            parse(&text[..boundary], 42).is_none(),
+            "row-boundary truncation must miss"
+        );
+    }
+
+    #[test]
+    fn no_static_estimate_round_trips_too() {
+        let mut data = sample();
+        data.static_est = None;
+        let text = render(7, &data);
+        assert_eq!(parse(&text, 7).unwrap(), data);
+    }
+}

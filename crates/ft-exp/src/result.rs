@@ -1,0 +1,221 @@
+//! Per-cell results and cross-seed aggregation.
+//!
+//! A [`SeedRow`] is the flat scalar summary of one simulated seed —
+//! exactly the fields the aggregate tables need, all of which
+//! round-trip losslessly through the text cache (integers verbatim,
+//! `f64` via shortest-round-trip formatting). Aggregates are always
+//! recomputed from the seed rows at render time, so a cache-warm run
+//! and a cache-cold run go through the identical arithmetic.
+
+use ft_failure::Estimate;
+use ft_sim::{Fabric, SeedOutcome};
+
+/// Flat scalar summary of one simulated seed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeedRow {
+    /// The seed.
+    pub seed: u64,
+    /// Events processed.
+    pub events: u64,
+    /// FNV fingerprint of the event stream (determinism witness).
+    pub fingerprint: u64,
+    /// Call arrivals (post-warm-up).
+    pub offered: u64,
+    /// Calls connected.
+    pub connected: u64,
+    /// Calls refused for lack of an idle path.
+    pub blocked: u64,
+    /// Calls refused because a terminal was busy.
+    pub rejected_busy: u64,
+    /// Live sessions killed by faults.
+    pub dropped: u64,
+    /// Killed sessions re-routed before hangup.
+    pub rerouted: u64,
+    /// Killed sessions lost for good.
+    pub abandoned: u64,
+    /// Switch-fault events.
+    pub faults: u64,
+    /// Repair completions.
+    pub repairs: u64,
+    /// Blocking probability.
+    pub blocking: f64,
+    /// Busy-rejection fraction.
+    pub busy_rejection: f64,
+    /// Drop rate (abandoned / connected).
+    pub drop_rate: f64,
+    /// Carried load (erlangs).
+    pub carried_erlangs: f64,
+    /// Mean established path length (switches).
+    pub mean_path_len: f64,
+    /// Mean fault/repair events waited by re-routed calls.
+    pub mean_reroute_latency: f64,
+    /// Busiest stage's mean utilisation.
+    pub util_max: f64,
+}
+
+impl SeedRow {
+    /// Flattens one engine outcome (the fabric supplies the stage
+    /// sizes for utilisation denominators).
+    pub fn from_outcome(out: &SeedOutcome, fabric: &Fabric) -> SeedRow {
+        let m = &out.metrics;
+        let util_max = (0..m.stage_busy_time.len())
+            .map(|s| {
+                let r = fabric.net().stage_range(s);
+                m.stage_utilisation(s, (r.end - r.start) as usize)
+            })
+            .fold(0.0f64, f64::max);
+        SeedRow {
+            seed: out.seed,
+            events: out.events,
+            fingerprint: out.fingerprint,
+            offered: m.offered,
+            connected: m.connected,
+            blocked: m.blocked,
+            rejected_busy: m.rejected_busy,
+            dropped: m.dropped,
+            rerouted: m.rerouted,
+            abandoned: m.abandoned,
+            faults: m.faults,
+            repairs: m.repairs,
+            blocking: m.blocking_probability(),
+            busy_rejection: m.busy_rejection(),
+            drop_rate: m.drop_rate(),
+            carried_erlangs: m.carried_erlangs(),
+            mean_path_len: m.mean_path_len(),
+            mean_reroute_latency: m.mean_reroute_latency_events(),
+            util_max,
+        }
+    }
+}
+
+/// A completed (simulated or cache-loaded) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellData {
+    /// Fabric label as built (family and size).
+    pub fabric_label: String,
+    /// Switch count of the fabric.
+    pub switches: usize,
+    /// Terminal count of the fabric.
+    pub terminals: usize,
+    /// One row per seed, in seed order.
+    pub seeds: Vec<SeedRow>,
+    /// Static pair-blocking cross-check at the stationary
+    /// unavailability (present when the cell has faults *and* repair
+    /// and the grid enabled `static_trials`).
+    pub static_est: Option<Estimate>,
+}
+
+/// Mean, sample standard deviation and 95% CI half-width over `xs`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Normal-approximation 95% half-width `1.96·std/√n`.
+    pub ci95: f64,
+}
+
+/// Computes a [`Stat`] over an exact-sized iterator of samples.
+pub fn stat(xs: impl Iterator<Item = f64> + Clone) -> Stat {
+    let n = xs.clone().count();
+    if n == 0 {
+        return Stat {
+            mean: 0.0,
+            std: 0.0,
+            ci95: 0.0,
+        };
+    }
+    let mean = xs.clone().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Stat {
+            mean,
+            std: 0.0,
+            ci95: 0.0,
+        };
+    }
+    let var = xs.map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    let std = var.sqrt();
+    Stat {
+        mean,
+        std,
+        ci95: 1.96 * std / (n as f64).sqrt(),
+    }
+}
+
+/// The aggregate statistics a cell contributes to the study tables.
+#[derive(Clone, Copy, Debug)]
+pub struct CellAggregate {
+    /// Blocking probability across seeds.
+    pub blocking: Stat,
+    /// Busy-rejection fraction across seeds.
+    pub busy_rejection: Stat,
+    /// Drop rate across seeds.
+    pub drop_rate: Stat,
+    /// Carried erlangs across seeds.
+    pub carried_erlangs: Stat,
+    /// Mean path length across seeds.
+    pub mean_path_len: Stat,
+    /// Mean reroute latency (fault/repair events) across seeds.
+    pub reroute_latency: Stat,
+    /// Busiest-stage utilisation across seeds.
+    pub util_max: Stat,
+    /// Total offered calls across seeds.
+    pub offered_total: u64,
+}
+
+impl CellData {
+    /// Aggregates the seed rows (recomputed at render time on both the
+    /// cold and the warm path).
+    pub fn aggregate(&self) -> CellAggregate {
+        let f = |sel: fn(&SeedRow) -> f64| stat(self.seeds.iter().map(sel));
+        CellAggregate {
+            blocking: f(|r| r.blocking),
+            busy_rejection: f(|r| r.busy_rejection),
+            drop_rate: f(|r| r.drop_rate),
+            carried_erlangs: f(|r| r.carried_erlangs),
+            mean_path_len: f(|r| r.mean_path_len),
+            reroute_latency: f(|r| r.mean_reroute_latency),
+            util_max: f(|r| r.util_max),
+            offered_total: self.seeds.iter().map(|r| r.offered).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_basics() {
+        let s = stat([1.0, 3.0].into_iter());
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * s.std / 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(stat(std::iter::empty()).mean, 0.0);
+        let one = stat([5.0].into_iter());
+        assert_eq!((one.mean, one.std, one.ci95), (5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn seed_rows_flatten_outcomes() {
+        let fabric = Fabric::clos_strict(2, 2);
+        let cfg = ft_sim::SimConfig {
+            arrival_rate: 4.0,
+            holding: ft_sim::HoldingTime::Exponential { mean: 1.0 },
+            pattern: ft_sim::TrafficPattern::Uniform,
+            fault_rate: 0.002,
+            fault_open_share: 0.5,
+            mttr: 10.0,
+            duration: 50.0,
+            warmup: 0.0,
+            buckets: 1,
+        };
+        let out = ft_sim::run_seed(&fabric, &cfg, 3);
+        let row = SeedRow::from_outcome(&out, &fabric);
+        assert_eq!(row.seed, 3);
+        assert_eq!(row.fingerprint, out.fingerprint);
+        assert_eq!(row.blocking, out.metrics.blocking_probability());
+        assert!(row.util_max > 0.0 && row.util_max <= 1.0);
+    }
+}

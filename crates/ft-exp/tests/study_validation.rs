@@ -1,0 +1,124 @@
+//! Validation of the grid runner against the committed studies and the
+//! static snapshot machinery — the `sim_validation.rs` discipline
+//! lifted to grid level:
+//!
+//! 1. every committed `.ftexp` study under `studies/` must keep
+//!    parsing, and the headline study must keep covering ≥ 4
+//!    fault-capable fabrics × ≥ 5 ε values (the acceptance shape);
+//! 2. the CI smoke grid must run cold → warm with 100% cell-cache
+//!    hits;
+//! 3. in sparse traffic, each cell's temporal blocking must agree with
+//!    its own `static_p` cross-check column (PASTA at the stationary
+//!    unavailability), the same closed-loop check
+//!    `ft-sim/tests/sim_validation.rs` pins for a single scenario.
+
+use ft_exp::{run_grid, GridSpec, RunOptions};
+use std::path::PathBuf;
+
+fn study_text(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../studies")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn committed_studies_parse_and_keep_their_shape() {
+    for name in [
+        "blocking_vs_eps.ftexp",
+        "ft_overhead_vs_nu.ftexp",
+        "smoke_grid.ftexp",
+    ] {
+        let spec = GridSpec::parse(&study_text(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(spec.static_trials > 0, "{name} must cross-check");
+    }
+
+    // the acceptance shape of study (a): ≥ 4 fault-capable fabrics
+    // (crossbar rides along but its ε > 0 cells are skipped) × ≥ 5 ε
+    let spec = GridSpec::parse(&study_text("blocking_vs_eps.ftexp")).unwrap();
+    assert_eq!(spec.sweeps[0].key, "network");
+    assert_eq!(spec.sweeps[1].key, "fault_rate");
+    let fault_capable = spec.sweeps[0]
+        .values
+        .iter()
+        .filter(|v| !v.starts_with("crossbar"))
+        .count();
+    assert!(fault_capable >= 4, "{:?}", spec.sweeps[0].values);
+    assert!(
+        spec.sweeps[1].values.len() >= 5,
+        "{:?}",
+        spec.sweeps[1].values
+    );
+    let skipped_expected =
+        (spec.sweeps[0].values.len() - fault_capable) * spec.sweeps[1].values.len();
+    let cells = spec.cells();
+    assert_eq!(
+        cells.iter().filter(|c| c.scenario.is_err()).count(),
+        skipped_expected,
+        "exactly the crossbar × ε > 0 cells are skipped"
+    );
+}
+
+#[test]
+fn smoke_grid_runs_cold_then_warm_with_full_cache_hits() {
+    let spec = GridSpec::parse(&study_text("smoke_grid.ftexp")).unwrap();
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("smoke-grid-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = RunOptions {
+        threads: 0,
+        cache_dir: Some(dir),
+        recompute: false,
+    };
+    let cold = run_grid(&spec, &opts).unwrap();
+    assert_eq!(cold.computed, spec.num_cells());
+    assert_eq!((cold.cached, cold.skipped), (0, 0));
+    let warm = run_grid(&spec, &opts).unwrap();
+    assert_eq!(warm.computed, 0, "warm run must be 100% cache hits");
+    assert_eq!(warm.cached, spec.num_cells());
+}
+
+/// The grid-level PASTA cross-check: sparse traffic (so busy collisions
+/// are negligible), long run, per-switch failure rate λ with repair
+/// rate 1/mttr. Arrival-observed blocking in each cell must match that
+/// cell's own static snapshot column within Monte Carlo noise.
+#[test]
+fn cell_blocking_matches_its_static_cross_check_in_sparse_traffic() {
+    const GRID: &str = "\
+network       = clos-strict 2 3
+arrival_rate  = 1.0
+holding       = exp 0.02
+mttr          = 5
+duration      = 4000
+warmup        = 100
+buckets       = 1
+static_trials = 20000
+sweep fault_rate = 0.01, 0.02
+";
+    let spec = GridSpec::parse(GRID).unwrap();
+    let result = run_grid(
+        &spec,
+        &RunOptions {
+            threads: 0,
+            cache_dir: None,
+            recompute: false,
+        },
+    )
+    .unwrap();
+    for report in &result.cells {
+        let (data, _) = report.data.as_ref().unwrap();
+        let agg = data.aggregate();
+        assert!(
+            agg.busy_rejection.mean < 0.01,
+            "traffic not sparse enough: {:?}",
+            agg.busy_rejection
+        );
+        let static_p = data.static_est.expect("cross-check must run").p();
+        assert!(
+            (agg.blocking.mean - static_p).abs() < 0.03,
+            "cell {:?}: temporal {} vs static {static_p}",
+            report.cell.assignments,
+            agg.blocking.mean
+        );
+        assert!(static_p > 0.01, "signal too small to compare: {static_p}");
+    }
+}

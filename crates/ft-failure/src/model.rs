@@ -71,6 +71,32 @@ impl FailureModel {
         }
     }
 
+    /// The static snapshot of a temporal fault process: a switch that
+    /// fails at rate `fault_rate` and is repaired at rate `1/mttr` is a
+    /// two-state Markov chain whose stationary unavailability is
+    /// `u = λ / (λ + 1/mttr) = λ·mttr / (1 + λ·mttr)`; by PASTA an
+    /// arrival in the process's steady state observes each switch
+    /// failed independently with probability `u`. `open_share` splits
+    /// `u` between open and closed failures, mirroring the simulator's
+    /// `fault_open_share`.
+    ///
+    /// This is the cross-validation hook the `ftexp` study runner and
+    /// `ft-sim`'s `sim_validation` tests use to compare a discrete-event
+    /// blocking estimate against this crate's snapshot machinery.
+    ///
+    /// # Panics
+    /// Panics if `fault_rate < 0`, `mttr <= 0`, or `open_share ∉ [0, 1]`.
+    pub fn stationary(fault_rate: f64, mttr: f64, open_share: f64) -> Self {
+        assert!(
+            fault_rate >= 0.0 && mttr > 0.0 && (0.0..=1.0).contains(&open_share),
+            "invalid stationary parameters (λ = {fault_rate}, mttr = {mttr}, \
+             open_share = {open_share})"
+        );
+        let a = fault_rate * mttr;
+        let u = a / (1.0 + a);
+        FailureModel::new(u * open_share, u * (1.0 - open_share))
+    }
+
     /// Total failure probability ε₁ + ε₂ (the paper's `2ε`).
     pub fn total(&self) -> f64 {
         self.eps_open + self.eps_close
@@ -263,6 +289,26 @@ mod tests {
         assert_eq!(m.eps_open, 0.1);
         assert_eq!(m.eps_close, 0.1);
         assert!((m.total() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_unavailability() {
+        // λ = 0.02, mttr = 5 ⇒ u = 0.1/1.1 = 1/11
+        let m = FailureModel::stationary(0.02, 5.0, 0.5);
+        assert!((m.total() - 1.0 / 11.0).abs() < 1e-12);
+        assert_eq!(m.eps_open, m.eps_close);
+        // all failures open
+        let m = FailureModel::stationary(0.02, 5.0, 1.0);
+        assert_eq!(m.eps_close, 0.0);
+        assert!((m.eps_open - 1.0 / 11.0).abs() < 1e-12);
+        // no faults at all
+        assert_eq!(FailureModel::stationary(0.0, 5.0, 0.5).total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stationary parameters")]
+    fn stationary_rejects_zero_mttr() {
+        FailureModel::stationary(0.1, 0.0, 0.5);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn quad_map(p: FailureProbs) -> FailureProbs {
 }
 
 /// Computes the number of bridge levels and the resulting failure pair
-/// needed to bring `(ε, ε)` under [`QUAD_COMFORT`].
+/// needed to bring `(ε, ε)` under `QUAD_COMFORT`.
 ///
 /// # Panics
 /// Panics if ε ≥ ½ (amplification impossible: ½ is the bridge's fixed

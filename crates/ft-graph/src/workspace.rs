@@ -14,7 +14,7 @@
 //! iterator state) and, through [`crate::maxflow::FlowWorkspace`], the
 //! Menger helpers. One workspace may serve domains of different sizes
 //! back to back (e.g. a graph with `n` vertices and its split flow
-//! network with `2n + 2` nodes): [`TraversalWorkspace::begin`] grows the
+//! network with `2n + 2` nodes): `TraversalWorkspace::begin` grows the
 //! buffers on demand and never shrinks them.
 
 use crate::ids::{EdgeId, VertexId};

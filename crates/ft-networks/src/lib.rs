@@ -3,7 +3,7 @@
 //! The §2 cast of Pippenger & Lin, built as staged link-graphs (vertices
 //! are links, edges are single-pole single-throw switches):
 //!
-//! * [`crossbar`] — the `n²`-switch trivial nonblocking network;
+//! * [`mod@crossbar`] — the `n²`-switch trivial nonblocking network;
 //! * [`clos`] — three-stage Clos `C(m, n, r)`: strictly nonblocking at
 //!   `m ≥ 2n−1` (greedy-routable), rearrangeable at `m ≥ n`
 //!   (Slepian–Duguid edge-colouring router);

@@ -74,6 +74,15 @@ impl Multibutterfly {
         }
     }
 
+    /// Builds a random `d`-multibutterfly from a bare seed — the
+    /// sweep-friendly constructor: a `(k, d, seed)` triple names the
+    /// fabric completely, so parameter grids (the `ftexp` runner) can
+    /// rebuild the identical splitter wiring in every cell and cache
+    /// results under a content hash of the spec alone.
+    pub fn seeded(k: u32, d: usize, seed: u64) -> Self {
+        Multibutterfly::new(k, d, &mut ft_graph::gen::rng(seed))
+    }
+
     /// Terminal count.
     pub fn terminals(&self) -> usize {
         1usize << self.k

@@ -17,7 +17,7 @@ use ft_core::params::Params;
 use ft_core::repair::Survivor;
 use ft_failure::FailureInstance;
 use ft_graph::{Digraph, StagedNetwork};
-use ft_networks::{crossbar, Benes, Clos};
+use ft_networks::{crossbar, Benes, Clos, Multibutterfly};
 
 /// A switch fabric under simulation.
 #[derive(Debug)]
@@ -28,6 +28,8 @@ pub enum Fabric {
     Clos(Clos),
     /// A Beneš network (rearrangeable; greedy routing may block).
     Benes(Benes),
+    /// A multibutterfly (splitters over sampled expanders).
+    Multibutterfly(Multibutterfly),
     /// The paper's fault-tolerant network 𝒩.
     Ftn(Box<FtNetwork>),
 }
@@ -53,6 +55,14 @@ impl Fabric {
         Fabric::Benes(Benes::new(k))
     }
 
+    /// Builds a `d`-multibutterfly fabric on `2^k` terminals whose
+    /// splitter wiring is fully determined by `seed` — the same
+    /// `(k, d, seed)` triple always names the identical fabric, which
+    /// is what lets `ftexp` sweeps cache cells by spec content alone.
+    pub fn multibutterfly(k: u32, d: usize, seed: u64) -> Fabric {
+        Fabric::Multibutterfly(Multibutterfly::seeded(k, d, seed))
+    }
+
     /// Builds a reduced-profile fault-tolerant network 𝒩.
     pub fn ftn_reduced(nu: u32, width: usize, degree: usize, gamma_factor: f64) -> Fabric {
         Fabric::Ftn(Box::new(FtNetwork::build(Params::reduced(
@@ -69,6 +79,7 @@ impl Fabric {
             Fabric::Crossbar(net) => net,
             Fabric::Clos(c) => &c.net,
             Fabric::Benes(b) => &b.net,
+            Fabric::Multibutterfly(m) => &m.net,
             Fabric::Ftn(f) => f.net(),
         }
     }
@@ -84,6 +95,7 @@ impl Fabric {
             Fabric::Crossbar(net) => format!("crossbar {}", net.inputs().len()),
             Fabric::Clos(c) => format!("clos m={} n={} r={}", c.m, c.n, c.r),
             Fabric::Benes(b) => format!("benes n={}", b.terminals()),
+            Fabric::Multibutterfly(m) => format!("multibutterfly n={} d={}", m.terminals(), m.d),
             Fabric::Ftn(f) => format!("ftn nu={} n={}", f.params().nu, f.n()),
         }
     }
@@ -102,9 +114,18 @@ impl Fabric {
     /// The routable alive-mask for the current cumulative failure
     /// instance, under the §4 repair discipline.
     pub fn alive_mask(&self, inst: &FailureInstance) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.alive_mask_into(inst, &mut out);
+        out
+    }
+
+    /// Like [`alive_mask`](Fabric::alive_mask), writing into a
+    /// caller-held buffer so Monte Carlo trial loops can reuse one
+    /// allocation (the 𝒩 path still builds its `Survivor` internally).
+    pub fn alive_mask_into(&self, inst: &FailureInstance, out: &mut Vec<bool>) {
         match self {
-            Fabric::Ftn(f) => Survivor::new(f, inst).routable_alive(),
-            _ => generic_routable_alive(self.net(), inst),
+            Fabric::Ftn(f) => *out = Survivor::new(f, inst).routable_alive(),
+            _ => generic_routable_alive_into(self.net(), inst, out),
         }
     }
 }
@@ -122,19 +143,26 @@ fn terminal_mask(g: &StagedNetwork) -> Vec<bool> {
 /// terminals are exempt, and a failed terminal-incident switch is
 /// masked by discarding its internal endpoint.
 pub fn generic_routable_alive(g: &StagedNetwork, inst: &FailureInstance) -> Vec<bool> {
+    let mut alive = Vec::new();
+    generic_routable_alive_into(g, inst, &mut alive);
+    alive
+}
+
+/// Buffer-reusing form of [`generic_routable_alive`].
+pub fn generic_routable_alive_into(g: &StagedNetwork, inst: &FailureInstance, out: &mut Vec<bool>) {
     assert_eq!(inst.len(), g.num_edges(), "instance/network size mismatch");
     let is_terminal = terminal_mask(g);
-    let mut alive = vec![true; g.num_vertices()];
+    out.clear();
+    out.resize(g.num_vertices(), true);
     for e in inst.failed_edges() {
         let (t, h) = g.endpoints(e);
         if !is_terminal[t.index()] {
-            alive[t.index()] = false;
+            out[t.index()] = false;
         }
         if !is_terminal[h.index()] {
-            alive[h.index()] = false;
+            out[h.index()] = false;
         }
     }
-    alive
 }
 
 #[cfg(test)]

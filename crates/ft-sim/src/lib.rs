@@ -24,7 +24,10 @@
 //! * [`sweep`] — the multi-seed parallel driver (one workspace per
 //!   worker, results independent of thread count);
 //! * [`scenario`] / [`report`] — the plain-text spec the `ftsim` CLI
-//!   parses and the byte-reproducible JSON report it emits.
+//!   parses and the byte-reproducible JSON report it emits;
+//! * [`staticcheck`] — the PASTA cross-check: a snapshot Monte Carlo
+//!   estimate at the stationary unavailability that temporal blocking
+//!   must reproduce (and that `ftexp` studies report per cell).
 //!
 //! **Determinism guarantee:** all randomness flows through one seeded
 //! RNG in event order, event ties break by insertion sequence, and the
@@ -40,6 +43,7 @@ pub mod fabric;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod staticcheck;
 pub mod sweep;
 pub mod workload;
 
@@ -48,7 +52,8 @@ pub use events::{Event, EventKind, EventQueue};
 pub use fabric::Fabric;
 pub use metrics::{erlang_b, Bucket, Metrics};
 pub use report::Report;
-pub use scenario::{FabricSpec, Scenario};
+pub use scenario::{FabricSpec, Scenario, ScenarioBuilder, SCENARIO_KEYS};
+pub use staticcheck::pair_blocking_estimate;
 pub use sweep::run_sweep;
 pub use workload::{HoldingTime, TrafficPattern};
 

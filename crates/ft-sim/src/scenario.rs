@@ -21,11 +21,19 @@
 //! ```
 //!
 //! Recognised `network` families: `crossbar N`, `clos-strict N R`,
-//! `clos-rearr N R`, `benes K`, `ftn NU WIDTH DEGREE GAMMA`.
+//! `clos-rearr N R`, `benes K`, `multibutterfly K D SEED`,
+//! `ftn NU WIDTH DEGREE GAMMA`.
 //! Recognised `pattern`s: `uniform`, `permutation`,
 //! `hotspot FRAC P_HOT`, `bursty MEAN_ON MEAN_OFF BOOST`.
 //! Recognised `holding`s: `exp MEAN`, `pareto SHAPE MEAN`.
 //! `threads = 0` means one worker per available core.
+//!
+//! Every diagnostic — malformed directive, unknown key, *and*
+//! out-of-range value caught by validation — is reported as
+//! `line N: <message>`, pointing at the directive that set the
+//! offending value. The parser is built on [`ScenarioBuilder`], which
+//! the `ftexp` grid runner reuses to overlay `sweep` assignments on a
+//! base scenario; see `docs/SCENARIOS.md` for the full grammar.
 
 use crate::engine::SimConfig;
 use crate::fabric::Fabric;
@@ -42,6 +50,8 @@ pub enum FabricSpec {
     ClosRearrangeable(usize, usize),
     /// `benes K`
     Benes(u32),
+    /// `multibutterfly K D SEED`
+    Multibutterfly(u32, usize, u64),
     /// `ftn NU WIDTH DEGREE GAMMA`
     Ftn(u32, usize, usize, f64),
 }
@@ -54,6 +64,7 @@ impl FabricSpec {
             FabricSpec::ClosStrict(n, r) => Fabric::clos_strict(n, r),
             FabricSpec::ClosRearrangeable(n, r) => Fabric::clos_rearrangeable(n, r),
             FabricSpec::Benes(k) => Fabric::benes(k),
+            FabricSpec::Multibutterfly(k, d, seed) => Fabric::multibutterfly(k, d, seed),
             FabricSpec::Ftn(nu, w, d, g) => Fabric::ftn_reduced(nu, w, d, g),
         }
     }
@@ -65,6 +76,7 @@ impl FabricSpec {
             FabricSpec::ClosStrict(n, r) => format!("clos-strict {n} {r}"),
             FabricSpec::ClosRearrangeable(n, r) => format!("clos-rearr {n} {r}"),
             FabricSpec::Benes(k) => format!("benes {k}"),
+            FabricSpec::Multibutterfly(k, d, seed) => format!("multibutterfly {k} {d} {seed}"),
             FabricSpec::Ftn(nu, w, d, g) => format!("ftn {nu} {w} {d} {g}"),
         }
     }
@@ -85,24 +97,155 @@ pub struct Scenario {
     pub threads: usize,
 }
 
+/// The directive keys a scenario recognises, in canonical order.
+///
+/// The `ftexp` grid parser checks `sweep` targets against this list (it
+/// additionally refuses to sweep `threads`, which must not affect
+/// results).
+pub const SCENARIO_KEYS: &[&str] = &[
+    "network",
+    "pattern",
+    "holding",
+    "arrival_rate",
+    "fault_rate",
+    "fault_open_share",
+    "mttr",
+    "duration",
+    "warmup",
+    "buckets",
+    "seeds",
+    "seed_base",
+    "threads",
+];
+
+/// Incremental scenario assembly: one `set` call per directive, then
+/// [`build`](ScenarioBuilder::build).
+///
+/// Both `Scenario::parse` and the `ftexp` grid expander funnel through
+/// this type, so a sweep cell obeys exactly the same per-key grammar
+/// and validation rules as a hand-written `.ftsim` file. The builder
+/// remembers the source line of each assignment; `build` attributes
+/// validation failures (out-of-range values, inconsistent
+/// combinations) to the line that set the offending key.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    fabric: Option<FabricSpec>,
+    config: SimConfig,
+    seeds: u64,
+    seed_base: u64,
+    threads: usize,
+    /// `lines[i]` = source line that last set `SCENARIO_KEYS[i]`.
+    lines: [Option<usize>; SCENARIO_KEYS.len()],
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            fabric: None,
+            config: SimConfig {
+                arrival_rate: 1.0,
+                holding: HoldingTime::Exponential { mean: 1.0 },
+                pattern: TrafficPattern::Uniform,
+                fault_rate: 0.0,
+                fault_open_share: 0.5,
+                mttr: 0.0,
+                duration: 100.0,
+                warmup: 0.0,
+                buckets: 10,
+            },
+            seeds: 1,
+            seed_base: 1,
+            threads: 0,
+            lines: [None; SCENARIO_KEYS.len()],
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// A builder holding every default (no fabric yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one `key = value` directive read from source line
+    /// `line` (1-based; used to attribute later validation errors).
+    /// The returned message carries no line prefix — the caller owns
+    /// presentation.
+    pub fn set(&mut self, key: &str, value: &str, line: usize) -> Result<(), String> {
+        let words: Vec<&str> = value.split_whitespace().collect();
+        match key {
+            "network" => self.fabric = Some(parse_network(&words)?),
+            "pattern" => self.config.pattern = parse_pattern(&words)?,
+            "holding" => self.config.holding = parse_holding(&words)?,
+            "arrival_rate" => self.config.arrival_rate = parse_num(value)?,
+            "fault_rate" => self.config.fault_rate = parse_num(value)?,
+            "fault_open_share" => self.config.fault_open_share = parse_num(value)?,
+            "mttr" => self.config.mttr = parse_num(value)?,
+            "duration" => self.config.duration = parse_num(value)?,
+            "warmup" => self.config.warmup = parse_num(value)?,
+            "buckets" => self.config.buckets = parse_int(value)?,
+            "seeds" => self.seeds = parse_int(value)? as u64,
+            "seed_base" => self.seed_base = parse_int(value)? as u64,
+            "threads" => self.threads = parse_int(value)?,
+            other => return Err(format!("unknown key `{other}`")),
+        }
+        let idx = SCENARIO_KEYS.iter().position(|&k| k == key).unwrap();
+        self.lines[idx] = Some(line);
+        Ok(())
+    }
+
+    /// The source line that last set `key`, if any.
+    fn line_of(&self, key: &str) -> Option<usize> {
+        let idx = SCENARIO_KEYS.iter().position(|&k| k == key)?;
+        self.lines[idx]
+    }
+
+    /// The worker-thread count currently assembled (0 = one per core).
+    /// The `ftexp` CLI reads this as the spec-level default before its
+    /// own `--threads` override applies.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether a `network` directive has been applied. The `ftexp`
+    /// grid parser uses this to reject specs that neither set nor
+    /// sweep the network — otherwise every cell would fail `build` and
+    /// the whole study would silently come out skipped.
+    pub fn has_network(&self) -> bool {
+        self.fabric.is_some()
+    }
+
+    /// Validates the assembled scenario and returns it. Errors are
+    /// prefixed `line N:` when the offending key was set by a
+    /// directive (defaults that fail in combination with one report
+    /// the line of the directive they clash with).
+    pub fn build(&self) -> Result<Scenario, String> {
+        let fabric = self
+            .fabric
+            .clone()
+            .ok_or("scenario must set `network = ...`")?;
+        let scenario = Scenario {
+            fabric,
+            config: self.config.clone(),
+            seed_base: self.seed_base,
+            seeds: self.seeds,
+            threads: self.threads,
+        };
+        if let Err((key, msg)) = scenario.validate() {
+            return Err(match self.line_of(key) {
+                Some(line) => format!("line {line}: {msg}"),
+                None => msg,
+            });
+        }
+        Ok(scenario)
+    }
+}
+
 impl Scenario {
     /// Parses a scenario from text. Unknown keys, malformed values and
     /// inconsistent combinations are reported with line numbers.
     pub fn parse(text: &str) -> Result<Scenario, String> {
-        let mut fabric: Option<FabricSpec> = None;
-        let mut pattern = TrafficPattern::Uniform;
-        let mut holding = HoldingTime::Exponential { mean: 1.0 };
-        let mut arrival_rate = 1.0f64;
-        let mut fault_rate = 0.0f64;
-        let mut fault_open_share = 0.5f64;
-        let mut mttr = 0.0f64;
-        let mut duration = 100.0f64;
-        let mut warmup = 0.0f64;
-        let mut buckets = 10usize;
-        let mut seeds = 1u64;
-        let mut seed_base = 1u64;
-        let mut threads = 0usize;
-
+        let mut b = ScenarioBuilder::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -112,89 +255,68 @@ impl Scenario {
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| at(format!("expected `key = value`, got `{line}`")))?;
-            let (key, value) = (key.trim(), value.trim());
-            let words: Vec<&str> = value.split_whitespace().collect();
-            match key {
-                "network" => fabric = Some(parse_network(&words).map_err(at)?),
-                "pattern" => pattern = parse_pattern(&words).map_err(at)?,
-                "holding" => holding = parse_holding(&words).map_err(at)?,
-                "arrival_rate" => arrival_rate = parse_num(value).map_err(at)?,
-                "fault_rate" => fault_rate = parse_num(value).map_err(at)?,
-                "fault_open_share" => fault_open_share = parse_num(value).map_err(at)?,
-                "mttr" => mttr = parse_num(value).map_err(at)?,
-                "duration" => duration = parse_num(value).map_err(at)?,
-                "warmup" => warmup = parse_num(value).map_err(at)?,
-                "buckets" => buckets = parse_int(value).map_err(at)?,
-                "seeds" => seeds = parse_int(value).map_err(at)? as u64,
-                "seed_base" => seed_base = parse_int(value).map_err(at)? as u64,
-                "threads" => threads = parse_int(value).map_err(at)?,
-                other => return Err(at(format!("unknown key `{other}`"))),
-            }
+            b.set(key.trim(), value.trim(), lineno + 1).map_err(at)?;
         }
-
-        let fabric = fabric.ok_or("scenario must set `network = ...`")?;
-        let scenario = Scenario {
-            fabric,
-            config: SimConfig {
-                arrival_rate,
-                holding,
-                pattern,
-                fault_rate,
-                fault_open_share,
-                mttr,
-                duration,
-                warmup,
-                buckets,
-            },
-            seed_base,
-            seeds,
-            threads,
-        };
-        scenario.validate()?;
-        Ok(scenario)
+        b.build()
     }
 
-    fn validate(&self) -> Result<(), String> {
+    /// The §2/§4 consistency rules every scenario must satisfy. On
+    /// failure names the offending key (for line attribution) and the
+    /// message.
+    fn validate(&self) -> Result<(), (&'static str, String)> {
         let c = &self.config;
         if !(c.arrival_rate > 0.0 && c.arrival_rate.is_finite()) {
-            return Err(format!(
-                "arrival_rate must be positive, got {}",
-                c.arrival_rate
+            return Err((
+                "arrival_rate",
+                format!("arrival_rate must be positive, got {}", c.arrival_rate),
             ));
         }
         if c.holding.mean() <= 0.0 || !c.holding.mean().is_finite() {
-            return Err("holding mean must be positive".into());
+            return Err(("holding", "holding mean must be positive".into()));
         }
         if let HoldingTime::Pareto { shape, .. } = c.holding {
             if shape <= 1.0 {
-                return Err(format!(
-                    "pareto shape must exceed 1 for a finite mean, got {shape}"
+                return Err((
+                    "holding",
+                    format!("pareto shape must exceed 1 for a finite mean, got {shape}"),
                 ));
             }
         }
-        if c.fault_rate < 0.0 || c.mttr < 0.0 {
-            return Err("fault_rate and mttr must be nonnegative".into());
+        if c.fault_rate < 0.0 {
+            return Err(("fault_rate", "fault_rate must be nonnegative".into()));
+        }
+        if c.mttr < 0.0 {
+            return Err(("mttr", "mttr must be nonnegative".into()));
         }
         if !(0.0..=1.0).contains(&c.fault_open_share) {
-            return Err(format!(
-                "fault_open_share must be in [0, 1], got {}",
-                c.fault_open_share
+            return Err((
+                "fault_open_share",
+                format!(
+                    "fault_open_share must be in [0, 1], got {}",
+                    c.fault_open_share
+                ),
             ));
         }
         if !(c.duration > 0.0 && c.duration.is_finite()) {
-            return Err(format!("duration must be positive, got {}", c.duration));
+            return Err((
+                "duration",
+                format!("duration must be positive, got {}", c.duration),
+            ));
         }
         if c.warmup < 0.0 || c.warmup >= c.duration {
-            return Err(format!(
-                "warmup must be in [0, duration), got {} of {}",
-                c.warmup, c.duration
+            return Err((
+                "warmup",
+                format!(
+                    "warmup must be in [0, duration), got {} of {}",
+                    c.warmup, c.duration
+                ),
             ));
         }
         if c.buckets == 0 {
-            return Err("buckets must be at least 1".into());
+            return Err(("buckets", "buckets must be at least 1".into()));
         }
         if self.seeds == 0 {
-            return Err("seeds must be at least 1".into());
+            return Err(("seeds", "seeds must be at least 1".into()));
         }
         if let TrafficPattern::Hotspot {
             hot_fraction,
@@ -203,7 +325,10 @@ impl Scenario {
         {
             let frac_ok = 0.0 < hot_fraction && hot_fraction <= 1.0;
             if !frac_ok || !(0.0..=1.0).contains(&p_hot) {
-                return Err("hotspot needs 0 < FRAC <= 1 and 0 <= P_HOT <= 1".into());
+                return Err((
+                    "pattern",
+                    "hotspot needs 0 < FRAC <= 1 and 0 <= P_HOT <= 1".into(),
+                ));
             }
         }
         if let TrafficPattern::Bursty {
@@ -213,16 +338,20 @@ impl Scenario {
         } = c.pattern
         {
             if mean_on <= 0.0 || mean_off <= 0.0 || boost < 1.0 {
-                return Err("bursty needs MEAN_ON, MEAN_OFF > 0 and BOOST >= 1".into());
+                return Err((
+                    "pattern",
+                    "bursty needs MEAN_ON, MEAN_OFF > 0 and BOOST >= 1".into(),
+                ));
             }
         }
         if c.fault_rate > 0.0 && matches!(self.fabric, FabricSpec::Crossbar(_)) {
-            return Err(
+            return Err((
+                "network",
                 "crossbar switches join two terminals: the vertex-discard repair \
                  discipline cannot express their failures — use a staged fabric \
-                 (clos/benes/ftn) or set fault_rate = 0"
+                 (clos/benes/multibutterfly/ftn) or set fault_rate = 0"
                     .into(),
-            );
+            ));
         }
         Ok(())
     }
@@ -251,7 +380,8 @@ fn parse_int(s: &str) -> Result<usize, String> {
 }
 
 fn parse_network(words: &[&str]) -> Result<FabricSpec, String> {
-    let usage = "network = crossbar N | clos-strict N R | clos-rearr N R | benes K | ftn NU WIDTH DEGREE GAMMA";
+    let usage = "network = crossbar N | clos-strict N R | clos-rearr N R | benes K \
+                 | multibutterfly K D SEED | ftn NU WIDTH DEGREE GAMMA";
     let int = |s: &str| parse_int(s);
     match words {
         ["crossbar", n] => Ok(FabricSpec::Crossbar(int(n)?.max(1))),
@@ -261,6 +391,11 @@ fn parse_network(words: &[&str]) -> Result<FabricSpec, String> {
             int(r)?.max(1),
         )),
         ["benes", k] => Ok(FabricSpec::Benes(int(k)?.clamp(1, 16) as u32)),
+        ["multibutterfly", k, d, seed] => Ok(FabricSpec::Multibutterfly(
+            int(k)?.clamp(1, 16) as u32,
+            int(d)?.max(1),
+            int(seed)? as u64,
+        )),
         ["ftn", nu, w, d, g] => Ok(FabricSpec::Ftn(
             int(nu)?.clamp(1, 8) as u32,
             int(w)?,
@@ -368,13 +503,53 @@ threads = 2
     }
 
     #[test]
+    fn multibutterfly_specs_parse_and_build() {
+        let s = Scenario::parse("network = multibutterfly 3 2 7\n").unwrap();
+        assert_eq!(s.fabric, FabricSpec::Multibutterfly(3, 2, 7));
+        assert_eq!(s.fabric.to_spec_string(), "multibutterfly 3 2 7");
+        assert_eq!(s.fabric.build().terminals(), 8);
+    }
+
+    #[test]
     fn error_messages_carry_line_numbers() {
+        // malformed directive (no `=`)
+        let err = Scenario::parse("network = clos-strict 2 2\nnot a directive\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("expected `key = value`"), "{err}");
+        // unknown key
         let err = Scenario::parse("network = clos-strict 2 2\nbogus_key = 1\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("unknown key `bogus_key`"), "{err}");
+        // malformed value
+        let err = Scenario::parse("network = clos-strict 2 2\narrival_rate = fast\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("expected a number"), "{err}");
         let err = Scenario::parse("network = hypercube 4\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
         assert!(err.contains("unrecognised network"), "{err}");
         let err = Scenario::parse("pattern = uniform\n").unwrap_err();
         assert!(err.contains("must set `network"), "{err}");
+    }
+
+    #[test]
+    fn validation_errors_point_at_the_offending_line() {
+        // out-of-range value: the line of the value's own directive
+        let err = Scenario::parse("network = clos-strict 2 2\n\narrival_rate = 0\n").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("arrival_rate must be positive"), "{err}");
+        let err =
+            Scenario::parse("fault_open_share = 1.5\nnetwork = clos-strict 2 2\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(err.contains("fault_open_share"), "{err}");
+        // inconsistent combination: attributed to the named key's line
+        let err = Scenario::parse("network = clos-strict 2 2\nduration = 100\nwarmup = 100\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("warmup must be in [0, duration)"), "{err}");
+        // crossbar + faults: attributed to the `network` line
+        let err = Scenario::parse("fault_rate = 0.01\nnetwork = crossbar 4\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("crossbar"), "{err}");
     }
 
     #[test]
@@ -394,12 +569,28 @@ threads = 2
     }
 
     #[test]
+    fn builder_overrides_compose_like_parsing() {
+        // the grid-runner discipline: parse a base, overlay assignments
+        let mut b = ScenarioBuilder::new();
+        b.set("network", "clos-strict 2 2", 1).unwrap();
+        b.set("arrival_rate", "2.0", 2).unwrap();
+        b.set("arrival_rate", "8.0", 10).unwrap(); // override wins
+        let s = b.build().unwrap();
+        assert_eq!(s.config.arrival_rate, 8.0);
+        // a bad override reports the override's line
+        b.set("warmup", "500", 11).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(err.starts_with("line 11:"), "{err}");
+    }
+
+    #[test]
     fn specs_build_their_fabrics() {
         for (text, terminals) in [
             ("network = crossbar 4\n", 4),
             ("network = clos-strict 2 3\n", 6),
             ("network = clos-rearr 2 2\n", 4),
             ("network = benes 2\n", 4),
+            ("network = multibutterfly 2 2 1\n", 4),
         ] {
             let s = Scenario::parse(text).unwrap();
             assert_eq!(s.fabric.build().terminals(), terminals, "{text}");

@@ -1,0 +1,104 @@
+//! Static Monte Carlo cross-checks for the temporal engine.
+//!
+//! The bridge between this crate's discrete-event results and the
+//! snapshot machinery of `ft-failure`: with per-switch failure rate λ
+//! and repair rate `1/mttr`, each switch is a two-state Markov chain
+//! whose stationary unavailability is `u = λ·mttr / (1 + λ·mttr)`
+//! ([`FailureModel::stationary`]), and by PASTA a Poisson arrival in
+//! steady state observes an i.i.d. failure snapshot at that `u`. A
+//! sparse-traffic simulation's arrival-observed blocking must therefore
+//! match [`pair_blocking_estimate`] — a pure snapshot estimator with no
+//! time axis — within Monte Carlo noise. `sim_validation.rs` pins this
+//! for one scenario; the `ftexp` study runner emits the estimate as a
+//! per-cell cross-validation column.
+
+use crate::fabric::Fabric;
+use ft_failure::{Estimate, FailureInstance, FailureModel};
+use ft_graph::traversal::{bfs_into, Direction};
+use ft_graph::{Digraph, TraversalWorkspace};
+use rand::Rng;
+
+/// Estimates the probability that a uniformly random terminal pair of
+/// `fabric` has **no alive path** under an i.i.d. failure snapshot from
+/// `model` repaired by the §4 vertex-discard discipline.
+///
+/// One frozen CSR, one packed instance, one traversal workspace and
+/// one alive-mask buffer are reused across all `trials` (the
+/// `mc_failure_probs` discipline; the 𝒩 repair path still builds its
+/// `Survivor` per trial); results are deterministic per
+/// `(fabric, model, trials, seed)`.
+pub fn pair_blocking_estimate(
+    fabric: &Fabric,
+    model: &FailureModel,
+    trials: u64,
+    seed: u64,
+) -> Estimate {
+    let net = fabric.net();
+    let csr = net.csr();
+    let n = fabric.terminals();
+    let m = net.num_edges();
+    let mut rng = ft_graph::gen::rng(seed);
+    let mut inst = FailureInstance::perfect(m);
+    let mut ws = TraversalWorkspace::new();
+    let mut alive = Vec::new();
+    let mut successes = 0u64;
+    for _ in 0..trials {
+        inst.resample(model, &mut rng, m);
+        fabric.alive_mask_into(&inst, &mut alive);
+        let i = rng.random_range(0..n);
+        let o = rng.random_range(0..n);
+        bfs_into(
+            csr,
+            &[net.inputs()[i]],
+            Direction::Forward,
+            |_| true,
+            |v| alive[v.index()],
+            &mut ws,
+        );
+        if !ws.reached(net.outputs()[o]) {
+            successes += 1;
+        }
+    }
+    Estimate { successes, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_model_never_blocks() {
+        let fabric = Fabric::clos_strict(2, 3);
+        let est = pair_blocking_estimate(&fabric, &FailureModel::perfect(), 200, 1);
+        assert_eq!(est.successes, 0);
+        assert_eq!(est.trials, 200);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_monotone_in_eps() {
+        let fabric = Fabric::clos_strict(2, 3);
+        let lo = pair_blocking_estimate(&fabric, &FailureModel::symmetric(0.02), 4000, 9);
+        let again = pair_blocking_estimate(&fabric, &FailureModel::symmetric(0.02), 4000, 9);
+        assert_eq!(lo, again);
+        let hi = pair_blocking_estimate(&fabric, &FailureModel::symmetric(0.10), 4000, 9);
+        assert!(
+            hi.p() > lo.p(),
+            "blocking should grow with eps: {} vs {}",
+            hi.p(),
+            lo.p()
+        );
+    }
+
+    #[test]
+    fn matches_the_stationary_model_hookup() {
+        // The composition the study runner uses: λ, mttr → stationary
+        // model → snapshot estimate. Smoke-level sanity only (the
+        // quantitative sim-vs-static comparison lives in
+        // tests/sim_validation.rs).
+        let fabric = Fabric::clos_strict(2, 3);
+        let model = FailureModel::stationary(0.02, 5.0, 0.5);
+        let est = pair_blocking_estimate(&fabric, &model, 8000, 42);
+        assert!(est.p() > 0.02, "u ≈ 0.09 must yield visible blocking");
+        assert!(est.p() < 0.5);
+    }
+}

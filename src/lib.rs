@@ -15,10 +15,14 @@
 //!   lower-bound machinery.
 //! * [`sim`] — the discrete-event traffic & fault-lifetime simulation
 //!   engine behind the `ftsim` scenario CLI.
+//! * [`exp`] — the declarative parameter-grid experiment runner behind
+//!   the `ftexp` study CLI (sweeps, cell cache, JSON/CSV tables).
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour, and
+//! `docs/ARCHITECTURE.md` for the paper-section → module map.
 
 pub use ft_core as core;
+pub use ft_exp as exp;
 pub use ft_expander as expander;
 pub use ft_failure as failure;
 pub use ft_graph as graph;

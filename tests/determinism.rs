@@ -192,3 +192,68 @@ threads = 2
     assert!(json.contains("\"fingerprint\": \"0x42539ac153522201\""));
     assert!(json.contains("\"network\": \"clos-strict 2 3\""));
 }
+
+/// The `ftexp` grid runner extends the same contract to whole studies:
+/// the aggregate JSON and CSV tables must be byte-identical across
+/// worker counts AND across a cache-cold vs cache-warm run, and the
+/// warm run must compute zero cells (100% cell-cache hits). A change
+/// that breaks any of these invalidates every recorded study table.
+#[test]
+fn ftexp_tables_are_byte_identical_across_threads_and_cache_state() {
+    use fault_tolerant_switching::exp::{run_grid, to_csv, to_json, GridSpec, RunOptions};
+
+    const GRID: &str = "\
+arrival_rate  = 5.0
+mttr          = 10
+duration      = 40
+seeds         = 2
+buckets       = 2
+static_trials = 500
+sweep network    = clos-strict 2 2 | benes 2
+sweep fault_rate = 0.002, 0.01
+";
+    let spec = GridSpec::parse(GRID).unwrap();
+    let no_cache = |threads| RunOptions {
+        threads,
+        cache_dir: None,
+        recompute: false,
+    };
+
+    // thread-count independence (cache disabled: all cells computed)
+    let serial = run_grid(&spec, &no_cache(1)).unwrap();
+    assert_eq!((serial.computed, serial.cached, serial.skipped), (4, 0, 0));
+    let reference_json = to_json(&spec, &serial);
+    let reference_csv = to_csv(&spec, &serial);
+    for threads in [3, 0] {
+        let other = run_grid(&spec, &no_cache(threads)).unwrap();
+        assert_eq!(to_json(&spec, &other), reference_json, "threads {threads}");
+        assert_eq!(to_csv(&spec, &other), reference_csv, "threads {threads}");
+    }
+
+    // cache-cold vs cache-warm byte identity, plus full warm hits
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("ftexp-determinism");
+    let _ = std::fs::remove_dir_all(&dir);
+    let with_cache = |threads| RunOptions {
+        threads,
+        cache_dir: Some(dir.clone()),
+        recompute: false,
+    };
+    let cold = run_grid(&spec, &with_cache(2)).unwrap();
+    assert_eq!((cold.computed, cold.cached), (4, 0));
+    let warm = run_grid(&spec, &with_cache(1)).unwrap();
+    assert_eq!(
+        (warm.computed, warm.cached),
+        (0, 4),
+        "warm run must hit the cell cache for every cell"
+    );
+    assert_eq!(to_json(&spec, &cold), reference_json);
+    assert_eq!(to_json(&spec, &warm), reference_json);
+    assert_eq!(to_csv(&spec, &warm), reference_csv);
+
+    // structural pins: per-seed fingerprints present, accounting absent
+    assert!(reference_json.contains("\"fingerprint\": \"0x"));
+    assert!(
+        !reference_json.contains("cached"),
+        "run accounting must never leak into the study bytes"
+    );
+}

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// Length specification for [`vec`]: a fixed size or a size range.
+/// Length specification for [`vec()`]: a fixed size or a size range.
 pub struct SizeRange {
     lo: usize,
     hi_inclusive: usize,
