@@ -7,28 +7,15 @@ use ft_core::params::Params;
 use ft_graph::gen::{random_bipartite_adjacency, random_dag, rng};
 use ft_graph::matching::hopcroft_karp;
 use ft_graph::menger::max_disjoint_paths;
-use ft_graph::traversal::{bfs, bfs_into, Direction};
+use ft_graph::traversal::{bfs_into, Direction};
 use ft_graph::TraversalWorkspace;
 use std::hint::black_box;
 
-fn bench_bfs(c: &mut Criterion) {
-    let ftn = FtNetwork::build(Params::reduced(2, 8, 8, 1.0));
-    let src = ftn.input(0);
-    c.bench_function("bfs_forward_ftn_nu2", |b| {
-        b.iter(|| {
-            black_box(bfs(
-                ftn.net(),
-                &[src],
-                Direction::Forward,
-                |_| true,
-                |_| true,
-            ))
-        })
-    });
-}
-
-/// The zero-allocation path: same BFS, but over the cached CSR snapshot
-/// with a reused workspace — tracked separately from the allocating one.
+/// The zero-allocation BFS over the cached CSR snapshot with a reused
+/// workspace. (Its allocating predecessor `bfs_forward_ftn_nu2` was
+/// retired in PR 5: the `Vec<Vec>` builder-graph path it measured left
+/// every hot caller in PR 2 and the bench had started drifting on pure
+/// codegen/layout noise.)
 fn bench_bfs_reused(c: &mut Criterion) {
     let ftn = FtNetwork::build(Params::reduced(2, 8, 8, 1.0));
     let csr = ftn.csr();
@@ -72,7 +59,6 @@ fn bench_matching(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_bfs,
     bench_bfs_reused,
     bench_disjoint_paths,
     bench_dinic_random_dag,

@@ -50,6 +50,27 @@ fn bench_looping(c: &mut Criterion) {
     });
 }
 
+/// Pure `connect`/`disconnect` cost on the big ν = 2 network: one
+/// router reused, alternating terminal pairs — isolates the budgeted
+/// bidirectional path search (plus path claim/release) from the
+/// simulation engine around it.
+fn bench_connect_only(c: &mut Criterion) {
+    let ftn = FtNetwork::build(Params::reduced(2, 8, 8, 1.0));
+    let mut router = CircuitRouter::new(ftn.net());
+    let n = ftn.n();
+    let mut k = 0usize;
+    c.bench_function("router_connect_pair_ftn_nu2", |b| {
+        b.iter(|| {
+            k = (k + 1) % n;
+            let id = router
+                .connect(ftn.input(k), ftn.output((k + 1) % n))
+                .expect("idle fabric cannot block");
+            black_box(&id);
+            router.disconnect(id)
+        })
+    });
+}
+
 fn bench_churn(c: &mut Criterion) {
     let ftn = FtNetwork::build(Params::reduced(1, 8, 8, 1.0));
     let mut r = rng(4);
@@ -66,6 +87,7 @@ criterion_group!(
     bench_greedy_perm,
     bench_greedy_perm_on_survivor,
     bench_looping,
+    bench_connect_only,
     bench_churn
 );
 criterion_main!(benches);

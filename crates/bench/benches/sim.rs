@@ -51,5 +51,71 @@ fn bench_sim_churn_faulty(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sim_churn, bench_sim_churn_faulty);
+/// Heavy-traffic configuration: ~100 000 arrivals under a hotspot
+/// pattern on the ν = 2 fault-tolerant network 𝒩 (19 424 switches) —
+/// the regime where per-event O(V + E) recomputation used to dominate
+/// and the incremental fault path plus the budgeted bidirectional
+/// search pay off.
+fn cfg_100k_calls() -> SimConfig {
+    SimConfig {
+        arrival_rate: 100.0,
+        holding: HoldingTime::Exponential { mean: 0.08 },
+        pattern: TrafficPattern::Hotspot {
+            hot_fraction: 0.25,
+            p_hot: 0.5,
+        },
+        fault_rate: 0.0,
+        fault_open_share: 0.5,
+        mttr: 0.0,
+        duration: 1000.0, // ≈ 100 000 arrivals
+        warmup: 0.0,
+        buckets: 10,
+    }
+}
+
+fn ftn_nu2() -> Fabric {
+    Fabric::ftn_reduced(2, 8, 8, 1.0)
+}
+
+/// 100k-arrival hotspot run on 𝒩 (ν = 2), fault-free: routing and
+/// event-loop throughput at scale.
+fn bench_sim_churn_100k(c: &mut Criterion) {
+    let fabric = ftn_nu2();
+    let cfg = cfg_100k_calls();
+    let mut ws = SimWorkspace::default();
+    let mut seed = 0u64;
+    c.bench_function("sim_churn_100k_calls", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
+        })
+    });
+}
+
+/// The same heavy run with a hot temporal fault process (~2 faults per
+/// time unit, quick repairs): every fault/repair event exercises the
+/// incremental repair-mask/kill/occupancy path on a 19 424-switch
+/// fabric, where the old from-scratch recompute was O(V + E) per event.
+fn bench_sim_churn_100k_faulty(c: &mut Criterion) {
+    let fabric = ftn_nu2();
+    let mut cfg = cfg_100k_calls();
+    cfg.fault_rate = 1e-4; // aggregate ≈ 1.9 faults per time unit
+    cfg.mttr = 1.0;
+    let mut ws = SimWorkspace::default();
+    let mut seed = 0u64;
+    c.bench_function("sim_churn_100k_calls_faulty", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_churn,
+    bench_sim_churn_faulty,
+    bench_sim_churn_100k,
+    bench_sim_churn_100k_faulty
+);
 criterion_main!(benches);

@@ -114,6 +114,26 @@ impl<'a> Survivor<'a> {
         alive
     }
 
+    /// Incremental form of [`Self::routable_alive`]: a tracker whose
+    /// mask starts bit-identical to `routable_alive()` and stays so
+    /// under `fail_edge`/`repair_edge` deltas, without restarting the
+    /// repair procedure from zero per event.
+    ///
+    /// This works because the routable discipline is local: a vertex is
+    /// routable-alive iff it is a terminal or has **no** incident failed
+    /// switch. (`routable_alive` arrives at the same predicate in two
+    /// steps — repair discards faulty internal vertices, then the
+    /// internal endpoints of failed terminal-incident switches are
+    /// additionally masked — but both steps only ever discard internal
+    /// vertices with a failed incident switch, and together they
+    /// discard all of them.) The equivalence is pinned by
+    /// `tracker_matches_routable_alive` below.
+    pub fn alive_tracker(ftn: &FtNetwork, inst: &FailureInstance) -> ft_failure::AliveTracker {
+        let g = ftn.net();
+        let terminals = g.inputs().iter().chain(g.outputs()).copied();
+        ft_failure::AliveTracker::new(g, terminals, inst)
+    }
+
     /// Checks the repair invariant: every switch whose endpoints are
     /// both alive under [`Self::routable_alive`] is in the normal state.
     pub fn invariant_holds(&self, inst: &FailureInstance) -> bool {
@@ -194,6 +214,52 @@ mod tests {
         assert!(!alive[grid_v.index()]);
         assert!(alive[f.input(0).index()]);
         assert!(s.invariant_holds(&inst));
+    }
+
+    #[test]
+    fn tracker_matches_routable_alive() {
+        use ft_graph::ids::EdgeId;
+        let f = tiny();
+        let m = f.net().num_edges();
+        let model = FailureModel::symmetric(0.02);
+        let mut r = rng(9);
+        // snapshot equivalence on sampled instances
+        for _ in 0..10 {
+            let inst = FailureInstance::sample(&model, &mut r, m);
+            let s = Survivor::new(&f, &inst);
+            let tracker = Survivor::alive_tracker(&f, &inst);
+            assert_eq!(tracker.alive(), s.routable_alive());
+        }
+        // delta equivalence under fail/repair churn from a clean slate
+        use rand::Rng;
+        let mut inst = FailureInstance::perfect(m);
+        let mut tracker = Survivor::alive_tracker(&f, &inst);
+        let mut failed: Vec<usize> = Vec::new();
+        let mut delta = Vec::new();
+        for step in 0..200 {
+            delta.clear();
+            if !failed.is_empty() && r.random_bool(0.5) {
+                let e = failed.swap_remove(r.random_range(0..failed.len()));
+                inst.set_state(EdgeId::from(e), SwitchState::Normal);
+                let (t, h) = ft_graph::Digraph::endpoints(f.net(), EdgeId::from(e));
+                tracker.repair_edge(t, h, &mut delta);
+            } else {
+                let e = loop {
+                    let e = r.random_range(0..m);
+                    if inst.is_normal(EdgeId::from(e)) {
+                        break e;
+                    }
+                };
+                inst.set_state(EdgeId::from(e), SwitchState::Open);
+                failed.push(e);
+                let (t, h) = ft_graph::Digraph::endpoints(f.net(), EdgeId::from(e));
+                tracker.fail_edge(t, h, &mut delta);
+            }
+            if step % 20 == 0 {
+                let s = Survivor::new(&f, &inst);
+                assert_eq!(tracker.alive(), s.routable_alive());
+            }
+        }
     }
 
     #[test]

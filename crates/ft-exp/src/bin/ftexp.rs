@@ -97,6 +97,9 @@ fn run() -> Result<(), String> {
     );
     let result = run_grid(&spec, &opts)?;
     eprintln!("ftexp: {}", result.summary_line());
+    if let Some(timing) = result.timing_line() {
+        eprintln!("ftexp: {timing}");
+    }
 
     let json = to_json(&spec, &result);
     print!("{json}");

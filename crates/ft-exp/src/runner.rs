@@ -59,11 +59,18 @@ pub struct StudyResult {
     pub cached: usize,
     /// Cells skipped by the validator.
     pub skipped: usize,
+    /// Mean wall-time per *computed* cell, in milliseconds (0 when no
+    /// cell was computed). Wall time is run accounting — stderr only,
+    /// never part of the deterministic study bytes.
+    pub wall_ms_mean: f64,
+    /// Worst computed-cell wall-time, in milliseconds.
+    pub wall_ms_max: f64,
 }
 
 impl StudyResult {
     /// One-line run accounting (the `ftexp` CLI prints this to stderr;
-    /// CI greps it to assert a warm run computes zero cells).
+    /// CI greps it to assert a warm run computes zero cells). Stable
+    /// and deterministic — timing lives in [`Self::timing_line`].
     pub fn summary_line(&self) -> String {
         format!(
             "cells total={} computed={} cached={} skipped={}",
@@ -72,6 +79,19 @@ impl StudyResult {
             self.cached,
             self.skipped
         )
+    }
+
+    /// Per-cell wall-time accounting for the cells computed this run
+    /// (`None` when everything came from the cache or was skipped) —
+    /// makes study-runtime regressions visible in CI logs without
+    /// touching the byte-stable tables.
+    pub fn timing_line(&self) -> Option<String> {
+        (self.computed > 0).then(|| {
+            format!(
+                "cell wall-time ms: computed={} mean={:.1} max={:.1}",
+                self.computed, self.wall_ms_mean, self.wall_ms_max
+            )
+        })
     }
 }
 
@@ -122,7 +142,8 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<StudyResult, Strin
 
     // 2) parallel pass: workers claim cache misses from a cursor
     let computed = jobs.len();
-    let slots: Vec<Mutex<Option<CellData>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(CellData, f64)>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     let workers = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
@@ -143,20 +164,25 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<StudyResult, Strin
                     let cell = &cells_ref[jobs_ref[j]];
                     let scenario = cell.scenario.as_ref().expect("jobs are valid cells");
                     let hash = cell.hash.expect("valid cells always hash");
+                    let t0 = std::time::Instant::now();
                     let data = compute_cell(scenario, spec.static_trials, hash, &mut ws);
-                    *slots_ref[j].lock().unwrap() = Some(data);
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    *slots_ref[j].lock().unwrap() = Some((data, wall_ms));
                 }
             });
         }
     });
 
     // 3) write-back and assembly, in cell order
+    let (mut wall_sum, mut wall_max) = (0.0f64, 0.0f64);
     for (&ci, slot) in jobs.iter().zip(&slots) {
-        let data = slot
+        let (data, wall_ms) = slot
             .lock()
             .unwrap()
             .take()
             .expect("worker left a cell unfilled");
+        wall_sum += wall_ms;
+        wall_max = wall_max.max(wall_ms);
         if let Some(dir) = &opts.cache_dir {
             // best-effort: an unwritable cache costs recomputation later
             let _ = cache::store(dir, cells[ci].hash.unwrap(), &data);
@@ -176,6 +202,12 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<StudyResult, Strin
         computed,
         cached,
         skipped,
+        wall_ms_mean: if computed > 0 {
+            wall_sum / computed as f64
+        } else {
+            0.0
+        },
+        wall_ms_max: wall_max,
     })
 }
 
@@ -250,6 +282,29 @@ sweep fault_rate = 0, 0.004
             result.summary_line(),
             "cells total=4 computed=3 cached=0 skipped=1"
         );
+        // wall-time accounting covers exactly the computed cells
+        assert!(result.wall_ms_mean > 0.0);
+        assert!(result.wall_ms_max >= result.wall_ms_mean);
+        let timing = result.timing_line().expect("cells were computed");
+        assert!(timing.starts_with("cell wall-time ms: computed=3 mean="));
+    }
+
+    #[test]
+    fn timing_line_absent_when_nothing_computed() {
+        let spec = GridSpec::parse("duration = 5\nsweep network = crossbar 2\n").unwrap();
+        let dir = std::env::temp_dir().join("ftexp-runner-timing-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            threads: 1,
+            cache_dir: Some(dir),
+            recompute: false,
+        };
+        let cold = run_grid(&spec, &opts).unwrap();
+        assert!(cold.timing_line().is_some());
+        let warm = run_grid(&spec, &opts).unwrap();
+        assert_eq!(warm.computed, 0);
+        assert_eq!(warm.timing_line(), None, "cache hits report no wall time");
+        assert_eq!(warm.wall_ms_mean, 0.0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`contraction`] — the closed-failure quotient graph and terminal
 //!   *shorting* detection (Lemmas 2 and 7);
 //! * [`repair`] — the §4 repair procedure: discard faulty vertices;
+//! * [`incremental`] — O(1)-per-event maintenance of the §4 routable
+//!   alive-mask under temporal fault/repair churn;
 //! * [`reliability`] — two-terminal failure probabilities, exact (state
 //!   enumeration) and Monte Carlo; the Wheatstone bridge amplifier;
 //! * [`sp`] — series-parallel networks with the exact Moore–Shannon
@@ -26,6 +28,7 @@
 pub mod contraction;
 pub mod edge_replace;
 pub mod hammock;
+pub mod incremental;
 pub mod instance;
 pub mod mask;
 pub mod model;
@@ -36,6 +39,7 @@ pub mod repair;
 pub mod sp;
 
 pub use hammock::Hammock;
+pub use incremental::AliveTracker;
 pub use instance::FailureInstance;
 pub use mask::FailureMask;
 pub use model::{FailureModel, SwitchState};

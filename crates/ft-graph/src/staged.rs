@@ -26,6 +26,11 @@ pub struct StagedNetwork {
     outputs: Vec<VertexId>,
     /// Lazily built CSR snapshot shared by all traversal-heavy callers.
     csr: OnceLock<Csr>,
+    /// Lazily built per-vertex stage table + unit-staged flag.
+    staging: OnceLock<(Vec<u32>, bool)>,
+    /// Lazily computed backward-level budget for the bidirectional
+    /// point-to-point search (see [`Self::backward_budget`]).
+    bwd_budget: OnceLock<u32>,
 }
 
 impl StagedNetwork {
@@ -86,6 +91,131 @@ impl StagedNetwork {
         }
     }
 
+    /// Flat per-vertex stage table: `stage_table()[v.index()]` equals
+    /// [`Self::stage_of`]`(v)` as a `u32`. Built on first use and
+    /// cached; hot paths (the router's bidirectional search, the
+    /// simulation engine's per-stage occupancy accounting) index this
+    /// instead of binary-searching the stage ranges per vertex.
+    pub fn stage_table(&self) -> &[u32] {
+        &self.staging().0
+    }
+
+    /// Whether every switch joins *adjacent* stages
+    /// (`stage(head) == stage(tail) + 1` for every edge). All of the
+    /// paper's constructions are unit-staged; [`StagedBuilder`] also
+    /// admits stage-skipping edges, for which this returns `false`.
+    ///
+    /// Unit-stagedness is what licenses the stage-aware bidirectional
+    /// path search ([`crate::traversal::bibfs_into`]): in a unit-staged
+    /// network a vertex at stage `s` can reach a last-stage target only
+    /// through exactly `L − s` hops, so a backward cone computed level
+    /// by level is *complete* per stage and can prune the forward
+    /// search without changing which path it finds.
+    pub fn is_unit_staged(&self) -> bool {
+        self.staging().1
+    }
+
+    /// Backward-level budget for the bidirectional point-to-point
+    /// search ([`crate::traversal::bibfs_into`]) on this topology,
+    /// computed once and cached.
+    ///
+    /// The budget is a *pure function of the network* — derived from a
+    /// cost model evaluated on the all-idle topology, never from any
+    /// router's busy state — so every search uses the same value, and
+    /// it cannot change search results anyway (only work; exactness
+    /// holds for every budget). The model measures, per stage, the
+    /// forward flood cost from a representative input (Σ out-degree)
+    /// and the backward cone cost/benefit from a representative output
+    /// (Σ in-degree to grow the cone, Σ out-degree as the cone-pruned
+    /// forward cost), then picks the meet stage minimising the total.
+    /// Because the model ignores early exit and busy-state shrinkage —
+    /// both of which erode marginal pruning gains — backward levels are
+    /// spent only when the modelled win is decisive (≥ a third):
+    /// fabrics with narrow output cones (Clos egress groups, butterfly
+    /// sub-trees) get a deep meet, while expander-like fabrics whose
+    /// cones saturate a stage in a hop or two (the paper's 𝒩 at ν = 1)
+    /// get 0, i.e. an early-exit forward search.
+    pub fn backward_budget(&self) -> u32 {
+        *self.bwd_budget.get_or_init(|| {
+            let (Some(&input), Some(&output)) = (self.inputs.first(), self.outputs.first()) else {
+                return 0;
+            };
+            let csr = self.csr();
+            let stage_tab = self.stage_table();
+            let ns = self.num_stages();
+            let s0 = stage_tab[input.index()] as usize;
+            let sl = stage_tab[output.index()] as usize;
+            if sl <= s0 {
+                return 0;
+            }
+            // Per-stage scan costs of the two structural floods.
+            let mut ws = crate::workspace::TraversalWorkspace::new();
+            let mut fcost = vec![0u64; ns];
+            traversal::bfs_into(
+                csr,
+                &[input],
+                traversal::Direction::Forward,
+                |_| true,
+                |_| true,
+                &mut ws,
+            );
+            for &v in ws.order() {
+                fcost[stage_tab[v.index()] as usize] += csr.out_degree(v) as u64;
+            }
+            let (mut bin, mut bout) = (vec![0u64; ns], vec![0u64; ns]);
+            traversal::bfs_into(
+                csr,
+                &[output],
+                traversal::Direction::Backward,
+                |_| true,
+                |_| true,
+                &mut ws,
+            );
+            for &v in ws.order() {
+                let k = stage_tab[v.index()] as usize;
+                bin[k] += csr.in_degree(v) as u64;
+                bout[k] += csr.out_degree(v) as u64;
+            }
+            // Meet stage minimising: unpruned forward below the meet +
+            // cone-pruned forward above it + cone growth.
+            let (mut best_m, mut best) = (sl, u64::MAX);
+            let mut at_sl = 0;
+            for m in (s0 + 1)..=sl {
+                let unpruned: u64 = fcost[s0..m].iter().sum();
+                let pruned: u64 = bout[m..sl].iter().sum();
+                let backward: u64 = bin[m + 1..=sl].iter().sum();
+                let total = unpruned + pruned + backward;
+                if total < best {
+                    best = total;
+                    best_m = m;
+                }
+                if m == sl {
+                    at_sl = total;
+                }
+            }
+            if 3 * best > 2 * at_sl {
+                best_m = sl;
+            }
+            (sl - best_m) as u32
+        })
+    }
+
+    fn staging(&self) -> &(Vec<u32>, bool) {
+        self.staging.get_or_init(|| {
+            let mut table = vec![0u32; self.graph.num_vertices()];
+            for (s, range) in self.stages.iter().enumerate() {
+                for v in range.clone() {
+                    table[v as usize] = s as u32;
+                }
+            }
+            let unit = self
+                .graph
+                .edges()
+                .all(|(_, t, h)| table[h.index()] == table[t.index()] + 1);
+            (table, unit)
+        })
+    }
+
     /// Input terminals (on stage 0).
     pub fn inputs(&self) -> &[VertexId] {
         &self.inputs
@@ -120,6 +250,8 @@ impl StagedNetwork {
             inputs: self.outputs.clone(),
             outputs: self.inputs.clone(),
             csr: OnceLock::new(),
+            staging: OnceLock::new(),
+            bwd_budget: OnceLock::new(),
         }
     }
 
@@ -254,6 +386,8 @@ impl StagedBuilder {
             inputs: self.inputs,
             outputs: self.outputs,
             csr: OnceLock::new(),
+            staging: OnceLock::new(),
+            bwd_budget: OnceLock::new(),
         }
     }
 }
@@ -351,6 +485,21 @@ mod tests {
     }
 
     #[test]
+    fn stage_table_matches_stage_of_and_unit_flag() {
+        let net = crossbar();
+        for (u, &s) in net.stage_table().iter().enumerate() {
+            assert_eq!(s as usize, net.stage_of(v(u as u32)));
+        }
+        assert!(net.is_unit_staged());
+        // mirrors keep both properties (stage ranges reversed)
+        let m = net.mirror();
+        for (u, &s) in m.stage_table().iter().enumerate() {
+            assert_eq!(s as usize, m.stage_of(v(u as u32)));
+        }
+        assert!(m.is_unit_staged());
+    }
+
+    #[test]
     fn skip_stage_edges_allowed() {
         // an edge jumping over a stage is still "forward"
         let mut b = StagedBuilder::new();
@@ -363,6 +512,7 @@ mod tests {
         let net = b.finish();
         assert_eq!(net.depth(), 1);
         assert_eq!(net.num_stages(), 3);
+        assert!(!net.is_unit_staged(), "skip edge breaks unit staging");
     }
 
     #[test]

@@ -191,6 +191,261 @@ pub fn bfs_into<G: Digraph>(
     }
 }
 
+/// Expands the forward frontier entries `range` of `fwd` one stage,
+/// discovering heads that pass `ok` (and, when `prune` is given, are
+/// touched in it — the complete backward cone). Returns `true` the
+/// instant `target` is discovered; the parent chain to `target` is then
+/// final, so stopping early reconstructs the identical path.
+fn expand_forward_stage<G: Digraph>(
+    g: &G,
+    fwd: &mut TraversalWorkspace,
+    range: std::ops::Range<usize>,
+    target: VertexId,
+    mut ok: impl FnMut(VertexId) -> bool,
+    prune: Option<&TraversalWorkspace>,
+) -> bool {
+    #[inline(always)]
+    fn visit(
+        fwd: &mut TraversalWorkspace,
+        prune: Option<&TraversalWorkspace>,
+        ok: &mut impl FnMut(VertexId) -> bool,
+        e: EdgeId,
+        w: VertexId,
+        du: u32,
+        target: VertexId,
+    ) -> bool {
+        if fwd.is_touched(w.index()) || !ok(w) {
+            return false;
+        }
+        if let Some(cone) = prune {
+            if !cone.is_touched(w.index()) {
+                // Provably cannot reach the target. Mark it seen
+                // (without enqueueing) so the other edges into it
+                // short-circuit on the stamp instead of re-running the
+                // filter — never expanded, never on the path, so the
+                // backtracked result is untouched.
+                fwd.touch(w.index());
+                fwd.parent[w.index()] = EdgeId::NONE.0;
+                return false;
+            }
+        }
+        fwd.touch(w.index());
+        fwd.dist[w.index()] = du + 1;
+        fwd.parent[w.index()] = e.0;
+        fwd.queue.push(w);
+        w == target
+    }
+
+    for qi in range {
+        let u = fwd.queue[qi];
+        let du = fwd.dist[u.index()];
+        let edges = g.out_edge_slice(u);
+        match g.out_head_slice(u) {
+            // CSR fast path: neighbour read off the parallel slice.
+            Some(heads) => {
+                for (&e, &w) in edges.iter().zip(heads) {
+                    if visit(fwd, prune, &mut ok, e, w, du, target) {
+                        return true;
+                    }
+                }
+            }
+            None => {
+                for &e in edges {
+                    let w = g.other_endpoint(e, u);
+                    if visit(fwd, prune, &mut ok, e, w, du, target) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Expands the backward frontier entries `range` of `bwd` one level
+/// (toward the inputs), marking every `ok` in-tail as reaching the
+/// target. Only membership matters downstream; distances and parents
+/// are still recorded for consistency.
+fn expand_backward_level<G: Digraph>(
+    g: &G,
+    bwd: &mut TraversalWorkspace,
+    range: std::ops::Range<usize>,
+    mut ok: impl FnMut(VertexId) -> bool,
+) {
+    #[inline(always)]
+    fn visit(
+        bwd: &mut TraversalWorkspace,
+        ok: &mut impl FnMut(VertexId) -> bool,
+        e: EdgeId,
+        w: VertexId,
+        du: u32,
+    ) {
+        if !bwd.is_touched(w.index()) && ok(w) {
+            bwd.touch(w.index());
+            bwd.dist[w.index()] = du + 1;
+            bwd.parent[w.index()] = e.0;
+            bwd.queue.push(w);
+        }
+    }
+
+    for qi in range {
+        let u = bwd.queue[qi];
+        let du = bwd.dist[u.index()];
+        let edges = g.in_edge_slice(u);
+        match g.in_tail_slice(u) {
+            Some(tails) => {
+                for (&e, &w) in edges.iter().zip(tails) {
+                    visit(bwd, &mut ok, e, w, du);
+                }
+            }
+            None => {
+                for &e in edges {
+                    let w = g.other_endpoint(e, u);
+                    visit(bwd, &mut ok, e, w, du);
+                }
+            }
+        }
+    }
+}
+
+/// Bidirectional, stage-aware point-to-point search over a
+/// **unit-staged** network (every edge joins adjacent stages — see
+/// [`crate::StagedNetwork::is_unit_staged`]), meeting in the middle
+/// instead of flooding the whole graph.
+///
+/// Returns whether `target` is reachable from `source` through vertices
+/// passing `vertex_ok`; on success the path is read from `fwd` with
+/// [`TraversalWorkspace::path_to`] /
+/// [`TraversalWorkspace::path_to_into`].
+///
+/// # Exactness
+///
+/// The reachability verdict **and the reconstructed path** are
+/// bit-identical to what a full forward [`bfs_into`] with the same
+/// vertex filter (and no edge filter) produces — same parent edges,
+/// same tie-breaks — so callers whose downstream behaviour depends on
+/// the exact path (the deterministic simulation engine, whose event
+/// fingerprints are pinned) can switch kernels without perturbing a
+/// single event. Two facts make the backward prune invisible:
+///
+/// 1. **Closure.** If a vertex reaches `target` through `vertex_ok`
+///    vertices, so does each of its `vertex_ok` in-neighbours (via that
+///    vertex). Pruning to "reaches `target`" therefore never removes a
+///    potential discoverer of a surviving vertex.
+/// 2. **Stage-completeness.** Unit staging means a vertex at stage `s`
+///    can reach the stage-`sL` target only in exactly `sL − s` hops, so
+///    once the backward cone has been expanded `j` levels it is
+///    *complete* for every stage `≥ sL − j`: cone membership there *is*
+///    target-reachability. The forward search is pruned only at those
+///    stages.
+///
+/// By induction over stages the pruned forward search discovers every
+/// surviving (target-reaching) vertex via the same first-discoverer
+/// edge, in the same relative order, as the unpruned search — pruned
+/// vertices can never appear on the backtracked path, so the path and
+/// the blocked verdict coincide. Pinned by proptests against [`bfs`].
+///
+/// # Backward budget
+///
+/// `max_backward_levels` caps how many levels the backward cone may
+/// grow. The cap trades pruning power against backward scan cost and
+/// **cannot affect the result** (any correct prune is invisible —
+/// exactness holds for every budget, which the proptests sample):
+/// fabrics with narrow output cones (Clos egress groups, butterfly
+/// sub-trees) profit from a deep meet, while expander-like fabrics
+/// whose cones saturate a stage in one or two hops (the paper's 𝒩)
+/// should pass a small budget or `0`, degrading gracefully to an
+/// early-exit forward search pruned only at the target's own stage.
+/// Callers that route many times over one topology should derive the
+/// budget from a one-off structural analysis (see
+/// `CircuitRouter::backward_budget` in `ft-networks`).
+///
+/// `vertex_ok` must be a pure predicate: it is consulted in an
+/// unspecified order and from both directions.
+#[allow(clippy::too_many_arguments)] // flat kernel signature, hot path
+pub fn bibfs_into<G: Digraph>(
+    g: &G,
+    source: VertexId,
+    target: VertexId,
+    stage_of: &[u32],
+    max_backward_levels: u32,
+    mut vertex_ok: impl FnMut(VertexId) -> bool,
+    fwd: &mut TraversalWorkspace,
+    bwd: &mut TraversalWorkspace,
+) -> bool {
+    let n = g.num_vertices();
+    debug_assert_eq!(stage_of.len(), n);
+    fwd.begin(n);
+    bwd.begin(n);
+    if !vertex_ok(source) || !vertex_ok(target) {
+        return false;
+    }
+    fwd.touch(source.index());
+    fwd.dist[source.index()] = 0;
+    fwd.parent[source.index()] = EdgeId::NONE.0;
+    fwd.queue.push(source);
+    if source == target {
+        return true;
+    }
+    let (s0, sl) = (stage_of[source.index()], stage_of[target.index()]);
+    if sl <= s0 {
+        return false; // stages only increase along unit-staged edges
+    }
+    bwd.touch(target.index());
+    bwd.dist[target.index()] = 0;
+    bwd.parent[target.index()] = EdgeId::NONE.0;
+    bwd.queue.push(target);
+
+    // Stages `meet..=sl` have a complete backward cone in `bwd`.
+    let mut meet = sl;
+    let mut fstage = s0; // stage of the current forward frontier
+    let (mut fhead, mut bhead) = (0usize, 0usize);
+
+    // Phase 1: grow whichever frontier is currently smaller until they
+    // are adjacent (or the backward budget is spent). Forward expansion
+    // below the meet stage cannot be pruned (no backward information
+    // exists there yet).
+    while fstage + 1 < meet {
+        let flen = fwd.queue.len() - fhead;
+        let blen = bwd.queue.len() - bhead;
+        let may_grow_bwd = sl - meet < max_backward_levels;
+        if may_grow_bwd && blen <= flen {
+            let end = bwd.queue.len();
+            expand_backward_level(g, bwd, bhead..end, &mut vertex_ok);
+            bhead = end;
+            meet -= 1;
+            if bwd.queue.len() == bhead {
+                // No vertex at stage `meet` reaches the target, and any
+                // source → target path must cross that stage.
+                return false;
+            }
+        } else {
+            let end = fwd.queue.len();
+            if expand_forward_stage(g, fwd, fhead..end, target, &mut vertex_ok, None) {
+                return true; // adjacent-stage source/target pairs
+            }
+            fhead = end;
+            fstage += 1;
+            if fwd.queue.len() == fhead {
+                return false;
+            }
+        }
+    }
+
+    // Phase 2: forward expansion pruned to the backward cone, stopping
+    // the instant the target is discovered.
+    loop {
+        let end = fwd.queue.len();
+        if fhead == end {
+            return false;
+        }
+        if expand_forward_stage(g, fwd, fhead..end, target, &mut vertex_ok, Some(bwd)) {
+            return true;
+        }
+        fhead = end;
+    }
+}
+
 /// BFS forward from a single source with no filters.
 pub fn bfs_forward<G: Digraph>(g: &G, source: VertexId) -> Bfs {
     bfs(g, &[source], Direction::Forward, |_| true, |_| true)
@@ -442,6 +697,147 @@ mod tests {
             }
             assert_eq!(a.order, ws.order());
         }
+    }
+
+    #[test]
+    fn bibfs_matches_bfs_on_small_staged_net() {
+        use crate::staged::StagedBuilder;
+        // 3 stages, 2 wide, fully wired: plenty of equal-length paths,
+        // so the tie-break rules are what is under test.
+        let mut b = StagedBuilder::new();
+        let s0 = b.add_stage(2);
+        let s1 = b.add_stage(2);
+        let s2 = b.add_stage(2);
+        for t in s0.clone() {
+            for h in s1.clone() {
+                b.add_edge(v(t), v(h));
+            }
+        }
+        for t in s1.clone() {
+            for h in s2.clone() {
+                b.add_edge(v(t), v(h));
+            }
+        }
+        b.set_inputs(s0.map(v).collect());
+        b.set_outputs(s2.map(v).collect());
+        let net = b.finish();
+        assert!(net.is_unit_staged());
+        let csr = net.csr();
+        let (mut rws, mut fwd, mut bwd) = (
+            TraversalWorkspace::new(),
+            TraversalWorkspace::new(),
+            TraversalWorkspace::new(),
+        );
+        // every pair, under every single-vertex knockout of stage 1
+        for knockout in [None, Some(v(2)), Some(v(3))] {
+            let ok = |u: VertexId| Some(u) != knockout;
+            for src in 0..2u32 {
+                for dst in 4..6u32 {
+                    bfs_into(csr, &[v(src)], Direction::Forward, |_| true, ok, &mut rws);
+                    let want = rws.path_to(csr, v(dst));
+                    // every budget must give the identical answer
+                    for budget in [0, 1, u32::MAX] {
+                        let got = bibfs_into(
+                            csr,
+                            v(src),
+                            v(dst),
+                            net.stage_table(),
+                            budget,
+                            ok,
+                            &mut fwd,
+                            &mut bwd,
+                        );
+                        assert_eq!(got, want.is_some());
+                        if got {
+                            assert_eq!(fwd.path_to(csr, v(dst)).unwrap(), want.clone().unwrap());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bibfs_edge_cases() {
+        use crate::staged::StagedBuilder;
+        // a 2-stage (adjacent source/target) network
+        let mut b = StagedBuilder::new();
+        let s0 = b.add_stage(2);
+        let s1 = b.add_stage(2);
+        b.add_edge(v(s0.start), v(s1.start));
+        b.set_inputs(s0.clone().map(v).collect());
+        b.set_outputs(s1.clone().map(v).collect());
+        let net = b.finish();
+        let csr = net.csr();
+        let (mut fwd, mut bwd) = (TraversalWorkspace::new(), TraversalWorkspace::new());
+        let tab = net.stage_table();
+        // direct edge: found
+        assert!(bibfs_into(
+            csr,
+            v(0),
+            v(2),
+            tab,
+            u32::MAX,
+            |_| true,
+            &mut fwd,
+            &mut bwd
+        ));
+        assert_eq!(fwd.path_to(csr, v(2)).unwrap(), vec![v(0), v(2)]);
+        // absent edge: blocked
+        assert!(!bibfs_into(
+            csr,
+            v(1),
+            v(3),
+            tab,
+            u32::MAX,
+            |_| true,
+            &mut fwd,
+            &mut bwd
+        ));
+        // busy source / busy target: blocked
+        assert!(!bibfs_into(
+            csr,
+            v(0),
+            v(2),
+            tab,
+            u32::MAX,
+            |u| u != v(0),
+            &mut fwd,
+            &mut bwd
+        ));
+        assert!(!bibfs_into(
+            csr,
+            v(0),
+            v(2),
+            tab,
+            u32::MAX,
+            |u| u != v(2),
+            &mut fwd,
+            &mut bwd
+        ));
+        // source == target is trivially reachable
+        assert!(bibfs_into(
+            csr,
+            v(0),
+            v(0),
+            tab,
+            u32::MAX,
+            |_| true,
+            &mut fwd,
+            &mut bwd
+        ));
+        assert_eq!(fwd.path_to(csr, v(0)).unwrap(), vec![v(0)]);
+        // target at an earlier stage than the source: unreachable
+        assert!(!bibfs_into(
+            csr,
+            v(2),
+            v(0),
+            tab,
+            u32::MAX,
+            |_| true,
+            &mut fwd,
+            &mut bwd
+        ));
     }
 
     #[test]

@@ -128,10 +128,20 @@ impl TraversalWorkspace {
     /// (inclusive), following parent edges backwards. Returns `None` if
     /// `v` was not reached. `g` must be the graph the traversal ran on.
     pub fn path_to(&self, g: &impl Digraph, v: VertexId) -> Option<Vec<VertexId>> {
+        let mut path = Vec::new();
+        self.path_to_into(g, v, &mut path).then_some(path)
+    }
+
+    /// Buffer-reusing form of [`Self::path_to`]: writes the path into
+    /// `out` (cleared first) and returns whether `v` was reached. The
+    /// circuit router's connect hot path recycles session path buffers
+    /// through this instead of allocating a fresh `Vec` per circuit.
+    pub fn path_to_into(&self, g: &impl Digraph, v: VertexId, out: &mut Vec<VertexId>) -> bool {
+        out.clear();
         if !self.reached(v) {
-            return None;
+            return false;
         }
-        let mut path = vec![v];
+        out.push(v);
         let mut cur = v;
         loop {
             let e = self.parent_edge(cur);
@@ -139,10 +149,10 @@ impl TraversalWorkspace {
                 break;
             }
             cur = g.other_endpoint(e, cur);
-            path.push(cur);
+            out.push(cur);
         }
-        path.reverse();
-        Some(path)
+        out.reverse();
+        true
     }
 }
 

@@ -8,8 +8,9 @@ use ft_graph::maxflow::{
 };
 use ft_graph::menger::max_disjoint_paths;
 use ft_graph::paths::are_vertex_disjoint;
+use ft_graph::staged::StagedBuilder;
 use ft_graph::traversal::{
-    bfs, bfs_forward, bfs_into, dag_depth, is_acyclic, topo_order, Direction,
+    bfs, bfs_forward, bfs_into, bibfs_into, dag_depth, is_acyclic, topo_order, Direction,
 };
 use ft_graph::tree::{
     contract_stretches, is_forest, leaves, min_internal_degree_3, reduce_to_degree_3,
@@ -242,5 +243,74 @@ proptest! {
         // number of fully vertex-disjoint paths cannot exceed the cut size + 1
         let k = max_disjoint_paths(&g, &sources, &sinks);
         prop_assert!(k <= cut.len() as u32 + 1);
+    }
+
+    /// The bidirectional stage-aware search must be *bit-identical* to a
+    /// full forward BFS: same reachability verdict and the same path
+    /// (same vertices, same tie-breaks) for every terminal pair, under
+    /// arbitrary idle masks. The simulation engine's pinned event
+    /// fingerprints rely on this equivalence.
+    #[test]
+    fn bibfs_matches_forward_bfs_exactly(
+        seed in 0u64..1000,
+        widths in proptest::collection::vec(1usize..6, 2..6),
+    ) {
+        use rand::Rng;
+        let mut r = gen::rng(seed);
+        let mut b = StagedBuilder::new();
+        let ranges: Vec<_> = widths.iter().map(|&w| b.add_stage(w)).collect();
+        for w in ranges.windows(2) {
+            for t in w[0].clone() {
+                for h in w[1].clone() {
+                    if r.random_bool(0.6) {
+                        b.add_edge(VertexId(t), VertexId(h));
+                    }
+                    if r.random_bool(0.1) {
+                        // parallel switches stress the tie-break rules
+                        b.add_edge(VertexId(t), VertexId(h));
+                    }
+                }
+            }
+        }
+        b.set_inputs(ranges[0].clone().map(VertexId).collect());
+        b.set_outputs(ranges[ranges.len() - 1].clone().map(VertexId).collect());
+        let net = b.finish();
+        prop_assume!(net.is_unit_staged());
+        let n = net.graph().num_vertices();
+        let idle: Vec<bool> = (0..n).map(|_| r.random_bool(0.8)).collect();
+        let csr = net.csr();
+        let stage_of = net.stage_table();
+        let (mut reference, mut fwd, mut bwd) = (
+            TraversalWorkspace::new(),
+            TraversalWorkspace::new(),
+            TraversalWorkspace::new(),
+        );
+        for &src in net.inputs() {
+            for &dst in net.outputs() {
+                if !idle[src.index()] || !idle[dst.index()] {
+                    continue;
+                }
+                bfs_into(csr, &[src], Direction::Forward, |_| true,
+                         |v| idle[v.index()], &mut reference);
+                let want = reference.path_to(csr, dst);
+                // exactness must hold under EVERY backward budget
+                for budget in [0u32, 1, 2, u32::MAX] {
+                    // CSR fast path (parallel head slices)
+                    let got = bibfs_into(csr, src, dst, stage_of, budget,
+                                         |v| idle[v.index()], &mut fwd, &mut bwd);
+                    prop_assert_eq!(got, want.is_some());
+                    if got {
+                        prop_assert_eq!(fwd.path_to(csr, dst), want.clone());
+                    }
+                    // generic fallback (no head slices on StagedNetwork)
+                    let got2 = bibfs_into(&net, src, dst, stage_of, budget,
+                                          |v| idle[v.index()], &mut fwd, &mut bwd);
+                    prop_assert_eq!(got2, want.is_some());
+                    if got2 {
+                        prop_assert_eq!(fwd.path_to(&net, dst), want.clone());
+                    }
+                }
+            }
+        }
     }
 }

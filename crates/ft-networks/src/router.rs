@@ -9,9 +9,12 @@
 //! connect/disconnect churn.
 
 use ft_graph::ids::VertexId;
-use ft_graph::traversal::{bfs_into, Direction};
+use ft_graph::traversal::{bfs_into, bibfs_into, Direction};
 use ft_graph::workspace::TraversalWorkspace;
 use ft_graph::StagedNetwork;
+
+/// `owner` sentinel: the vertex carries no circuit.
+const NO_OWNER: u32 = u32::MAX;
 
 /// Why a connection attempt failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,9 +45,20 @@ pub struct SessionId(pub u32);
 
 /// Greedy circuit router over a staged network.
 ///
-/// Path searches run over the network's cached CSR snapshot with a
-/// router-owned [`TraversalWorkspace`], so a `connect` allocates only
-/// the path it establishes.
+/// Path searches run over the network's cached CSR snapshot with
+/// router-owned [`TraversalWorkspace`]s. On unit-staged networks (all
+/// of the paper's constructions) `connect` uses the bidirectional
+/// stage-aware kernel [`bibfs_into`], which meets in the middle instead
+/// of flooding the whole fabric yet returns the *bit-identical* path a
+/// full forward BFS would — the deterministic simulation depends on
+/// that. Session path buffers are pooled and reused, so steady-state
+/// connect/disconnect churn allocates nothing.
+///
+/// Because circuits are vertex-disjoint, each vertex carries at most
+/// one live session; the router maintains that vertex → session index
+/// (`owner`), which makes a fault at vertex `v` an O(path) operation
+/// ([`Self::kill_vertex_into`]) instead of a scan over every live
+/// session.
 ///
 /// Released session slots go on a free list and are reused by later
 /// `connect`s, so `sessions` stays bounded by the *peak* number of
@@ -56,15 +70,33 @@ pub struct SessionId(pub u32);
 #[derive(Clone, Debug)]
 pub struct CircuitRouter<'a> {
     net: &'a StagedNetwork,
+    /// The network's CSR snapshot, resolved once at construction so
+    /// `connect` skips the per-call `OnceLock` loads.
+    csr: &'a ft_graph::Csr,
+    /// Cached per-vertex stage table (same reasoning).
+    stage_tab: &'a [u32],
+    /// Whether the network is unit-staged (bidirectional search legal).
+    unit_staged: bool,
     /// Vertices usable at all (repair mask); true = usable.
     alive: Vec<bool>,
     /// `alive[v] && !busy[v]`, maintained incrementally so the BFS
     /// filter reads one array instead of two.
     idle: Vec<bool>,
+    /// Session slot whose circuit crosses each vertex ([`NO_OWNER`] if
+    /// none). Live paths are vertex-disjoint, so one slot suffices.
+    owner: Vec<u32>,
     sessions: Vec<Option<Vec<VertexId>>>,
     /// Released slots in `sessions`, reused before growing the table.
     free: Vec<u32>,
+    /// Cleared path buffers recycled across sessions.
+    spare: Vec<Vec<VertexId>>,
+    /// Backward-level budget for the bidirectional search — the
+    /// network's cached structural analysis
+    /// ([`StagedNetwork::backward_budget`]).
+    bwd_budget: u32,
     ws: TraversalWorkspace,
+    /// Backward-cone workspace of the bidirectional search.
+    ws_b: TraversalWorkspace,
 }
 
 impl<'a> CircuitRouter<'a> {
@@ -73,11 +105,18 @@ impl<'a> CircuitRouter<'a> {
         let n = net.graph().num_vertices();
         CircuitRouter {
             net,
+            csr: net.csr(),
+            stage_tab: net.stage_table(),
+            unit_staged: net.is_unit_staged(),
             alive: vec![true; n],
             idle: vec![true; n],
+            owner: vec![NO_OWNER; n],
             sessions: Vec::new(),
             free: Vec::new(),
+            spare: Vec::new(),
+            bwd_budget: net.backward_budget(),
             ws: TraversalWorkspace::new(),
+            ws_b: TraversalWorkspace::new(),
         }
     }
 
@@ -86,11 +125,18 @@ impl<'a> CircuitRouter<'a> {
         assert_eq!(alive.len(), net.graph().num_vertices());
         CircuitRouter {
             idle: alive.clone(),
+            owner: vec![NO_OWNER; alive.len()],
+            csr: net.csr(),
+            stage_tab: net.stage_table(),
+            unit_staged: net.is_unit_staged(),
             net,
             alive,
             sessions: Vec::new(),
             free: Vec::new(),
+            spare: Vec::new(),
+            bwd_budget: net.backward_budget(),
             ws: TraversalWorkspace::new(),
+            ws_b: TraversalWorkspace::new(),
         }
     }
 
@@ -124,6 +170,12 @@ impl<'a> CircuitRouter<'a> {
     /// Attempts to connect `input → output` greedily (BFS over idle
     /// vertices, shortest idle path). On success the path's vertices
     /// become busy.
+    ///
+    /// On unit-staged networks the search is the bidirectional
+    /// stage-aware kernel; its result (path and verdict) is bit-equal
+    /// to the full forward BFS it replaces, so routing decisions — and
+    /// with them the simulation's pinned event fingerprints — are
+    /// unchanged.
     pub fn connect(&mut self, input: VertexId, output: VertexId) -> Result<SessionId, RouteError> {
         if !self.is_idle(input) {
             return Err(RouteError::InputUnavailable(input));
@@ -131,103 +183,167 @@ impl<'a> CircuitRouter<'a> {
         if !self.is_idle(output) {
             return Err(RouteError::OutputUnavailable(output));
         }
-        let csr = self.net.csr();
-        let idle = &self.idle;
-        bfs_into(
-            csr,
-            &[input],
-            Direction::Forward,
-            |_| true,
-            |v| idle[v.index()],
-            &mut self.ws,
-        );
-        let Some(path) = self.ws.path_to(csr, output) else {
+        let csr = self.csr;
+        let reached = if self.unit_staged {
+            let budget = self.bwd_budget;
+            let idle = &self.idle;
+            bibfs_into(
+                csr,
+                input,
+                output,
+                self.stage_tab,
+                budget,
+                |v| idle[v.index()],
+                &mut self.ws,
+                &mut self.ws_b,
+            )
+        } else {
+            let idle = &self.idle;
+            // Stage-skipping networks (possible via `StagedBuilder`,
+            // absent from the paper's constructions) keep the plain
+            // forward flood.
+            bfs_into(
+                csr,
+                &[input],
+                Direction::Forward,
+                |_| true,
+                |v| idle[v.index()],
+                &mut self.ws,
+            );
+            self.ws.reached(output)
+        };
+        if !reached {
             return Err(RouteError::Blocked(input, output));
+        }
+        let mut path = self.spare.pop().unwrap_or_default();
+        let ok = self.ws.path_to_into(csr, output, &mut path);
+        debug_assert!(ok, "reached target must reconstruct");
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.sessions[slot as usize].is_none());
+                slot
+            }
+            None => {
+                self.sessions.push(None);
+                (self.sessions.len() - 1) as u32
+            }
         };
         for &v in &path {
             self.idle[v.index()] = false;
+            self.owner[v.index()] = slot;
         }
-        let id = match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.sessions[slot as usize].is_none());
-                self.sessions[slot as usize] = Some(path);
-                SessionId(slot)
-            }
-            None => {
-                let id = SessionId(self.sessions.len() as u32);
-                self.sessions.push(Some(path));
-                id
-            }
+        self.sessions[slot as usize] = Some(path);
+        Ok(SessionId(slot))
+    }
+
+    /// Releases slot `slot`'s circuit, restoring idleness along its
+    /// path, invoking `visit` on every path vertex, and recycling the
+    /// path buffer. Returns whether a live circuit was torn down.
+    fn release_slot(&mut self, slot: usize, mut visit: impl FnMut(VertexId)) -> bool {
+        let Some(entry) = self.sessions.get_mut(slot) else {
+            return false;
         };
-        Ok(id)
+        let Some(mut path) = entry.take() else {
+            return false;
+        };
+        for &v in &path {
+            self.owner[v.index()] = NO_OWNER;
+            self.idle[v.index()] = self.alive[v.index()];
+            visit(v);
+        }
+        path.clear();
+        self.spare.push(path);
+        self.free.push(slot as u32);
+        true
     }
 
     /// Releases a session's circuit. Returns whether a live circuit was
     /// actually torn down: disconnecting an unknown or
     /// already-disconnected session is a checked no-op yielding `false`.
     pub fn disconnect(&mut self, id: SessionId) -> bool {
-        let Some(slot) = self.sessions.get_mut(id.0 as usize) else {
-            return false;
-        };
-        let Some(path) = slot.take() else {
-            return false;
-        };
-        for v in path {
-            self.idle[v.index()] = self.alive[v.index()];
-        }
-        self.free.push(id.0);
-        true
+        self.release_slot(id.0 as usize, |_| {})
+    }
+
+    /// Like [`Self::disconnect`], additionally invoking `visit` on each
+    /// vertex of the released path — callers that mirror per-vertex
+    /// occupancy (the simulation's per-stage counters) fold their
+    /// bookkeeping into the single release walk instead of re-reading
+    /// the path first.
+    pub fn disconnect_visit(&mut self, id: SessionId, visit: impl FnMut(VertexId)) -> bool {
+        self.release_slot(id.0 as usize, visit)
+    }
+
+    /// The live session whose circuit crosses `v`, if any — O(1) via
+    /// the vertex → session index.
+    #[inline]
+    pub fn session_through(&self, v: VertexId) -> Option<SessionId> {
+        let ow = self.owner[v.index()];
+        (ow != NO_OWNER).then_some(SessionId(ow))
     }
 
     /// Kills every live session whose path crosses vertex `v` (a switch
     /// endpoint that just failed). Freed vertices become idle again;
     /// the killed sessions' slots return to the free list. Returns the
-    /// killed ids in ascending slot order (deterministic).
+    /// killed ids (at most one — circuits are vertex-disjoint).
     pub fn kill_sessions_through(&mut self, v: VertexId) -> Vec<SessionId> {
-        self.kill_sessions_where(|u| u == v, true)
-    }
-
-    /// Replaces the repair mask wholesale (a fault or repair event
-    /// changed the set of usable vertices), killing every live session
-    /// that crosses a now-dead vertex and recomputing idleness. Returns
-    /// the killed ids in ascending slot order.
-    pub fn set_alive_mask(&mut self, alive: &[bool]) -> Vec<SessionId> {
-        assert_eq!(alive.len(), self.alive.len(), "alive mask length mismatch");
-        self.alive.copy_from_slice(alive);
-        // Idleness is rebuilt wholesale below, so the kill pass skips
-        // its per-path idle restoration.
-        let killed = self.kill_sessions_where(|u| !alive[u.index()], false);
-        // Rebuild idleness from scratch: alive and not on any live path.
-        // O(V + total live path length), only paid on fault/repair events.
-        self.idle.copy_from_slice(&self.alive);
-        for path in self.sessions.iter().flatten() {
-            for &u in path {
-                self.idle[u.index()] = false;
-            }
+        let mut killed = Vec::new();
+        if let Some(id) = self.session_through(v) {
+            self.release_slot(id.0 as usize, |_| {});
+            killed.push(id);
         }
         killed
     }
 
-    fn kill_sessions_where(
-        &mut self,
-        dead: impl Fn(VertexId) -> bool,
-        restore_idle: bool,
-    ) -> Vec<SessionId> {
+    /// Marks `v` newly dead under the repair mask: kills the at most
+    /// one circuit crossing it (appending the killed id to `killed`, a
+    /// caller-owned reusable buffer) and withdraws `v` from routing.
+    /// O(killed path length) — the incremental counterpart of
+    /// [`Self::set_alive_mask`] for a single-vertex delta.
+    pub fn kill_vertex_into(&mut self, v: VertexId, killed: &mut Vec<SessionId>) {
+        if let Some(id) = self.session_through(v) {
+            self.release_slot(id.0 as usize, |_| {});
+            killed.push(id);
+        }
+        self.alive[v.index()] = false;
+        self.idle[v.index()] = false;
+    }
+
+    /// Marks `v` alive again after repair — the incremental counterpart
+    /// of [`Self::set_alive_mask`] for a single-vertex delta. O(1).
+    pub fn revive_vertex(&mut self, v: VertexId) {
+        debug_assert_eq!(
+            self.owner[v.index()],
+            NO_OWNER,
+            "a dead vertex cannot carry a circuit"
+        );
+        self.alive[v.index()] = true;
+        self.idle[v.index()] = true;
+    }
+
+    /// Replaces the repair mask wholesale (the set of usable vertices
+    /// changed arbitrarily), killing every live session that crosses a
+    /// now-dead vertex and recomputing idleness. Returns the killed ids
+    /// in ascending slot order. O(V + live sessions); event-driven
+    /// callers with single-switch deltas should prefer
+    /// [`Self::kill_vertex_into`] / [`Self::revive_vertex`], which keep
+    /// identical state at O(1) per event.
+    pub fn set_alive_mask(&mut self, alive: &[bool]) -> Vec<SessionId> {
+        assert_eq!(alive.len(), self.alive.len(), "alive mask length mismatch");
+        self.alive.copy_from_slice(alive);
         let mut killed = Vec::new();
-        for (slot, entry) in self.sessions.iter_mut().enumerate() {
-            let crosses = entry
+        for slot in 0..self.sessions.len() {
+            let crosses = self.sessions[slot]
                 .as_ref()
-                .is_some_and(|path| path.iter().any(|&u| dead(u)));
+                .is_some_and(|path| path.iter().any(|&u| !alive[u.index()]));
             if crosses {
-                let path = entry.take().expect("checked is_some above");
-                if restore_idle {
-                    for u in path {
-                        self.idle[u.index()] = self.alive[u.index()];
-                    }
-                }
-                self.free.push(slot as u32);
+                self.release_slot(slot, |_| {});
                 killed.push(SessionId(slot as u32));
             }
+        }
+        // Re-derive idleness for every vertex whose aliveness may have
+        // flipped; the owner index makes this a single O(V) pass.
+        for v in 0..self.alive.len() {
+            self.idle[v] = self.alive[v] && self.owner[v] == NO_OWNER;
         }
         killed
     }

@@ -16,13 +16,13 @@
 //! stream — pinned by the FNV fingerprint every run accumulates over
 //! the events it processes.
 
-use crate::events::{EventKind, EventQueue};
+use crate::events::{Event, EventKind, EventQueue};
 use crate::fabric::Fabric;
 use crate::metrics::{Bucket, Metrics};
 use crate::workload::{exp_draw, HoldingTime, TrafficPattern};
-use ft_failure::{FailureInstance, SwitchState};
+use ft_failure::{AliveTracker, FailureInstance, SwitchState};
 use ft_graph::gen::{random_permutation, rng};
-use ft_graph::{Digraph, EdgeId};
+use ft_graph::{Digraph, EdgeId, VertexId};
 use ft_networks::{CircuitRouter, RouteError, SessionId};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -65,19 +65,46 @@ pub struct SeedOutcome {
 
 /// Reusable per-worker buffers: one allocation set serves every seed a
 /// sweep worker runs (the `mc_event_probability_parallel` discipline:
-/// one RNG + one workspace per worker).
+/// one RNG + one workspace per worker). Besides the queue and call
+/// table this holds the fault-path scratch — the incremental repair
+/// mask and the killed/victim/delta buffers — so a fault or repair
+/// event allocates nothing.
 #[derive(Clone, Debug, Default)]
 pub struct SimWorkspace {
     queue: EventQueue,
+    /// Pending call arrivals, sorted descending by `(time, seq)` so the
+    /// next one is `last()`. Arrivals are ~half of all queue traffic
+    /// but at most one is *live* at a time (plus a few stale draws from
+    /// burst-rate changes), so this tiny lane replaces two O(log n)
+    /// heap operations per call with O(1) vector ops. Sequence numbers
+    /// come from the shared queue counter, so the `(time, seq)` pop
+    /// order — and the event-stream fingerprint — is byte-identical to
+    /// the all-heap ordering.
+    arrivals: Vec<ArrivalEv>,
     calls: Vec<Option<Call>>,
     pending: Vec<PendingCall>,
-    stage_of: Vec<u32>,
     busy_now: Vec<u64>,
+    /// Incrementally maintained §4 routable alive-mask.
+    tracker: AliveTracker,
+    /// Sessions killed by the event being processed (ascending slot).
+    killed: Vec<SessionId>,
+    /// Their drained call records (drained before any reroute can
+    /// reuse a freed slot).
+    victims: Vec<Call>,
+    /// Vertices whose liveness the event flipped (≤ 2: the endpoints).
+    delta: Vec<VertexId>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ArrivalEv {
+    time: f64,
+    seq: u64,
+    epoch: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Call {
-    token: u64,
+    token: u32,
     src: usize,
     dst: usize,
     hangup_time: f64,
@@ -103,6 +130,8 @@ struct Engine<'a> {
     cfg: &'a SimConfig,
     rng: SmallRng,
     router: CircuitRouter<'a>,
+    /// Cached per-vertex stage table (per-stage occupancy accounting).
+    stage_tab: &'a [u32],
     inst: FailureInstance,
     healthy: usize,
     fault_epoch: u32,
@@ -110,7 +139,7 @@ struct Engine<'a> {
     burst_on: bool,
     /// Monotone counter of fault+repair events (reroute latency unit).
     churn_epoch: u64,
-    token_counter: u64,
+    token_counter: u32,
     perm: Vec<u32>,
     now: f64,
     last_t: f64,
@@ -144,19 +173,14 @@ pub fn run_seed_with(
 
     // Reset the workspace for this seed.
     ws.queue.reset();
+    ws.arrivals.clear();
     ws.calls.clear();
     ws.pending.clear();
     ws.busy_now.clear();
     ws.busy_now.resize(num_stages, 0);
-    // Rebuilt every run (O(V)): a reused workspace may have last seen a
-    // different fabric with the same vertex count.
-    ws.stage_of.clear();
-    ws.stage_of.resize(net.num_vertices(), 0);
-    for s in 0..num_stages {
-        for v in net.stage_range(s) {
-            ws.stage_of[v as usize] = s as u32;
-        }
-    }
+    ws.killed.clear();
+    ws.victims.clear();
+    ws.delta.clear();
     let mut r = rng(seed);
     let perm = if matches!(cfg.pattern, TrafficPattern::Permutation) {
         random_permutation(&mut r, n)
@@ -172,11 +196,20 @@ pub fn run_seed_with(
     };
 
     let m = net.num_edges();
+    let inst = FailureInstance::perfect(m);
+    // Synchronise the incremental repair mask to the clean slate; it is
+    // then maintained O(1) per fault/repair event for the whole run.
+    ws.tracker.reset_for(
+        net,
+        net.inputs().iter().chain(net.outputs()).copied(),
+        &inst,
+    );
     let mut engine = Engine {
         fabric,
         cfg,
         router: CircuitRouter::new(net),
-        inst: FailureInstance::perfect(m),
+        stage_tab: net.stage_table(),
+        inst,
         healthy: m,
         fault_epoch: 0,
         arrival_epoch: 0,
@@ -207,7 +240,7 @@ impl<'a> Engine<'a> {
     fn schedule_initial(&mut self) {
         let mean = 1.0 / self.arrival_rate();
         let dt = exp_draw(&mut self.rng, mean);
-        self.ws.queue.push(dt, EventKind::Arrival { epoch: 0 });
+        self.push_arrival(dt, 0);
         if self.cfg.fault_rate > 0.0 && self.healthy > 0 {
             let mean = 1.0 / (self.healthy as f64 * self.cfg.fault_rate);
             let dt = exp_draw(&mut self.rng, mean);
@@ -219,8 +252,41 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Pops the globally earliest event across the heap and the arrival
+    /// lane — exactly the `(time, seq)` total order a single heap would
+    /// produce, since both draw from one sequence counter.
+    fn next_event(&mut self) -> Option<Event> {
+        let take_arrival = match (self.ws.arrivals.last(), self.ws.queue.peek_key()) {
+            (Some(a), Some(key)) => (a.time, a.seq) < key,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_arrival {
+            let a = self.ws.arrivals.pop().expect("checked nonempty");
+            return Some(Event {
+                time: a.time,
+                seq: a.seq,
+                kind: EventKind::Arrival { epoch: a.epoch },
+            });
+        }
+        self.ws.queue.pop()
+    }
+
+    /// Schedules an arrival into the side lane (sorted descending, so
+    /// the earliest stays at the back).
+    fn push_arrival(&mut self, time: f64, epoch: u32) {
+        assert!(time.is_finite() && time >= 0.0, "bad arrival time {time}");
+        let seq = self.ws.queue.reserve_seq();
+        let a = ArrivalEv { time, seq, epoch };
+        let pos = self
+            .ws
+            .arrivals
+            .partition_point(|b| (b.time, b.seq) > (a.time, a.seq));
+        self.ws.arrivals.insert(pos, a);
+    }
+
     fn run(&mut self) {
-        while let Some(ev) = self.ws.queue.pop() {
+        while let Some(ev) = self.next_event() {
             if ev.time > self.cfg.duration {
                 break;
             }
@@ -247,7 +313,7 @@ impl<'a> Engine<'a> {
     fn absorb(&mut self, kind: &EventKind, time: f64) {
         let (tag, a, b) = match *kind {
             EventKind::Arrival { epoch } => (1u64, epoch as u64, 0),
-            EventKind::Hangup { slot, token } => (2, slot as u64, token),
+            EventKind::Hangup { slot, token } => (2, slot as u64, token as u64),
             EventKind::Fault { epoch } => (3, epoch as u64, 0),
             EventKind::Repair { edge } => (4, edge.index() as u64, 0),
             EventKind::BurstToggle => (5, 0, 0),
@@ -299,19 +365,22 @@ impl<'a> Engine<'a> {
         let mean = 1.0 / self.arrival_rate();
         let dt = exp_draw(&mut self.rng, mean);
         let epoch = self.arrival_epoch;
-        self.ws
-            .queue
-            .push(self.now + dt, EventKind::Arrival { epoch });
+        self.push_arrival(self.now + dt, epoch);
     }
 
-    /// Establishes bookkeeping for a freshly connected session.
-    fn admit(&mut self, id: SessionId, src: usize, dst: usize, hangup_time: f64) {
+    /// Establishes bookkeeping for a freshly connected session and
+    /// returns the circuit's path length in switches (counted during
+    /// the one occupancy walk, so metrics need no second walk).
+    fn admit(&mut self, id: SessionId, src: usize, dst: usize, hangup_time: f64) -> u64 {
         let slot = id.0 as usize;
         if self.ws.calls.len() <= slot {
             self.ws.calls.resize(slot + 1, None);
         }
         let token = self.token_counter;
-        self.token_counter += 1;
+        self.token_counter = self
+            .token_counter
+            .checked_add(1)
+            .expect("call token overflow");
         self.ws.calls[slot] = Some(Call {
             token,
             src,
@@ -321,12 +390,15 @@ impl<'a> Engine<'a> {
         self.ws
             .queue
             .push(hangup_time, EventKind::Hangup { slot: id.0, token });
+        let mut vertices = 0u64;
         if let Some(path) = self.router.session_path(id) {
+            vertices = path.len() as u64;
             for &v in path {
-                self.ws.busy_now[self.ws.stage_of[v.index()] as usize] += 1;
+                self.ws.busy_now[self.stage_tab[v.index()] as usize] += 1;
             }
         }
         self.active_now += 1;
+        vertices.saturating_sub(1)
     }
 
     fn on_arrival(&mut self, epoch: u32) {
@@ -346,17 +418,13 @@ impl<'a> Engine<'a> {
         match self.router.connect(input, output) {
             Ok(id) => {
                 let holding = self.cfg.holding.sample(&mut self.rng);
+                self.bucket().connected += 1;
+                let len = self.admit(id, src, dst, self.now + holding);
                 if measured {
                     self.metrics.connected += 1;
-                    let len = self
-                        .router
-                        .session_path(id)
-                        .map_or(0, |p| p.len() as u64 - 1);
                     self.metrics.total_path_len += len;
                     self.metrics.max_path_len = self.metrics.max_path_len.max(len);
                 }
-                self.bucket().connected += 1;
-                self.admit(id, src, dst, self.now + holding);
             }
             Err(RouteError::Blocked(_, _)) => {
                 if measured {
@@ -375,7 +443,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn on_hangup(&mut self, slot: u32, token: u64) {
+    fn on_hangup(&mut self, slot: u32, token: u32) {
         let live = self
             .ws
             .calls
@@ -387,12 +455,10 @@ impl<'a> Engine<'a> {
         }
         self.ws.calls[slot as usize] = None;
         let id = SessionId(slot);
-        if let Some(path) = self.router.session_path(id) {
-            for &v in path {
-                self.ws.busy_now[self.ws.stage_of[v.index()] as usize] -= 1;
-            }
-        }
-        let torn_down = self.router.disconnect(id);
+        let (busy_now, stage_tab) = (&mut self.ws.busy_now, self.stage_tab);
+        let torn_down = self
+            .router
+            .disconnect_visit(id, |v| busy_now[stage_tab[v.index()] as usize] -= 1);
         debug_assert!(torn_down);
         self.active_now -= 1;
         if self.measured() {
@@ -420,23 +486,15 @@ impl<'a> Engine<'a> {
         unreachable!("pick_healthy_edge called with no healthy switch");
     }
 
-    /// Recomputes the repair mask from the cumulative instance, applies
-    /// it to the router and returns the killed sessions.
-    fn apply_mask(&mut self) -> Vec<SessionId> {
-        let alive = self.fabric.alive_mask(&self.inst);
-        let killed = self.router.set_alive_mask(&alive);
-        // Rebuild per-stage occupancy from the surviving sessions.
-        self.ws.busy_now.iter_mut().for_each(|b| *b = 0);
-        for (slot, call) in self.ws.calls.iter().enumerate() {
-            if call.is_some() {
-                if let Some(path) = self.router.session_path(SessionId(slot as u32)) {
-                    for &v in path {
-                        self.ws.busy_now[self.ws.stage_of[v.index()] as usize] += 1;
-                    }
-                }
-            }
-        }
-        killed
+    /// Debug-only oracle: the incrementally maintained repair mask must
+    /// be bit-identical to the from-scratch recompute after every event.
+    #[cfg(debug_assertions)]
+    fn assert_mask_matches_scratch(&self) {
+        assert_eq!(
+            self.ws.tracker.alive(),
+            self.fabric.alive_mask(&self.inst),
+            "incremental repair mask diverged from scratch recompute"
+        );
     }
 
     fn on_fault(&mut self, epoch: u32) {
@@ -455,21 +513,58 @@ impl<'a> Engine<'a> {
         if self.measured() {
             self.metrics.faults += 1;
         }
-        let killed = self.apply_mask();
+        // Delta-update the repair mask: one switch transition can only
+        // discard its (≤ 2) endpoints, so the event touches the killed
+        // circuits' paths and nothing else — no O(V + E) recompute, no
+        // whole-table session rescan, no allocation.
+        let (t, h) = self.fabric.net().graph().endpoints(e);
+        self.ws.delta.clear();
+        self.ws.tracker.fail_edge(t, h, &mut self.ws.delta);
+        #[cfg(debug_assertions)]
+        self.assert_mask_matches_scratch();
+        // Collect the crossing circuits in ascending slot order BEFORE
+        // releasing any: the wholesale-mask path killed in slot order,
+        // and both the reroute order and the router's free-list (slot
+        // reuse) are fingerprint-relevant.
+        self.ws.killed.clear();
+        for i in 0..self.ws.delta.len() {
+            let v = self.ws.delta[i];
+            if let Some(id) = self.router.session_through(v) {
+                if !self.ws.killed.contains(&id) {
+                    self.ws.killed.push(id);
+                }
+            }
+        }
+        self.ws.killed.sort_unstable_by_key(|id| id.0);
+        for i in 0..self.ws.killed.len() {
+            let id = self.ws.killed[i];
+            let (busy_now, stage_tab) = (&mut self.ws.busy_now, self.stage_tab);
+            let torn_down = self
+                .router
+                .disconnect_visit(id, |v| busy_now[stage_tab[v.index()] as usize] -= 1);
+            debug_assert!(torn_down);
+        }
+        // Withdraw the newly-dead vertices from routing (their circuits
+        // are already released, so no further kills happen here).
+        for i in 0..self.ws.delta.len() {
+            let v = self.ws.delta[i];
+            self.router.kill_vertex_into(v, &mut self.ws.killed);
+        }
         let measured = self.measured();
         // Drain every victim's call record BEFORE attempting reroutes:
         // a reroute may reuse any just-freed slot (free-list order is
         // unspecified), and admitting into a later victim's slot would
         // otherwise clobber its record mid-loop.
-        let victims: Vec<Call> = killed
-            .iter()
-            .map(|id| {
-                self.ws.calls[id.0 as usize]
-                    .take()
-                    .expect("killed session had no call record")
-            })
-            .collect();
-        for call in victims {
+        self.ws.victims.clear();
+        for i in 0..self.ws.killed.len() {
+            let id = self.ws.killed[i];
+            let call = self.ws.calls[id.0 as usize]
+                .take()
+                .expect("killed session had no call record");
+            self.ws.victims.push(call);
+        }
+        for i in 0..self.ws.victims.len() {
+            let call = self.ws.victims[i];
             if measured {
                 self.metrics.dropped += 1;
             }
@@ -502,8 +597,17 @@ impl<'a> Engine<'a> {
         if self.measured() {
             self.metrics.repairs += 1;
         }
-        let killed = self.apply_mask();
-        debug_assert!(killed.is_empty(), "repair can only grow the alive set");
+        // Delta-update: a repair can only revive the switch's endpoints
+        // (it kills nothing, so occupancy is untouched).
+        let (t, h) = self.fabric.net().graph().endpoints(edge);
+        self.ws.delta.clear();
+        self.ws.tracker.repair_edge(t, h, &mut self.ws.delta);
+        #[cfg(debug_assertions)]
+        self.assert_mask_matches_scratch();
+        for i in 0..self.ws.delta.len() {
+            let v = self.ws.delta[i];
+            self.router.revive_vertex(v);
+        }
         self.reschedule_faults();
         // Waiting calls retry in kill order; expired ones are lost.
         let mut waiting = std::mem::take(&mut self.ws.pending);

@@ -15,7 +15,7 @@
 use ft_core::network::FtNetwork;
 use ft_core::params::Params;
 use ft_core::repair::Survivor;
-use ft_failure::FailureInstance;
+use ft_failure::{AliveTracker, FailureInstance};
 use ft_graph::{Digraph, StagedNetwork};
 use ft_networks::{crossbar, Benes, Clos, Multibutterfly};
 
@@ -127,6 +127,21 @@ impl Fabric {
             Fabric::Ftn(f) => *out = Survivor::new(f, inst).routable_alive(),
             _ => generic_routable_alive_into(self.net(), inst, out),
         }
+    }
+
+    /// Incremental counterpart of [`alive_mask`](Fabric::alive_mask): a
+    /// tracker synchronised to `inst` whose mask starts — and stays,
+    /// under `fail_edge`/`repair_edge` deltas — bit-identical to the
+    /// from-scratch computation. The discipline is the same local
+    /// predicate for every fabric (a vertex is alive iff it is a
+    /// terminal or has no incident failed switch; for 𝒩 this equals
+    /// [`Survivor::routable_alive`] — see `Survivor::alive_tracker`),
+    /// which is what makes a fault/repair event O(1) instead of
+    /// O(V + E). The engine's debug assertions and the interleaving
+    /// proptests pin the equivalence.
+    pub fn alive_tracker(&self, inst: &FailureInstance) -> AliveTracker {
+        let g = self.net();
+        AliveTracker::new(g, g.inputs().iter().chain(g.outputs()).copied(), inst)
     }
 }
 

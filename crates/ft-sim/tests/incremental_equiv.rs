@@ -1,0 +1,213 @@
+//! Incremental-vs-scratch equivalence under arbitrary interleavings.
+//!
+//! The PR-5 hot-loop overhaul replaced the per-event from-scratch
+//! recomputation (full repair mask, whole-table session rescan, idle
+//! and occupancy rebuilds) with O(1)/O(path) deltas: the
+//! [`ft_failure::AliveTracker`] counts failed incident switches per
+//! vertex, and the router's vertex → session index kills only the
+//! crossing circuit. These tests pin the contract that made that legal:
+//! after **any** interleaving of connect / disconnect / fault / repair,
+//! on **every** fabric variant, the incremental state is bit-identical
+//! to the scratch rebuild —
+//!
+//! * the tracker's alive mask equals `Fabric::alive_mask` of the
+//!   cumulative instance;
+//! * a router driven by `kill_vertex_into`/`revive_vertex` deltas is
+//!   observably identical (aliveness, idleness, session paths, killed
+//!   ids *and their order*, slot reuse) to one driven by the wholesale
+//!   `set_alive_mask` recompute;
+//! * the engine-style per-stage occupancy counters, maintained by
+//!   increments along connect/kill/disconnect walks, equal a recount
+//!   over the live paths.
+
+use ft_failure::{FailureInstance, SwitchState};
+use ft_graph::gen::rng;
+use ft_graph::{Digraph, EdgeId};
+use ft_networks::{CircuitRouter, SessionId};
+use ft_sim::Fabric;
+use proptest::prelude::*;
+use rand::Rng;
+use std::sync::OnceLock;
+
+/// Every fabric variant, built once (𝒩 construction is expensive).
+fn fabrics() -> &'static Vec<Fabric> {
+    static FABRICS: OnceLock<Vec<Fabric>> = OnceLock::new();
+    FABRICS.get_or_init(|| {
+        vec![
+            Fabric::crossbar(4),
+            Fabric::clos_strict(2, 3),
+            Fabric::clos_rearrangeable(2, 2),
+            Fabric::benes(3),
+            Fabric::multibutterfly(3, 2, 7),
+            Fabric::ftn_reduced(1, 8, 4, 1.0),
+        ]
+    })
+}
+
+/// Recounts per-stage occupancy from the live paths (the scratch form
+/// of the engine's incremental `busy_now`).
+fn recount_busy(router: &CircuitRouter<'_>, live: &[SessionId], num_stages: usize) -> Vec<u64> {
+    let net = router.network();
+    let tab = net.stage_table();
+    let mut busy = vec![0u64; num_stages];
+    for &id in live {
+        for &v in router.session_path(id).expect("live session has a path") {
+            busy[tab[v.index()] as usize] += 1;
+        }
+    }
+    busy
+}
+
+fn run_interleaving(fabric: &Fabric, seed: u64, steps: usize) {
+    let net = fabric.net();
+    let m = net.num_edges();
+    let n = fabric.terminals();
+    let num_stages = net.num_stages();
+    let faults_ok = fabric.supports_faults();
+
+    let mut inst = FailureInstance::perfect(m);
+    let mut tracker = fabric.alive_tracker(&inst);
+    // System under test: incremental deltas. Reference: wholesale mask.
+    let mut inc = CircuitRouter::new(net);
+    let mut refr = CircuitRouter::new(net);
+    let mut busy_now = vec![0u64; num_stages];
+    let tab = net.stage_table();
+
+    let mut r = rng(seed);
+    let mut live: Vec<SessionId> = Vec::new();
+    let mut failed: Vec<EdgeId> = Vec::new();
+    let mut delta = Vec::new();
+    let mut killed_inc: Vec<SessionId> = Vec::new();
+
+    for step in 0..steps {
+        match r.random_range(0..100u32) {
+            0..=44 => {
+                // connect a random pair; both routers must agree
+                let i = net.inputs()[r.random_range(0..n)];
+                let o = net.outputs()[r.random_range(0..n)];
+                let a = inc.connect(i, o);
+                let b = refr.connect(i, o);
+                prop_assert_eq!(&a, &b, "routing decisions diverged");
+                if let Ok(id) = a {
+                    for &v in inc.session_path(id).unwrap() {
+                        busy_now[tab[v.index()] as usize] += 1;
+                    }
+                    live.push(id);
+                }
+            }
+            45..=69 => {
+                // disconnect a random live session
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(r.random_range(0..live.len()));
+                let busy = &mut busy_now;
+                prop_assert!(inc.disconnect_visit(id, |v| busy[tab[v.index()] as usize] -= 1));
+                prop_assert!(refr.disconnect(id));
+            }
+            70..=84 => {
+                // fail a random healthy switch
+                if !faults_ok || failed.len() == m {
+                    continue;
+                }
+                let e = loop {
+                    let e = EdgeId::from(r.random_range(0..m));
+                    if inst.is_normal(e) {
+                        break e;
+                    }
+                };
+                let state = if r.random_bool(0.5) {
+                    SwitchState::Open
+                } else {
+                    SwitchState::Closed
+                };
+                inst.set_state(e, state);
+                failed.push(e);
+                let (t, h) = net.graph().endpoints(e);
+                delta.clear();
+                tracker.fail_edge(t, h, &mut delta);
+                // incremental kill: collect crossing circuits in slot
+                // order (the engine's discipline), then withdraw
+                killed_inc.clear();
+                for &v in &delta {
+                    if let Some(id) = inc.session_through(v) {
+                        if !killed_inc.contains(&id) {
+                            killed_inc.push(id);
+                        }
+                    }
+                }
+                killed_inc.sort_unstable_by_key(|id| id.0);
+                for &id in &killed_inc {
+                    let busy = &mut busy_now;
+                    prop_assert!(inc.disconnect_visit(id, |v| busy[tab[v.index()] as usize] -= 1));
+                }
+                for &v in &delta {
+                    inc.kill_vertex_into(v, &mut killed_inc);
+                }
+                // reference: wholesale recompute
+                let killed_ref = refr.set_alive_mask(&fabric.alive_mask(&inst));
+                prop_assert_eq!(&killed_inc, &killed_ref, "killed ids or order diverged");
+                live.retain(|id| !killed_inc.contains(id));
+            }
+            _ => {
+                // repair a random failed switch
+                if failed.is_empty() {
+                    continue;
+                }
+                let e = failed.swap_remove(r.random_range(0..failed.len()));
+                inst.set_state(e, SwitchState::Normal);
+                let (t, h) = net.graph().endpoints(e);
+                delta.clear();
+                tracker.repair_edge(t, h, &mut delta);
+                for &v in &delta {
+                    inc.revive_vertex(v);
+                }
+                let killed_ref = refr.set_alive_mask(&fabric.alive_mask(&inst));
+                prop_assert!(killed_ref.is_empty(), "repair can only grow the alive set");
+            }
+        }
+
+        // ---- full state comparison, every step ----
+        let scratch_alive = fabric.alive_mask(&inst);
+        prop_assert_eq!(
+            tracker.alive(),
+            &scratch_alive[..],
+            "tracker mask diverged at step {}",
+            step
+        );
+        for v in net.graph().vertices() {
+            prop_assert_eq!(inc.is_alive(v), refr.is_alive(v));
+            prop_assert_eq!(inc.is_idle(v), refr.is_idle(v));
+            prop_assert_eq!(inc.is_alive(v), scratch_alive[v.index()]);
+            prop_assert_eq!(inc.session_through(v), refr.session_through(v));
+        }
+        prop_assert_eq!(inc.active_sessions(), refr.active_sessions());
+        prop_assert_eq!(inc.session_slots(), refr.session_slots());
+        for &id in &live {
+            prop_assert_eq!(inc.session_path(id), refr.session_path(id));
+        }
+        prop_assert_eq!(
+            &busy_now,
+            &recount_busy(&inc, &live, num_stages),
+            "incremental per-stage occupancy diverged at step {}",
+            step
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary interleavings on every fabric variant: incremental
+    /// alive / idle / occupancy / session state must equal the
+    /// from-scratch rebuild at every step.
+    #[test]
+    fn incremental_state_equals_scratch_rebuild(
+        seed in 0u64..100_000,
+        steps in 40usize..120,
+    ) {
+        for fabric in fabrics() {
+            run_interleaving(fabric, seed, steps);
+        }
+    }
+}

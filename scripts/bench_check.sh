@@ -39,6 +39,24 @@ extract() {
 extract "$BASELINE_DIR"/BENCH_*.json | sort >"$RUN_DIR/baseline.tsv"
 extract "$RUN_DIR"/BENCH_*.json | sort >"$RUN_DIR/current.tsv"
 
+# Hot-path benches the suite must always carry: losing one (renamed
+# bench, dropped group registration) silently removes its regression
+# coverage, so their absence from the current run is a hard failure.
+REQUIRED_BENCHES="
+sim_churn_1k_calls
+sim_churn_1k_calls_faulty
+sim_churn_100k_calls
+sim_churn_100k_calls_faulty
+router_connect_pair_ftn_nu2
+bfs_forward_ftn_nu2_reused
+"
+for b in $REQUIRED_BENCHES; do
+    if ! cut -f1 "$RUN_DIR/current.tsv" | grep -qx "$b"; then
+        echo "bench_check: required bench '$b' missing from the run" >&2
+        exit 1
+    fi
+done
+
 # Surface (but do not fail on) benches missing from either side — print
 # this BEFORE the gate so the diagnostic survives a failing exit below.
 comm -23 <(cut -f1 "$RUN_DIR/baseline.tsv") <(cut -f1 "$RUN_DIR/current.tsv") |

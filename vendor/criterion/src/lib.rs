@@ -42,8 +42,12 @@ pub fn write_json_baseline(bench_name: &str) {
 
 /// Minimum measured wall-clock time per benchmark.
 const TARGET: Duration = Duration::from_millis(200);
-/// Iterations between clock reads, so timer overhead (~25 ns per
-/// `Instant::elapsed`) is amortized and doesn't bias fast routines.
+/// Maximum iterations between clock reads, so timer overhead (~25 ns
+/// per `Instant::elapsed`) is amortized and doesn't bias fast routines.
+/// The batch starts at 1 and doubles while the routine proves fast, so
+/// slow benches (tens of ms per iteration — the heavy-traffic
+/// simulation runs) stop near `TARGET` instead of being forced through
+/// a full fixed-size batch.
 const BATCH: u64 = 64;
 /// Hard cap on measured iterations per benchmark (backstop only; the
 /// wall-clock target is the real bound).
@@ -161,14 +165,21 @@ impl Bencher {
         // Warm-up (also primes caches the routine touches).
         std::hint::black_box(routine());
         let mut iters = 0u64;
+        let mut batch = 1u64;
         let start = Instant::now();
         let mut elapsed = Duration::ZERO;
         while elapsed < TARGET && iters < MAX_ITERS {
-            for _ in 0..BATCH {
+            for _ in 0..batch {
                 std::hint::black_box(routine());
             }
-            iters += BATCH;
+            iters += batch;
             elapsed = start.elapsed();
+            // Grow the batch only while the clock reads stay a small
+            // fraction of the budget: fast routines reach BATCH within
+            // a few microseconds, slow ones keep batch = 1.
+            if batch < BATCH && elapsed < TARGET / 8 {
+                batch = (batch * 2).min(BATCH);
+            }
         }
         self.iters = iters.max(1);
         self.elapsed = elapsed;
