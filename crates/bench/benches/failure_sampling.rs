@@ -7,7 +7,7 @@ use ft_core::network::FtNetwork;
 use ft_core::params::Params;
 use ft_core::repair::Survivor;
 use ft_failure::contraction::contract;
-use ft_failure::{FailureInstance, FailureModel};
+use ft_failure::{FailureInstance, FailureModel, SlicedFailureMask};
 use ft_graph::gen::rng;
 use ft_graph::Digraph;
 use std::hint::black_box;
@@ -25,6 +25,28 @@ fn bench_sampling(c: &mut Criterion) {
                 b.iter(|| {
                     inst.resample(m, &mut r, 1_000_000);
                     black_box(inst.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sliced_sampling(c: &mut Criterion) {
+    // one 64-lane block over 1M switches per iteration — divide by 64
+    // to compare per-trial against sample_instance_1M_edges
+    let mut g = c.benchmark_group("sample_sliced_1M_edges");
+    let mut r = rng(1);
+    for &eps in &[1e-6, 1e-3, 0.2] {
+        let model = FailureModel::symmetric(eps);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}")),
+            &model,
+            |b, m| {
+                let mut sliced = SlicedFailureMask::new();
+                b.iter(|| {
+                    m.sample_sliced_into(&mut r, 1_000_000, &mut sliced);
+                    black_box(sliced.len())
                 })
             },
         );
@@ -65,6 +87,7 @@ fn bench_contraction(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sampling,
+    bench_sliced_sampling,
     bench_repair,
     bench_certify,
     bench_contraction

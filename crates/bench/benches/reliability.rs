@@ -27,7 +27,16 @@ fn bench_exact_enumeration(c: &mut Criterion) {
 fn bench_mc_reliability(c: &mut Criterion) {
     let model = FailureModel::symmetric(0.1);
     let net = bridge();
+    // scalar reference path: per-trial sampling + BFS/UnionFind, the
+    // pre-bit-slicing pipeline kept as the equivalence baseline
     c.bench_function("mc_bridge_10k", |b| {
+        b.iter(|| {
+            black_box(net.mc_failure_probs_scalar(&model, Connectivity::Undirected, 10_000, 5))
+        })
+    });
+    // bit-sliced successor at the identical trial count and seed: 64
+    // trials per word through the lane-parallel reachability kernel
+    c.bench_function("mc_bridge_10k_sliced", |b| {
         b.iter(|| black_box(net.mc_failure_probs(&model, Connectivity::Undirected, 10_000, 5)))
     });
 }

@@ -60,6 +60,13 @@ impl FailureInstance {
         &self.mask
     }
 
+    /// Mutable access to the packed mask — the sliced→scalar fallback
+    /// path overwrites a reused instance in place via
+    /// [`crate::sliced::SlicedFailureMask::extract_lane_into`].
+    pub fn mask_mut(&mut self) -> &mut FailureMask {
+        &mut self.mask
+    }
+
     /// Overwrites the state of one switch — used by exhaustive
     /// enumeration, which walks the `3^m` assignments by incremental
     /// odometer updates instead of rebuilding an instance per state.

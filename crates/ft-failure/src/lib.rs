@@ -36,6 +36,7 @@ pub mod montecarlo;
 pub mod onenet;
 pub mod reliability;
 pub mod repair;
+pub mod sliced;
 pub mod sp;
 
 pub use hammock::Hammock;
@@ -47,4 +48,5 @@ pub use montecarlo::{Estimate, TrialScratch};
 pub use onenet::{construct_onenet, OneNet};
 pub use reliability::{Connectivity, FailureProbs, TwoTerminal};
 pub use repair::Repaired;
+pub use sliced::{block_seed, SlicedFailureMask};
 pub use sp::SpNetwork;

@@ -124,10 +124,27 @@ impl FailureModel {
     /// therefore around p ≈ 1/16. The previous cutoff of 0.25 sent
     /// ε ≈ 0.1 instances (total p = 0.2) down a per-switch `f64` path
     /// that cost 2.6 ms per 10⁶-edge trial.
+    ///
+    /// The bit-sliced sampler
+    /// ([`sample_sliced_into`](Self::sample_sliced_into)) keys off the
+    /// **same constant**: below it each of the 64 lanes replicates this
+    /// sparse geometric-gap path bit-identically (lane-major), at or
+    /// above it the block switches to the MSB-first lane-comparator
+    /// fill. Keeping one cutoff means "which regime am I in" has a
+    /// single answer for a given model, whichever sampler runs.
     pub const DENSE_CUTOFF: f64 = 1.0 / 16.0;
 
     /// Samples states for `m` switches into the packed mask `out`
     /// (reset to `m` switches).
+    ///
+    /// This is the **scalar** path: one instance per call, used by the
+    /// per-trial drivers, the `trials % 64` tails of the sliced drivers,
+    /// and the scalar-fallback replay of undecided lanes. The
+    /// **bit-sliced** path
+    /// ([`sample_sliced_into`](Self::sample_sliced_into)) samples 64
+    /// instances at once into a `SlicedFailureMask`; in the sparse
+    /// regime its lane *i* is bit-identical to the *i*-th consecutive
+    /// call of this function on the same RNG.
     ///
     /// Two regimes:
     ///
@@ -140,7 +157,9 @@ impl FailureModel {
     /// * **dense**: whole-word fill — each `u64` draw decides two
     ///   switches by 32-bit threshold comparison (quantisation bias
     ///   < 2⁻³², far below Monte Carlo resolution) and 32 switches land
-    ///   in one packed store.
+    ///   in one packed store. The sliced sampler's dense regime uses a
+    ///   different (also pinned) stream — equivalence between the two
+    ///   samplers is distributional there, not bitwise.
     pub fn sample_into(&self, rng: &mut SmallRng, m: usize, out: &mut FailureMask) {
         out.reset(m);
         let p = self.total();

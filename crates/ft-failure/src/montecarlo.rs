@@ -8,6 +8,8 @@
 
 use crate::instance::FailureInstance;
 use crate::model::FailureModel;
+use crate::sliced::{block_seed, SlicedFailureMask, LANES};
+use ft_graph::sliced::SlicedWorkspace;
 use ft_graph::workspace::TraversalWorkspace;
 use ft_graph::{Digraph, FlowWorkspace, UnionFind};
 use rand::rngs::SmallRng;
@@ -135,6 +137,8 @@ pub struct TrialScratch {
     pub fw: FlowWorkspace,
     /// Union–find over the vertices, for contraction/shorting events.
     pub uf: UnionFind,
+    /// Lane-parallel reachability workspace, for 64-trial block events.
+    pub sws: SlicedWorkspace,
 }
 
 impl TrialScratch {
@@ -144,18 +148,139 @@ impl TrialScratch {
             ws: TraversalWorkspace::new(),
             fw: FlowWorkspace::new(),
             uf: UnionFind::new(num_vertices),
+            sws: SlicedWorkspace::new(),
         }
     }
 }
 
-/// Threaded Monte Carlo over failure instances of a fixed network:
-/// **each worker owns one packed failure mask and one scratch** for its
-/// whole batch, so the per-trial cost is sampling (O(failures) at small
-/// ε) plus whatever `event` touches — no allocation, no O(m) clearing.
+/// Outcome of one lane-parallel event evaluation over a 64-trial block.
 ///
-/// `event(g, inst, scratch)` decides one trial. Deterministic for a
-/// fixed `(seed, threads)` pair; with `threads = 1` the trial stream
-/// equals the single-threaded driver's for the derived worker seed.
+/// Bit *i* of `decided` says lane *i*'s verdict is final; for those
+/// lanes bit *i* of `success` is the verdict. Undecided lanes are
+/// unpacked into scalar [`FailureInstance`]s and replayed through the
+/// scalar event — the *scalar-fallback contract* for lanes that need a
+/// full per-instance answer (disjoint-path counts, path extraction).
+/// `success` bits of undecided lanes are ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneVerdict {
+    /// Lanes whose verdict is final.
+    pub decided: u64,
+    /// Per-lane verdicts (meaningful where `decided` is set).
+    pub success: u64,
+}
+
+impl LaneVerdict {
+    /// No lane decided: every trial of the block falls back to the
+    /// scalar event.
+    pub const UNDECIDED: LaneVerdict = LaneVerdict {
+        decided: 0,
+        success: 0,
+    };
+
+    /// Every lane decided with the given per-lane verdicts.
+    pub fn all(success: u64) -> Self {
+        LaneVerdict {
+            decided: !0,
+            success,
+        }
+    }
+}
+
+/// Bit-sliced threaded Monte Carlo: trials are grouped in blocks of
+/// [`LANES`]; each block samples one [`SlicedFailureMask`] from its
+/// [`block_seed`]-derived RNG and asks `lane_event` for all 64 verdicts
+/// at once. Lanes the event leaves undecided are unpacked and replayed
+/// through `scalar_event`; the trailing `trials % LANES` trials run
+/// entirely scalar from the next block's seed.
+///
+/// A block's outcome depends only on `(seed, block index)` — never on
+/// which worker ran it — so the estimate is **byte-identical across
+/// thread counts** (the quota-splitting [`estimate_probability_parallel`]
+/// does not have this property).
+pub fn mc_sliced_event_probability_parallel<G, FL, FS>(
+    g: &G,
+    model: &FailureModel,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+    lane_event: FL,
+    scalar_event: FS,
+) -> Estimate
+where
+    G: Digraph + Sync,
+    FL: Fn(&G, &SlicedFailureMask, &mut TrialScratch) -> LaneVerdict + Sync,
+    FS: Fn(&G, &FailureInstance, &mut TrialScratch) -> bool + Sync,
+{
+    let m = g.num_edges();
+    let n = g.num_vertices();
+    let threads = threads.max(1);
+    let blocks = trials / LANES as u64;
+    let rem = trials % LANES as u64;
+    let lane_event = &lane_event;
+    let scalar_event = &scalar_event;
+    let mut successes = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let per = blocks / threads as u64;
+        let extra = blocks % threads as u64;
+        let mut next = 0u64;
+        for t in 0..threads {
+            let quota = per + ((t as u64) < extra) as u64;
+            let range = next..next + quota;
+            next += quota;
+            handles.push(scope.spawn(move || {
+                let mut sliced = SlicedFailureMask::new();
+                let mut scratch = TrialScratch::new(n);
+                let mut lane_inst = FailureInstance::perfect(m);
+                let mut s = 0u64;
+                for b in range {
+                    let mut rng = SmallRng::seed_from_u64(block_seed(seed, b));
+                    model.sample_sliced_into(&mut rng, m, &mut sliced);
+                    let verdict = lane_event(g, &sliced, &mut scratch);
+                    s += (verdict.success & verdict.decided).count_ones() as u64;
+                    let mut undecided = !verdict.decided;
+                    while undecided != 0 {
+                        let lane = undecided.trailing_zeros() as usize;
+                        undecided &= undecided - 1;
+                        sliced.extract_lane_into(lane, lane_inst.mask_mut());
+                        if scalar_event(g, &lane_inst, &mut scratch) {
+                            s += 1;
+                        }
+                    }
+                }
+                s
+            }));
+        }
+        for h in handles {
+            successes += h.join().expect("monte carlo worker panicked");
+        }
+    });
+    if rem > 0 {
+        let mut rng = SmallRng::seed_from_u64(block_seed(seed, blocks));
+        let mut inst = FailureInstance::perfect(m);
+        let mut scratch = TrialScratch::new(n);
+        for _ in 0..rem {
+            inst.resample(model, &mut rng, m);
+            if scalar_event(g, &inst, &mut scratch) {
+                successes += 1;
+            }
+        }
+    }
+    Estimate { successes, trials }
+}
+
+/// Threaded Monte Carlo over failure instances of a fixed network:
+/// **each worker owns one sliced mask and one scratch** for its whole
+/// batch, so the per-trial cost is sampling (O(failures) at small ε)
+/// plus whatever `event` touches — no allocation, no O(m) clearing.
+///
+/// `event(g, inst, scratch)` decides one trial. Trials are sampled in
+/// [`LANES`]-sized blocks under the [`block_seed`] discipline and every
+/// lane is unpacked for the scalar event (the all-lanes-undecided case
+/// of [`mc_sliced_event_probability_parallel`]) — so the result is
+/// deterministic in `seed` alone and **byte-identical across thread
+/// counts**. Events that can decide whole blocks with word algebra
+/// should call the sliced driver directly.
 pub fn mc_event_probability_parallel<G, F>(
     g: &G,
     model: &FailureModel,
@@ -168,17 +293,15 @@ where
     G: Digraph + Sync,
     F: Fn(&G, &FailureInstance, &mut TrialScratch) -> bool + Sync,
 {
-    let m = g.num_edges();
-    let n = g.num_vertices();
-    let event = &event;
-    estimate_probability_parallel(trials, threads, seed, move |_| {
-        let mut inst = FailureInstance::perfect(m);
-        let mut scratch = TrialScratch::new(n);
-        move |rng: &mut SmallRng| {
-            inst.resample(model, rng, m);
-            event(g, &inst, &mut scratch)
-        }
-    })
+    mc_sliced_event_probability_parallel(
+        g,
+        model,
+        trials,
+        threads,
+        seed,
+        |_, _, _| LaneVerdict::UNDECIDED,
+        event,
+    )
 }
 
 /// Draws a Binomial(n, p) sample — convenience for calibration tests.
@@ -302,6 +425,134 @@ mod tests {
         });
         assert_eq!(est.trials, 40_000);
         assert!((est.p() - 0.64).abs() < 0.01, "estimate {}", est.p());
+    }
+
+    #[test]
+    fn sliced_fallback_and_thread_counts_agree_exactly() {
+        use ft_graph::ids::v;
+        use ft_graph::sliced::sliced_reach_into;
+        use ft_graph::traversal::{bfs_into, Direction};
+        use ft_graph::DiGraph;
+        // Sparse regime, so lane i of a block is bit-identical to the
+        // i-th consecutive scalar sample: a lane-deciding event, the
+        // all-lanes-undecided worst case (every trial through the
+        // scalar fallback), and every thread count must produce the
+        // *same* estimate — 10_070 trials leaves a 22-trial scalar tail.
+        let mut g = DiGraph::new();
+        g.add_vertices(3);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        let model = FailureModel::new(0.02, 0.01);
+        fn lane_event(
+            g: &DiGraph,
+            s: &SlicedFailureMask,
+            scratch: &mut TrialScratch,
+        ) -> LaneVerdict {
+            sliced_reach_into(
+                g,
+                &[(v(0), !0)],
+                Direction::Forward,
+                |e| s.usable_word(e.index()),
+                |_| !0,
+                &mut scratch.sws,
+            );
+            LaneVerdict::all(scratch.sws.reached_lanes(v(2)))
+        }
+        fn scalar_event(g: &DiGraph, inst: &FailureInstance, scratch: &mut TrialScratch) -> bool {
+            bfs_into(
+                g,
+                &[v(0)],
+                Direction::Forward,
+                |e| inst.is_usable(e),
+                |_| true,
+                &mut scratch.ws,
+            );
+            scratch.ws.reached(v(2))
+        }
+        let sliced1 = mc_sliced_event_probability_parallel(
+            &g,
+            &model,
+            10_070,
+            1,
+            9,
+            lane_event,
+            scalar_event,
+        );
+        let sliced4 = mc_sliced_event_probability_parallel(
+            &g,
+            &model,
+            10_070,
+            4,
+            9,
+            lane_event,
+            scalar_event,
+        );
+        let fallback = mc_event_probability_parallel(&g, &model, 10_070, 3, 9, scalar_event);
+        assert_eq!(
+            sliced1, sliced4,
+            "thread counts must not change the estimate"
+        );
+        assert_eq!(
+            sliced1, fallback,
+            "all-lanes-undecided fallback must equal the lane-deciding event"
+        );
+        // usable = not-open, so P = (1 − ε_open)² = 0.98²
+        assert!(
+            (sliced1.p() - 0.9604).abs() < 0.01,
+            "estimate {}",
+            sliced1.p()
+        );
+    }
+
+    #[test]
+    fn partially_decided_blocks_split_between_lane_and_scalar_paths() {
+        use ft_graph::ids::v;
+        use ft_graph::sliced::sliced_reach_into;
+        use ft_graph::traversal::{bfs_into, Direction};
+        use ft_graph::DiGraph;
+        // Even lanes answered by word algebra, odd lanes forced through
+        // the scalar fallback: the mixed driver must equal the pure
+        // fallback driver exactly.
+        let mut g = DiGraph::new();
+        g.add_vertices(3);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        let model = FailureModel::new(0.03, 0.02);
+        fn scalar_event(g: &DiGraph, inst: &FailureInstance, scratch: &mut TrialScratch) -> bool {
+            bfs_into(
+                g,
+                &[v(0)],
+                Direction::Forward,
+                |e| inst.is_usable(e),
+                |_| true,
+                &mut scratch.ws,
+            );
+            scratch.ws.reached(v(2))
+        }
+        let mixed = mc_sliced_event_probability_parallel(
+            &g,
+            &model,
+            4_096,
+            2,
+            31,
+            |g, s, scratch| {
+                sliced_reach_into(
+                    g,
+                    &[(v(0), !0)],
+                    Direction::Forward,
+                    |e| s.usable_word(e.index()),
+                    |_| !0,
+                    &mut scratch.sws,
+                );
+                LaneVerdict {
+                    decided: 0x5555_5555_5555_5555,
+                    success: scratch.sws.reached_lanes(v(2)),
+                }
+            },
+            scalar_event,
+        );
+        let pure = mc_event_probability_parallel(&g, &model, 4_096, 2, 31, scalar_event);
+        assert_eq!(mixed, pure);
     }
 
     #[test]

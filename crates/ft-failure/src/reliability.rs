@@ -14,7 +14,9 @@
 use crate::instance::FailureInstance;
 use crate::model::{FailureModel, SwitchState};
 use crate::montecarlo::{estimate_probability, Estimate};
+use crate::sliced::{block_seed, SlicedFailureMask, LANES};
 use ft_graph::ids::{EdgeId, VertexId};
+use ft_graph::sliced::{sliced_reach_into, SlicedWorkspace};
 use ft_graph::traversal::{bfs, bfs_into, Direction};
 use ft_graph::workspace::TraversalWorkspace;
 use ft_graph::{Csr, DiGraph, Digraph, UnionFind};
@@ -172,11 +174,22 @@ impl TwoTerminal {
         }
     }
 
-    /// Monte Carlo estimates of `(p_open, p_short)`.
+    /// Monte Carlo estimates of `(p_open, p_short)`, bit-sliced: trials
+    /// run in [`LANES`]-sized blocks under the
+    /// [`block_seed`] per-lane seeding discipline, and each block is
+    /// decided by **two lane-parallel sweeps** — a reachability sweep
+    /// over the lanes' usable switches (open verdicts) and an undirected
+    /// sweep over the closed plane alone (short verdicts; the word-level
+    /// equivalent of the union–find contraction). The `trials % LANES`
+    /// tail runs scalar from the next block's seed.
     ///
-    /// Zero-allocation trial loop: the topology is frozen into a [`Csr`]
-    /// once, and one packed instance, one traversal workspace and one
-    /// union–find are reused for every trial.
+    /// [`Self::mc_failure_probs_scalar`] is the pinned scalar reference:
+    /// in the sparse sampling regime (`total < DENSE_CUTOFF`) the two
+    /// return **exactly** equal estimates; in the dense regime the
+    /// sliced sampler draws its own stream and the two agree only
+    /// statistically. Transpose equivalence of the per-lane *verdicts*
+    /// given the same instances holds in both regimes (pinned by the
+    /// equivalence tests).
     pub fn mc_failure_probs(
         &self,
         model: &FailureModel,
@@ -190,16 +203,117 @@ impl TwoTerminal {
             Connectivity::Undirected => Direction::Undirected,
             Connectivity::Directed => Direction::Forward,
         };
+        let blocks = trials / LANES as u64;
+        let rem = trials % LANES as u64;
+        let mut sliced = SlicedFailureMask::new();
+        let mut sws = SlicedWorkspace::new();
+        let mut opens = 0u64;
+        let mut shorts = 0u64;
+        for b in 0..blocks {
+            let mut rng = ft_graph::gen::rng(block_seed(seed, b));
+            model.sample_sliced_into(&mut rng, m, &mut sliced);
+            sliced_reach_into(
+                &csr,
+                &[(self.source, !0)],
+                dir,
+                |e| sliced.usable_word(e.index()),
+                |_| !0,
+                &mut sws,
+            );
+            opens += (!sws.reached_lanes(self.sink)).count_ones() as u64;
+            sliced_reach_into(
+                &csr,
+                &[(self.source, !0)],
+                Direction::Undirected,
+                |e| sliced.closed_word(e.index()),
+                |_| !0,
+                &mut sws,
+            );
+            shorts += sws.reached_lanes(self.sink).count_ones() as u64;
+        }
+        if rem > 0 {
+            let (o, s) = self.mc_failure_probs_tail(model, &csr, dir, rem, blocks, seed);
+            opens += o;
+            shorts += s;
+        }
+        (
+            Estimate {
+                successes: opens,
+                trials,
+            },
+            Estimate {
+                successes: shorts,
+                trials,
+            },
+        )
+    }
+
+    /// Scalar reference for [`Self::mc_failure_probs`]: identical block
+    /// partition and seeding, but each lane is sampled and evaluated as
+    /// one scalar trial (packed instance + BFS + union–find). Exactly
+    /// equal to the sliced estimates in the sparse regime — the CI
+    /// cross-check pins this.
+    pub fn mc_failure_probs_scalar(
+        &self,
+        model: &FailureModel,
+        conn: Connectivity,
+        trials: u64,
+        seed: u64,
+    ) -> (Estimate, Estimate) {
+        let csr = Csr::from_digraph(&self.graph);
+        let dir = match conn {
+            Connectivity::Undirected => Direction::Undirected,
+            Connectivity::Directed => Direction::Forward,
+        };
+        let blocks = trials / LANES as u64;
+        let rem = trials % LANES as u64;
+        let mut opens = 0u64;
+        let mut shorts = 0u64;
+        for b in 0..blocks {
+            let (o, s) = self.mc_failure_probs_tail(model, &csr, dir, LANES as u64, b, seed);
+            opens += o;
+            shorts += s;
+        }
+        if rem > 0 {
+            let (o, s) = self.mc_failure_probs_tail(model, &csr, dir, rem, blocks, seed);
+            opens += o;
+            shorts += s;
+        }
+        (
+            Estimate {
+                successes: opens,
+                trials,
+            },
+            Estimate {
+                successes: shorts,
+                trials,
+            },
+        )
+    }
+
+    /// Runs `count` scalar trials of block `block` (also the shared
+    /// remainder path of both drivers): consecutive `sample_into` calls
+    /// from the block's RNG, each evaluated with BFS + union–find.
+    fn mc_failure_probs_tail(
+        &self,
+        model: &FailureModel,
+        csr: &Csr,
+        dir: Direction,
+        count: u64,
+        block: u64,
+        seed: u64,
+    ) -> (u64, u64) {
+        let m = self.graph.num_edges();
+        let mut rng = ft_graph::gen::rng(block_seed(seed, block));
         let mut inst = FailureInstance::perfect(m);
         let mut ws = TraversalWorkspace::new();
         let mut uf = UnionFind::new(self.graph.num_vertices());
         let mut opens = 0u64;
         let mut shorts = 0u64;
-        let mut rng = ft_graph::gen::rng(seed);
-        for _ in 0..trials {
+        for _ in 0..count {
             inst.resample(model, &mut rng, m);
             bfs_into(
-                &csr,
+                csr,
                 &[self.source],
                 dir,
                 |e| inst.is_usable(e),
@@ -213,16 +327,7 @@ impl TwoTerminal {
                 shorts += 1;
             }
         }
-        (
-            Estimate {
-                successes: opens,
-                trials,
-            },
-            Estimate {
-                successes: shorts,
-                trials,
-            },
-        )
+        (opens, shorts)
     }
 }
 
@@ -398,6 +503,29 @@ mod tests {
             open.p(),
             exact.p_open
         );
+        assert!((short.p() - exact.p_short).abs() < 0.01);
+    }
+
+    #[test]
+    fn sliced_equals_scalar_exactly_in_sparse_regime() {
+        // non-multiple-of-64 trial count exercises the scalar tail too
+        let b = bridge();
+        for conn in [Connectivity::Undirected, Connectivity::Directed] {
+            let model = FailureModel::new(0.02, 0.03);
+            assert!(model.total() < FailureModel::DENSE_CUTOFF);
+            let sliced = b.mc_failure_probs(&model, conn, 10_037, 3);
+            let scalar = b.mc_failure_probs_scalar(&model, conn, 10_037, 3);
+            assert_eq!(sliced, scalar, "{conn:?}");
+        }
+    }
+
+    #[test]
+    fn sliced_and_scalar_agree_statistically_in_dense_regime() {
+        let b = bridge();
+        let model = FailureModel::symmetric(0.3);
+        let exact = b.exact_failure_probs(&model, Connectivity::Undirected);
+        let (open, short) = b.mc_failure_probs_scalar(&model, Connectivity::Undirected, 40_000, 99);
+        assert!((open.p() - exact.p_open).abs() < 0.01);
         assert!((short.p() - exact.p_short).abs() < 0.01);
     }
 

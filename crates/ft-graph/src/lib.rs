@@ -37,6 +37,7 @@ pub mod matching;
 pub mod maxflow;
 pub mod menger;
 pub mod paths;
+pub mod sliced;
 pub mod staged;
 pub mod traversal;
 pub mod tree;
@@ -48,6 +49,7 @@ pub use digraph::DiGraph;
 pub use ids::{EdgeId, VertexId};
 pub use maxflow::FlowWorkspace;
 pub use paths::Path;
+pub use sliced::{sliced_reach_into, SlicedWorkspace, LANES};
 pub use staged::{StagedBuilder, StagedNetwork};
 pub use unionfind::UnionFind;
 pub use workspace::TraversalWorkspace;

@@ -8,6 +8,7 @@ use ft_graph::maxflow::{
 };
 use ft_graph::menger::max_disjoint_paths;
 use ft_graph::paths::are_vertex_disjoint;
+use ft_graph::sliced::{sliced_reach_into, SlicedWorkspace, LANES};
 use ft_graph::staged::StagedBuilder;
 use ft_graph::traversal::{
     bfs, bfs_forward, bfs_into, bibfs_into, dag_depth, is_acyclic, topo_order, Direction,
@@ -243,6 +244,115 @@ proptest! {
         // number of fully vertex-disjoint paths cannot exceed the cut size + 1
         let k = max_disjoint_paths(&g, &sources, &sinks);
         prop_assert!(k <= cut.len() as u32 + 1);
+    }
+
+    /// The lane-parallel reachability kernel must be the exact transpose
+    /// of 64 scalar BFS runs: for every lane, membership under that
+    /// lane's edge/vertex filter bits equals `bfs_into` under the same
+    /// scalar filters — on every direction, with per-lane sources, and
+    /// through a reused workspace.
+    #[test]
+    fn sliced_reach_matches_per_lane_bfs(g in dag_strategy(), seed in 0u64..1000) {
+        use rand::Rng;
+        let mut r = gen::rng(seed);
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let c = Csr::from_digraph(&g);
+        // random per-lane filters and sources, dense enough to differ
+        let edge_words: Vec<u64> = (0..m).map(|_| r.random()).collect();
+        let vertex_words: Vec<u64> = (0..n).map(|_| r.random()).collect();
+        let s1 = VertexId::from(r.random_range(0..n));
+        let s2 = VertexId::from(r.random_range(0..n));
+        let sources = [(s1, r.random::<u64>()), (s2, r.random::<u64>())];
+        let mut sws = SlicedWorkspace::new();
+        let mut ws = TraversalWorkspace::new();
+        for dir in [Direction::Forward, Direction::Backward, Direction::Undirected] {
+            // stale-state run first: equivalence must survive reuse
+            sliced_reach_into(&c, &[(s2, !0)], Direction::Forward, |_| !0, |_| !0, &mut sws);
+            sliced_reach_into(
+                &c, &sources, dir,
+                |e| edge_words[e.index()],
+                |v| vertex_words[v.index()],
+                &mut sws,
+            );
+            for lane in 0..LANES {
+                let srcs: Vec<VertexId> = sources.iter()
+                    .filter(|&&(_, l)| (l >> lane) & 1 != 0)
+                    .map(|&(s, _)| s)
+                    .collect();
+                bfs_into(
+                    &c, &srcs, dir,
+                    |e| (edge_words[e.index()] >> lane) & 1 != 0,
+                    |v| (vertex_words[v.index()] >> lane) & 1 != 0,
+                    &mut ws,
+                );
+                for u in 0..n {
+                    let u = VertexId::from(u);
+                    prop_assert_eq!(
+                        sws.reached(u, lane), ws.reached(u),
+                        "{:?} lane {} vertex {:?}", dir, lane, u
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same transpose equivalence on the shape the Monte Carlo pipeline
+    /// actually runs: staged networks under per-lane idle masks, sources
+    /// at the input terminals.
+    #[test]
+    fn sliced_reach_matches_per_lane_bfs_on_staged_networks(
+        seed in 0u64..1000,
+        widths in proptest::collection::vec(1usize..6, 2..6),
+    ) {
+        use rand::Rng;
+        let mut r = gen::rng(seed);
+        let mut b = StagedBuilder::new();
+        let ranges: Vec<_> = widths.iter().map(|&w| b.add_stage(w)).collect();
+        for w in ranges.windows(2) {
+            for t in w[0].clone() {
+                for h in w[1].clone() {
+                    if r.random_bool(0.6) {
+                        b.add_edge(VertexId(t), VertexId(h));
+                    }
+                }
+            }
+        }
+        b.set_inputs(ranges[0].clone().map(VertexId).collect());
+        b.set_outputs(ranges[ranges.len() - 1].clone().map(VertexId).collect());
+        let net = b.finish();
+        let csr = net.csr();
+        let n = csr.num_vertices();
+        // per-lane idle masks (biased alive, like repair masks at small ε)
+        let idle_words: Vec<u64> = (0..n).map(|_| r.random::<u64>() | r.random::<u64>()).collect();
+        let sources: Vec<(VertexId, u64)> =
+            net.inputs().iter().map(|&s| (s, r.random())).collect();
+        let mut sws = SlicedWorkspace::new();
+        let mut ws = TraversalWorkspace::new();
+        sliced_reach_into(
+            csr, &sources, Direction::Forward,
+            |_| !0,
+            |v| idle_words[v.index()],
+            &mut sws,
+        );
+        for lane in 0..LANES {
+            let srcs: Vec<VertexId> = sources.iter()
+                .filter(|&&(_, l)| (l >> lane) & 1 != 0)
+                .map(|&(s, _)| s)
+                .collect();
+            bfs_into(
+                csr, &srcs, Direction::Forward,
+                |_| true,
+                |v| (idle_words[v.index()] >> lane) & 1 != 0,
+                &mut ws,
+            );
+            for &out in net.outputs() {
+                prop_assert_eq!(
+                    sws.reached(out, lane), ws.reached(out),
+                    "lane {} output {:?}", lane, out
+                );
+            }
+        }
     }
 
     /// The bidirectional stage-aware search must be *bit-identical* to a

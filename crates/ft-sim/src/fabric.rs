@@ -15,8 +15,9 @@
 use ft_core::network::FtNetwork;
 use ft_core::params::Params;
 use ft_core::repair::Survivor;
-use ft_failure::{AliveTracker, FailureInstance};
-use ft_graph::{Digraph, StagedNetwork};
+use ft_failure::sliced::LANES;
+use ft_failure::{AliveTracker, FailureInstance, SlicedFailureMask};
+use ft_graph::{Digraph, EdgeId, StagedNetwork};
 use ft_networks::{crossbar, Benes, Clos, Multibutterfly};
 
 /// A switch fabric under simulation.
@@ -129,6 +130,38 @@ impl Fabric {
         }
     }
 
+    /// Lane-parallel form of [`alive_mask_into`](Fabric::alive_mask_into)
+    /// for a 64-trial block: writes one lane word per vertex (bit *i*
+    /// set ⇔ alive in lane *i*). The generic §4 discipline is computed
+    /// directly on the failed-switch word planes — O(switches failed in
+    /// any lane), all 64 lanes at once. The 𝒩 fabric's repair needs the
+    /// full `Survivor` construction, so it takes the documented **scalar
+    /// fallback**: each lane is unpacked and repaired individually, and
+    /// the per-lane masks are bit-identical to
+    /// [`alive_mask`](Fabric::alive_mask) of the unpacked instance
+    /// (pinned by the transpose-equivalence tests).
+    pub fn alive_words_into(&self, sliced: &SlicedFailureMask, out: &mut Vec<u64>) {
+        match self {
+            Fabric::Ftn(f) => {
+                let g = self.net();
+                out.clear();
+                out.resize(g.num_vertices(), 0);
+                let mut lane_inst = FailureInstance::perfect(g.num_edges());
+                for lane in 0..LANES {
+                    sliced.extract_lane_into(lane, lane_inst.mask_mut());
+                    let alive = Survivor::new(f, &lane_inst).routable_alive();
+                    let bit = 1u64 << lane;
+                    for (w, a) in out.iter_mut().zip(alive) {
+                        if a {
+                            *w |= bit;
+                        }
+                    }
+                }
+            }
+            _ => generic_routable_alive_words_into(self.net(), sliced, out),
+        }
+    }
+
     /// Incremental counterpart of [`alive_mask`](Fabric::alive_mask): a
     /// tracker synchronised to `inst` whose mask starts — and stays,
     /// under `fail_edge`/`repair_edge` deltas — bit-identical to the
@@ -176,6 +209,34 @@ pub fn generic_routable_alive_into(g: &StagedNetwork, inst: &FailureInstance, ou
         }
         if !is_terminal[h.index()] {
             out[h.index()] = false;
+        }
+    }
+}
+
+/// Lane-parallel generic §4 repair: per lane identical to
+/// [`generic_routable_alive`], computed for all 64 lanes from the
+/// failed-switch word planes in one pass over the failed switches.
+pub fn generic_routable_alive_words_into(
+    g: &StagedNetwork,
+    sliced: &SlicedFailureMask,
+    out: &mut Vec<u64>,
+) {
+    assert_eq!(
+        sliced.len(),
+        g.num_edges(),
+        "instance/network size mismatch"
+    );
+    let is_terminal = terminal_mask(g);
+    out.clear();
+    out.resize(g.num_vertices(), !0u64);
+    for s in sliced.iter_failed_switches() {
+        let keep = !sliced.failed_word(s);
+        let (t, h) = g.endpoints(EdgeId::from(s));
+        if !is_terminal[t.index()] {
+            out[t.index()] &= keep;
+        }
+        if !is_terminal[h.index()] {
+            out[h.index()] &= keep;
         }
     }
 }

@@ -53,7 +53,7 @@ pub use fabric::Fabric;
 pub use metrics::{erlang_b, Bucket, Metrics};
 pub use report::Report;
 pub use scenario::{FabricSpec, Scenario, ScenarioBuilder, SCENARIO_KEYS};
-pub use staticcheck::pair_blocking_estimate;
+pub use staticcheck::{pair_blocking_estimate, pair_blocking_estimate_scalar};
 pub use sweep::run_sweep;
 pub use workload::{HoldingTime, TrafficPattern};
 

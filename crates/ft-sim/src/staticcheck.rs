@@ -13,20 +13,35 @@
 //! per-cell cross-validation column.
 
 use crate::fabric::Fabric;
-use ft_failure::{Estimate, FailureInstance, FailureModel};
+use ft_failure::sliced::LANES;
+use ft_failure::{block_seed, Estimate, FailureInstance, FailureModel, SlicedFailureMask};
+use ft_graph::sliced::{sliced_reach_into, SlicedWorkspace};
 use ft_graph::traversal::{bfs_into, Direction};
-use ft_graph::{Digraph, TraversalWorkspace};
+use ft_graph::{Digraph, TraversalWorkspace, VertexId};
 use rand::Rng;
+
+/// Salt separating a block's terminal-pair draws from its failure
+/// sampling, so the sliced driver (which draws all 64 pairs after one
+/// bulk sample) and the scalar reference (which alternates sample and
+/// pair draws) consume identical streams.
+const PAIR_STREAM_SALT: u64 = 0x517C_C1B7_2722_0A95;
 
 /// Estimates the probability that a uniformly random terminal pair of
 /// `fabric` has **no alive path** under an i.i.d. failure snapshot from
 /// `model` repaired by the §4 vertex-discard discipline.
 ///
-/// One frozen CSR, one packed instance, one traversal workspace and
-/// one alive-mask buffer are reused across all `trials` (the
-/// `mc_failure_probs` discipline; the 𝒩 repair path still builds its
-/// `Survivor` per trial); results are deterministic per
-/// `(fabric, model, trials, seed)`.
+/// Bit-sliced: trials run in [`LANES`]-sized blocks under the
+/// [`block_seed`] discipline. Each block samples one
+/// [`SlicedFailureMask`], computes the per-vertex alive lane words
+/// ([`Fabric::alive_words_into`] — lane-parallel for generic fabrics,
+/// per-lane `Survivor` fallback for 𝒩), draws the 64 terminal pairs
+/// from a salted side stream, and answers all 64 blocking verdicts with
+/// **one** lane-parallel sweep whose sources carry per-lane bits (lanes
+/// starting at the same input share a source word). The
+/// `trials % LANES` tail runs scalar. Deterministic per
+/// `(fabric, model, trials, seed)`; [`pair_blocking_estimate_scalar`]
+/// is the pinned reference, exactly equal in the sparse sampling
+/// regime.
 pub fn pair_blocking_estimate(
     fabric: &Fabric,
     model: &FailureModel,
@@ -37,16 +52,99 @@ pub fn pair_blocking_estimate(
     let csr = net.csr();
     let n = fabric.terminals();
     let m = net.num_edges();
-    let mut rng = ft_graph::gen::rng(seed);
+    let blocks = trials / LANES as u64;
+    let rem = trials % LANES as u64;
+    let mut sliced = SlicedFailureMask::new();
+    let mut sws = SlicedWorkspace::new();
+    let mut alive = Vec::new();
+    let mut sources: Vec<(VertexId, u64)> = Vec::with_capacity(LANES);
+    let mut outs = [0usize; LANES];
+    let mut successes = 0u64;
+    for b in 0..blocks {
+        let bs = block_seed(seed, b);
+        let mut rng = ft_graph::gen::rng(bs);
+        model.sample_sliced_into(&mut rng, m, &mut sliced);
+        fabric.alive_words_into(&sliced, &mut alive);
+        let mut pair_rng = ft_graph::gen::rng(bs ^ PAIR_STREAM_SALT);
+        sources.clear();
+        for (lane, out) in outs.iter_mut().enumerate() {
+            let i = pair_rng.random_range(0..n);
+            *out = pair_rng.random_range(0..n);
+            let src = net.inputs()[i];
+            match sources.iter_mut().find(|(v, _)| *v == src) {
+                Some((_, lanes)) => *lanes |= 1 << lane,
+                None => sources.push((src, 1 << lane)),
+            }
+        }
+        sliced_reach_into(
+            csr,
+            &sources,
+            Direction::Forward,
+            |_| !0,
+            |v| alive[v.index()],
+            &mut sws,
+        );
+        for (lane, &o) in outs.iter().enumerate() {
+            if (sws.reached_lanes(net.outputs()[o]) >> lane) & 1 == 0 {
+                successes += 1;
+            }
+        }
+    }
+    if rem > 0 {
+        successes += pair_blocking_block_scalar(fabric, model, rem, blocks, seed);
+    }
+    Estimate { successes, trials }
+}
+
+/// Scalar reference for [`pair_blocking_estimate`]: identical block
+/// partition, seeding and pair-draw stream, but every trial is sampled
+/// and evaluated individually (packed instance, `alive_mask_into`,
+/// scalar BFS). Exactly equal to the sliced estimate in the sparse
+/// sampling regime — the transpose-equivalence tests pin this per
+/// fabric family.
+pub fn pair_blocking_estimate_scalar(
+    fabric: &Fabric,
+    model: &FailureModel,
+    trials: u64,
+    seed: u64,
+) -> Estimate {
+    let blocks = trials / LANES as u64;
+    let rem = trials % LANES as u64;
+    let mut successes = 0u64;
+    for b in 0..blocks {
+        successes += pair_blocking_block_scalar(fabric, model, LANES as u64, b, seed);
+    }
+    if rem > 0 {
+        successes += pair_blocking_block_scalar(fabric, model, rem, blocks, seed);
+    }
+    Estimate { successes, trials }
+}
+
+/// Runs the first `count` trials of block `block` scalar-side — the
+/// shared remainder path of both drivers.
+fn pair_blocking_block_scalar(
+    fabric: &Fabric,
+    model: &FailureModel,
+    count: u64,
+    block: u64,
+    seed: u64,
+) -> u64 {
+    let net = fabric.net();
+    let csr = net.csr();
+    let n = fabric.terminals();
+    let m = net.num_edges();
+    let bs = block_seed(seed, block);
+    let mut rng = ft_graph::gen::rng(bs);
+    let mut pair_rng = ft_graph::gen::rng(bs ^ PAIR_STREAM_SALT);
     let mut inst = FailureInstance::perfect(m);
     let mut ws = TraversalWorkspace::new();
     let mut alive = Vec::new();
     let mut successes = 0u64;
-    for _ in 0..trials {
+    for _ in 0..count {
         inst.resample(model, &mut rng, m);
         fabric.alive_mask_into(&inst, &mut alive);
-        let i = rng.random_range(0..n);
-        let o = rng.random_range(0..n);
+        let i = pair_rng.random_range(0..n);
+        let o = pair_rng.random_range(0..n);
         bfs_into(
             csr,
             &[net.inputs()[i]],
@@ -59,7 +157,7 @@ pub fn pair_blocking_estimate(
             successes += 1;
         }
     }
-    Estimate { successes, trials }
+    successes
 }
 
 #[cfg(test)]
@@ -87,6 +185,22 @@ mod tests {
             hi.p(),
             lo.p()
         );
+    }
+
+    #[test]
+    fn sliced_equals_scalar_exactly_in_sparse_regime() {
+        // non-multiple-of-64 trial count exercises the scalar tail;
+        // the ftn fabric exercises the per-lane Survivor fallback
+        let model = FailureModel::symmetric(0.01);
+        for fabric in [
+            Fabric::clos_strict(2, 3),
+            Fabric::benes(2),
+            Fabric::ftn_reduced(1, 8, 4, 1.0),
+        ] {
+            let sliced = pair_blocking_estimate(&fabric, &model, 200, 5);
+            let scalar = pair_blocking_estimate_scalar(&fabric, &model, 200, 5);
+            assert_eq!(sliced, scalar, "{}", fabric.label());
+        }
     }
 
     #[test]

@@ -49,6 +49,8 @@ sim_churn_100k_calls
 sim_churn_100k_calls_faulty
 router_connect_pair_ftn_nu2
 bfs_forward_ftn_nu2_reused
+mc_bridge_10k_sliced
+sample_sliced_1M_edges/eps0.2
 "
 for b in $REQUIRED_BENCHES; do
     if ! cut -f1 "$RUN_DIR/current.tsv" | grep -qx "$b"; then

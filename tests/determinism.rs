@@ -140,6 +140,58 @@ fn mask_dense_word_fill_is_deterministic_and_calibrated() {
     );
 }
 
+/// FNV-1a over a sliced block's open/closed word planes, switch-major,
+/// little-endian bytes — the bit-sliced analogue of [`fingerprint`].
+fn plane_fingerprint(s: &fault_tolerant_switching::failure::SlicedFailureMask) -> u64 {
+    let mut fp: u64 = 0xCBF2_9CE4_8422_2325;
+    for i in 0..s.len() {
+        for w in [s.open_word(i), s.closed_word(i)] {
+            for b in w.to_le_bytes() {
+                fp ^= b as u64;
+                fp = fp.wrapping_mul(0x100_0000_01B3);
+            }
+        }
+    }
+    fp
+}
+
+/// The bit-sliced sampler's streams are pinned like the scalar ones
+/// above. Sparse regime: lane *i* replicates the *i*-th consecutive
+/// scalar sample from the same RNG, so lane 0 of the seed-42 block must
+/// reproduce the scalar golden fingerprint verbatim. Dense regime: the
+/// MSB-first comparator owns its stream; its plane fingerprint is pinned
+/// directly. A change to either constant invalidates every recorded
+/// sliced baseline — breaking change, not a casual update.
+#[test]
+fn sliced_sampler_streams_are_pinned() {
+    use fault_tolerant_switching::failure::SlicedFailureMask;
+
+    let mut sliced = SlicedFailureMask::new();
+
+    // sparse: same model/seed as `failure_sampling_is_pinned`
+    let sparse = FailureModel::new(1e-2, 1e-2);
+    sparse.sample_sliced_into(&mut rng(42), 10_000, &mut sliced);
+    assert_eq!(plane_fingerprint(&sliced), 0x0b4f63400f9bd3b9);
+    let mut lane0 = FailureInstance::perfect(10_000);
+    sliced.extract_lane_into(0, lane0.mask_mut());
+    assert_eq!(fingerprint(&lane0), 0x8d90346320db69e1);
+    let (open, closed, _) = lane0.counts();
+    assert_eq!((open, closed), (98, 92));
+
+    // dense: comparator stream, same model/seed as the dense scalar pin
+    let dense = FailureModel::symmetric(0.1);
+    dense.sample_sliced_into(&mut rng(5), 10_000, &mut sliced);
+    assert_eq!(plane_fingerprint(&sliced), 0xe2d9cc9e206bd667);
+    let (mut open, mut closed) = (0u64, 0u64);
+    for i in 0..sliced.len() {
+        assert_eq!(sliced.open_word(i) & sliced.closed_word(i), 0);
+        open += sliced.open_word(i).count_ones() as u64;
+        closed += sliced.closed_word(i).count_ones() as u64;
+    }
+    // marginals over 640_000 lane-trials stay calibrated
+    assert_eq!((open, closed), (64_240, 64_099));
+}
+
 /// The simulation engine's event stream is part of the same contract:
 /// a fixed `(scenario, seed)` pair must reproduce the identical stream
 /// (pinned by its FNV fingerprint) and a byte-identical JSON report,
