@@ -27,7 +27,7 @@ fn bench_probed(c: &mut Criterion) {
     let spec = ExpanderSpec::at_scale(2);
     c.bench_function("sample_probed_t128", |b| {
         let mut r = rng(2);
-        b.iter(|| black_box(sample_probed(spec, &mut r, 10)))
+        b.iter(|| black_box(sample_probed(spec, &mut r, 10).unwrap()))
     });
 }
 

@@ -2,7 +2,10 @@
 //! the temporal fault process.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ft_sim::{run_seed_with, Fabric, HoldingTime, SimConfig, SimWorkspace, TrafficPattern};
+use ft_sim::{
+    run_seed_with, Fabric, FaultSpec, HoldingTime, RetryPolicy, SimConfig, SimWorkspace,
+    TrafficPattern,
+};
 use std::hint::black_box;
 
 fn cfg_1k_calls() -> SimConfig {
@@ -16,6 +19,7 @@ fn cfg_1k_calls() -> SimConfig {
         duration: 100.0, // ≈ 1000 arrivals
         warmup: 0.0,
         buckets: 10,
+        ..SimConfig::default()
     }
 }
 
@@ -70,6 +74,7 @@ fn cfg_100k_calls() -> SimConfig {
         duration: 1000.0, // ≈ 100 000 arrivals
         warmup: 0.0,
         buckets: 10,
+        ..SimConfig::default()
     }
 }
 
@@ -111,11 +116,41 @@ fn bench_sim_churn_100k_faulty(c: &mut Criterion) {
     });
 }
 
+/// Group-storm recovery: storms repeatedly take out the middle switch
+/// stage of a strict Clos mid-run while calls churn, with backoff
+/// retries and admission shedding reacting — the mass-kill /
+/// mass-reroute path (stage sweep, victim collection, retry events,
+/// repair-driven revival) end to end.
+fn bench_reroute_storm(c: &mut Criterion) {
+    let fabric = Fabric::clos_strict(4, 4);
+    let mut cfg = cfg_1k_calls();
+    cfg.faults = FaultSpec::Storm {
+        rate: 0.05,
+        window: 2.0,
+        stage: Some(2),
+    };
+    cfg.retry = RetryPolicy::Backoff {
+        budget: 4,
+        base: 0.25,
+        shed_depth: 64,
+    };
+    cfg.mttr = 5.0;
+    let mut ws = SimWorkspace::default();
+    let mut seed = 0u64;
+    c.bench_function("reroute_storm", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_sim_churn,
     bench_sim_churn_faulty,
     bench_sim_churn_100k,
-    bench_sim_churn_100k_faulty
+    bench_sim_churn_100k_faulty,
+    bench_reroute_storm
 );
 criterion_main!(benches);

@@ -16,8 +16,10 @@ use crate::result::{CellData, SeedRow};
 use ft_failure::Estimate;
 use std::path::{Path, PathBuf};
 
-/// Format tag written to (and required of) every cache file.
-const VERSION: &str = "ftexp cell-cache v1";
+/// Format tag written to (and required of) every cache file. Bumped to
+/// v2 when the recovery metrics (storms/shed/degraded_time/…) joined
+/// the per-seed rows — v1 files are clean misses.
+const VERSION: &str = "ftexp cell-cache v2";
 
 /// The cache file path for a cell hash.
 pub fn cell_path(dir: &Path, hash: u64) -> PathBuf {
@@ -55,6 +57,19 @@ pub fn render(hash: u64, data: &CellData) -> String {
         push(&mut out, "abandoned", &row.abandoned.to_string());
         push(&mut out, "faults", &row.faults.to_string());
         push(&mut out, "repairs", &row.repairs.to_string());
+        push(&mut out, "storms", &row.storms.to_string());
+        push(&mut out, "shed", &row.shed.to_string());
+        push(&mut out, "degraded_time", &row.degraded_time.to_string());
+        push(
+            &mut out,
+            "time_to_recover",
+            &row.time_to_recover.to_string(),
+        );
+        push(
+            &mut out,
+            "dropped_per_storm",
+            &row.dropped_per_storm.to_string(),
+        );
         push(&mut out, "blocking", &row.blocking.to_string());
         push(&mut out, "busy_rejection", &row.busy_rejection.to_string());
         push(&mut out, "drop_rate", &row.drop_rate.to_string());
@@ -89,7 +104,7 @@ pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
         return None;
     }
     /// Per-seed fields following each `seed` line (completeness check).
-    const SEED_FIELDS: usize = 18;
+    const SEED_FIELDS: usize = 23;
     let mut header: Vec<(String, String)> = Vec::new();
     let mut seeds: Vec<SeedRow> = Vec::new();
     let mut fields_in_row = SEED_FIELDS;
@@ -122,6 +137,11 @@ pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
                     "abandoned" => row.abandoned = v.parse().ok()?,
                     "faults" => row.faults = v.parse().ok()?,
                     "repairs" => row.repairs = v.parse().ok()?,
+                    "storms" => row.storms = v.parse().ok()?,
+                    "shed" => row.shed = v.parse().ok()?,
+                    "degraded_time" => row.degraded_time = v.parse().ok()?,
+                    "time_to_recover" => row.time_to_recover = v.parse().ok()?,
+                    "dropped_per_storm" => row.dropped_per_storm = v.parse().ok()?,
                     "blocking" => row.blocking = v.parse().ok()?,
                     "busy_rejection" => row.busy_rejection = v.parse().ok()?,
                     "drop_rate" => row.drop_rate = v.parse().ok()?,
@@ -208,6 +228,11 @@ mod tests {
                     abandoned: 1,
                     faults: 5,
                     repairs: 4,
+                    storms: 2,
+                    shed: 1,
+                    degraded_time: 7.25,
+                    time_to_recover: 3.625,
+                    dropped_per_storm: 1.5,
                     blocking: 0.04,
                     busy_rejection: 0.06,
                     drop_rate: 1.0 / 90.0,

@@ -246,18 +246,24 @@ fn spaced_values(start: &str, stop: &str, count: &str, log: bool) -> Result<Vec<
 /// Canonical text of a resolved cell — what the cell cache hashes. The
 /// scenario is re-rendered from its *parsed* form (not the spec bytes),
 /// so `0.5` and `.5` in the spec name the same cell; `threads` is
-/// deliberately excluded because it must not affect results.
+/// deliberately excluded because it must not affect results. Bumped to
+/// `v2` when the `faults`/`retry` directives joined the scenario: the
+/// injector and degradation ladder change results, so they must change
+/// the cell key.
 pub fn canonical_cell_text(s: &Scenario, static_trials: u64) -> String {
     format!(
-        "ftexp-cell v1\nnetwork = {}\npattern = {}\nholding = {}\narrival_rate = {}\n\
-         fault_rate = {}\nfault_open_share = {}\nmttr = {}\nduration = {}\nwarmup = {}\n\
-         buckets = {}\nseeds = {}\nseed_base = {}\nstatic_trials = {}\n",
+        "ftexp-cell v2\nnetwork = {}\npattern = {}\nholding = {}\narrival_rate = {}\n\
+         fault_rate = {}\nfault_open_share = {}\nfaults = {}\nretry = {}\nmttr = {}\n\
+         duration = {}\nwarmup = {}\nbuckets = {}\nseeds = {}\nseed_base = {}\n\
+         static_trials = {}\n",
         s.fabric.to_spec_string(),
         pattern_spec(&s.config.pattern),
         holding_spec(&s.config.holding),
         s.config.arrival_rate,
         s.config.fault_rate,
         s.config.fault_open_share,
+        s.config.faults.to_spec_string(),
+        s.config.retry.to_spec_string(),
         s.config.mttr,
         s.config.duration,
         s.config.warmup,
@@ -410,6 +416,17 @@ sweep fault_rate = 0.001, 0.002, 0.004
         assert_ne!(cell_hash(&a, 100), cell_hash(&a, 200));
         let c = Scenario::parse("network = benes 2\narrival_rate = 0.6\n").unwrap();
         assert_ne!(cell_hash(&a, 100), cell_hash(&c, 100));
+        // the injector and retry ladder are part of the cell identity
+        let d = Scenario::parse(
+            "network = benes 2\narrival_rate = 0.5\nfaults = storm 0.05 1\nmttr = 5\n",
+        )
+        .unwrap();
+        assert_ne!(cell_hash(&a, 100), cell_hash(&d, 100));
+        let e = Scenario::parse(
+            "network = benes 2\narrival_rate = 0.5\nretry = budget 2 backoff 0.5\n",
+        )
+        .unwrap();
+        assert_ne!(cell_hash(&a, 100), cell_hash(&e, 100));
     }
 
     #[test]

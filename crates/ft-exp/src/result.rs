@@ -37,6 +37,17 @@ pub struct SeedRow {
     pub faults: u64,
     /// Repair completions.
     pub repairs: u64,
+    /// Fault episodes (storm/burst/adversary onsets; == faults for
+    /// i.i.d.).
+    pub storms: u64,
+    /// Killed calls shed by the admission ladder.
+    pub shed: u64,
+    /// Time spent degraded (failed switches or calls waiting).
+    pub degraded_time: f64,
+    /// Mean completed degraded-interval length.
+    pub time_to_recover: f64,
+    /// Killed calls per fault episode.
+    pub dropped_per_storm: f64,
     /// Blocking probability.
     pub blocking: f64,
     /// Busy-rejection fraction.
@@ -77,6 +88,11 @@ impl SeedRow {
             abandoned: m.abandoned,
             faults: m.faults,
             repairs: m.repairs,
+            storms: m.storms,
+            shed: m.shed,
+            degraded_time: m.degraded_time,
+            time_to_recover: m.time_to_recover_mean(),
+            dropped_per_storm: m.dropped_per_storm(),
             blocking: m.blocking_probability(),
             busy_rejection: m.busy_rejection(),
             drop_rate: m.drop_rate(),
@@ -160,6 +176,10 @@ pub struct CellAggregate {
     pub reroute_latency: Stat,
     /// Busiest-stage utilisation across seeds.
     pub util_max: Stat,
+    /// Mean time-to-recover across seeds.
+    pub time_to_recover: Stat,
+    /// Dropped-per-storm across seeds.
+    pub dropped_per_storm: Stat,
     /// Total offered calls across seeds.
     pub offered_total: u64,
 }
@@ -177,6 +197,8 @@ impl CellData {
             mean_path_len: f(|r| r.mean_path_len),
             reroute_latency: f(|r| r.mean_reroute_latency),
             util_max: f(|r| r.util_max),
+            time_to_recover: f(|r| r.time_to_recover),
+            dropped_per_storm: f(|r| r.dropped_per_storm),
             offered_total: self.seeds.iter().map(|r| r.offered).sum(),
         }
     }
@@ -210,6 +232,7 @@ mod tests {
             duration: 50.0,
             warmup: 0.0,
             buckets: 1,
+            ..ft_sim::SimConfig::default()
         };
         let out = ft_sim::run_seed(&fabric, &cfg, 3);
         let row = SeedRow::from_outcome(&out, &fabric);

@@ -334,6 +334,9 @@ sweep fault_rate = 0, 0.004
                 match (&a.data, &b.data) {
                     (Ok((da, _)), Ok((db, _))) => assert_eq!(da, db),
                     (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    // deliberate test-only panic: a cell that is ok on
+                    // one thread count and skipped on another is a
+                    // determinism bug this test exists to catch
                     _ => panic!("cell source mix-up"),
                 }
             }

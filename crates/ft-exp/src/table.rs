@@ -89,6 +89,8 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                          \"offered\": {}, \"connected\": {}, \"blocked\": {}, \
                          \"rejected_busy\": {}, \"dropped\": {}, \"rerouted\": {}, \
                          \"abandoned\": {}, \"faults\": {}, \"repairs\": {}, \
+                         \"storms\": {}, \"shed\": {}, \"degraded_time\": {}, \
+                         \"time_to_recover\": {}, \"dropped_per_storm\": {}, \
                          \"blocking\": {}, \"busy_rejection\": {}, \"drop_rate\": {}, \
                          \"carried_erlangs\": {}, \"mean_path_len\": {}, \
                          \"mean_reroute_latency\": {}, \"util_max\": {}}}{}\n",
@@ -104,6 +106,11 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                         r.abandoned,
                         r.faults,
                         r.repairs,
+                        r.storms,
+                        r.shed,
+                        r.degraded_time,
+                        r.time_to_recover,
+                        r.dropped_per_storm,
                         r.blocking,
                         r.busy_rejection,
                         r.drop_rate,
@@ -119,7 +126,8 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                 out.push_str(&format!(
                     "      \"aggregate\": {{\"offered\": {}, \"blocking\": {}, \
                      \"busy_rejection\": {}, \"drop_rate\": {}, \"carried_erlangs\": {}, \
-                     \"mean_path_len\": {}, \"reroute_latency\": {}, \"util_max\": {}}}",
+                     \"mean_path_len\": {}, \"reroute_latency\": {}, \"util_max\": {}, \
+                     \"time_to_recover\": {}, \"dropped_per_storm\": {}}}",
                     a.offered_total,
                     stat_json(&a.blocking),
                     stat_json(&a.busy_rejection),
@@ -128,6 +136,8 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                     stat_json(&a.mean_path_len),
                     stat_json(&a.reroute_latency),
                     stat_json(&a.util_max),
+                    stat_json(&a.time_to_recover),
+                    stat_json(&a.dropped_per_storm),
                 ));
                 match data.static_est {
                     Some(est) => {
@@ -177,8 +187,8 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
     out.push_str(
         ",status,fabric,switches,terminals,seeds,offered,blocking_mean,blocking_std,\
          blocking_ci95,busy_rejection_mean,drop_rate_mean,carried_erlangs_mean,\
-         mean_path_len_mean,reroute_latency_mean,util_max_mean,static_p,static_lo95,\
-         static_hi95,static_trials,note\n",
+         mean_path_len_mean,reroute_latency_mean,util_max_mean,time_to_recover_mean,\
+         dropped_per_storm_mean,static_p,static_lo95,static_hi95,static_trials,note\n",
     );
     for report in &result.cells {
         out.push_str(&report.cell.index.to_string());
@@ -189,14 +199,14 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
         match &report.data {
             Err(reason) => {
                 out.push_str(",skipped");
-                out.push_str(&",".repeat(18));
+                out.push_str(&",".repeat(20));
                 out.push(',');
                 out.push_str(&csv_field(reason));
             }
             Ok((data, _)) => {
                 let a = data.aggregate();
                 out.push_str(&format!(
-                    ",ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    ",ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     csv_field(&data.fabric_label),
                     data.switches,
                     data.terminals,
@@ -211,6 +221,8 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
                     a.mean_path_len.mean,
                     a.reroute_latency.mean,
                     a.util_max.mean,
+                    a.time_to_recover.mean,
+                    a.dropped_per_storm.mean,
                 ));
                 match data.static_est {
                     Some(est) => {

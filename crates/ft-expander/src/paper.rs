@@ -84,6 +84,30 @@ pub fn sample(spec: ExpanderSpec, rng: &mut SmallRng) -> PaperExpander {
     }
 }
 
+/// Acceptance testing ran out of attempts: no sampled graph passed the
+/// probe cascade for the spec. With degree 10 and the paper's ratios
+/// this is overwhelmingly unlikely for `t ≥ 8`, so surviving callers
+/// usually `expect` it — but library code gets to decide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeExhausted {
+    /// The spec no candidate satisfied.
+    pub spec: ExpanderSpec,
+    /// How many candidates were sampled and rejected.
+    pub attempts: usize,
+}
+
+impl std::fmt::Display for ProbeExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no degree-{PAPER_DEGREE} sample satisfied {:?} after {} attempts",
+            self.spec, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for ProbeExhausted {}
+
 /// Samples and retries until probing finds no violation of the spec
 /// (at most `max_attempts` tries).
 ///
@@ -107,10 +131,15 @@ pub fn sample(spec: ExpanderSpec, rng: &mut SmallRng) -> PaperExpander {
 ///    as the accept path for graphs the spectral bound cannot certify
 ///    (tiny `t`, unlucky λ estimates).
 ///
-/// # Panics
-/// Panics if no sample passes — with degree 10 and the paper's ratios
-/// this is overwhelmingly unlikely for `t ≥ 8`.
-pub fn sample_probed(spec: ExpanderSpec, rng: &mut SmallRng, max_attempts: usize) -> PaperExpander {
+/// # Errors
+/// Returns [`ProbeExhausted`] when no sample passes within
+/// `max_attempts` — with degree 10 and the paper's ratios this is
+/// overwhelmingly unlikely for `t ≥ 8`.
+pub fn sample_probed(
+    spec: ExpanderSpec,
+    rng: &mut SmallRng,
+    max_attempts: usize,
+) -> Result<PaperExpander, ProbeExhausted> {
     for _ in 0..max_attempts {
         let cand = sample(spec, rng);
         // 1. cheap falsifier: reject obviously bad candidates early
@@ -124,16 +153,19 @@ pub fn sample_probed(spec: ExpanderSpec, rng: &mut SmallRng, max_attempts: usize
             .min()
             .unwrap();
         if certified >= spec.c_prime {
-            return cand;
+            return Ok(cand);
         }
         // 3. full greedy adversarial probing (previous behaviour)
         let probes = spec.t.clamp(4, 64);
         let worst = min_neighborhood_greedy(&cand.graph, spec.c, probes, rng);
         if worst.size >= spec.c_prime {
-            return cand;
+            return Ok(cand);
         }
     }
-    panic!("no degree-10 sample satisfied {spec:?} after {max_attempts} attempts");
+    Err(ProbeExhausted {
+        spec,
+        attempts: max_attempts,
+    })
 }
 
 #[cfg(test)]
@@ -194,8 +226,18 @@ mod tests {
     #[test]
     fn probed_sampling_succeeds_at_scale_1() {
         let spec = ExpanderSpec::at_scale(1);
-        let e = sample_probed(spec, &mut rng(2), 10);
+        let e = sample_probed(spec, &mut rng(2), 10).unwrap();
         assert_eq!(e.spec, spec);
+    }
+
+    #[test]
+    fn probed_sampling_reports_exhaustion_as_an_error() {
+        // zero attempts can never accept; the typed error carries the
+        // spec and the attempt count
+        let spec = ExpanderSpec::at_scale(1);
+        let err = sample_probed(spec, &mut rng(4), 0).unwrap_err();
+        assert_eq!(err, ProbeExhausted { spec, attempts: 0 });
+        assert!(err.to_string().contains("after 0 attempts"), "{err}");
     }
 
     #[test]
@@ -205,7 +247,7 @@ mod tests {
         let spec = ExpanderSpec::at_scale(1);
         for seed in 0..5u64 {
             let mut r = rng(0x5EC + seed);
-            let e = sample_probed(spec, &mut r, 10);
+            let e = sample_probed(spec, &mut r, 10).unwrap();
             let worst = min_neighborhood_greedy(&e.graph, spec.c, 64, &mut r);
             assert!(
                 worst.size >= spec.c_prime,
@@ -221,7 +263,7 @@ mod tests {
         let spec = ExpanderSpec::with_side(8);
         // t=8, c=4, degree 10 > t means permutations repeat outlets;
         // still fine: c'=5 ≤ 8
-        let e = sample_probed(spec, &mut rng(3), 20);
+        let e = sample_probed(spec, &mut rng(3), 20).unwrap();
         assert!(e.graph.num_outlets() == 8);
     }
 }

@@ -68,6 +68,13 @@ impl StagedNetwork {
     /// Stage ranges are contiguous but — after [`Self::mirror`] — not
     /// necessarily in ascending id order, so this binary-searches a
     /// sorted view built on the fly from the (at most two) monotone runs.
+    ///
+    /// # Panics
+    /// Panics if `u` lies outside every stage range. The stages of a
+    /// built network partition `0..size()`, so this can only happen
+    /// with a vertex id from a *different* network — a caller bug, not
+    /// a recoverable condition, which is why it stays a panic rather
+    /// than a `Result`.
     pub fn stage_of(&self, u: VertexId) -> usize {
         let cmp = |r: &Range<u32>| {
             if u.0 < r.start {

@@ -3,13 +3,14 @@
 //! One [`run_seed`] drives a [`CircuitRouter`] through virtual time:
 //! Poisson call arrivals (optionally burst-modulated) draw terminal
 //! pairs from the traffic pattern and holding times from the holding
-//! distribution; an aggregate temporal fault process fails healthy
-//! switches at per-switch rate `fault_rate` (exact superposition:
+//! distribution; a pluggable [`FaultInjector`] decides which switches
+//! fail and when (the i.i.d. default is the exact superposition:
 //! next-failure ~ `Exp(healthy · rate)`, resampled — valid by
-//! memorylessness — whenever the healthy count changes); each fault
-//! recomputes the §4 repair mask, kills the circuits crossing discarded
-//! vertices and immediately tries to re-route them; repairs restore
-//! switches after `Exp(mttr)` and retry the calls still waiting.
+//! memorylessness — whenever the healthy count changes; storms, bursts
+//! and the targeted adversary are the correlated alternatives); each
+//! fault recomputes the §4 repair mask, kills the circuits crossing
+//! discarded vertices and runs them through the [`RetryPolicy`]
+//! degradation ladder; repairs restore switches after `Exp(mttr)`.
 //!
 //! Everything randomized flows through one seeded RNG in event order,
 //! so a `(scenario, seed)` pair reproduces a byte-identical event
@@ -18,6 +19,7 @@
 
 use crate::events::{Event, EventKind, EventQueue};
 use crate::fabric::Fabric;
+use crate::inject::{FaultInjector, FaultSpec, InjectCtx, RetryPolicy, Strike};
 use crate::metrics::{Bucket, Metrics};
 use crate::workload::{exp_draw, HoldingTime, TrafficPattern};
 use ft_failure::{AliveTracker, FailureInstance, SwitchState};
@@ -25,7 +27,6 @@ use ft_graph::gen::{random_permutation, rng};
 use ft_graph::{Digraph, EdgeId, VertexId};
 use ft_networks::{CircuitRouter, RouteError, SessionId};
 use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// Resolved simulation parameters (one seed's worth of work).
 #[derive(Clone, Debug, PartialEq)]
@@ -36,7 +37,8 @@ pub struct SimConfig {
     pub holding: HoldingTime,
     /// Traffic pattern.
     pub pattern: TrafficPattern,
-    /// Per-switch exponential failure rate (0 = fault-free).
+    /// Per-switch exponential failure rate (0 = fault-free). Drives the
+    /// [`FaultSpec::Iid`] process only.
     pub fault_rate: f64,
     /// Share of switch failures that are open (the rest are closed).
     pub fault_open_share: f64,
@@ -48,6 +50,39 @@ pub struct SimConfig {
     pub warmup: f64,
     /// Number of time-series buckets over `[0, duration]`.
     pub buckets: usize,
+    /// Fault-injection process (i.i.d., storm, burst, targeted).
+    pub faults: FaultSpec,
+    /// Reaction policy for fault-killed calls (degradation ladder).
+    pub retry: RetryPolicy,
+}
+
+impl Default for SimConfig {
+    /// The scenario-grammar defaults: unit uniform load on a fault-free
+    /// fabric, i.i.d. faults (inert at `fault_rate = 0`), on-repair
+    /// retries.
+    fn default() -> Self {
+        SimConfig {
+            arrival_rate: 1.0,
+            holding: HoldingTime::Exponential { mean: 1.0 },
+            pattern: TrafficPattern::Uniform,
+            fault_rate: 0.0,
+            fault_open_share: 0.5,
+            mttr: 0.0,
+            duration: 100.0,
+            warmup: 0.0,
+            buckets: 10,
+            faults: FaultSpec::Iid,
+            retry: RetryPolicy::OnRepair,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Whether the configured fault process can fail any switch at all
+    /// (gates the fabric fault-capability assertion).
+    pub fn has_faults(&self) -> bool {
+        self.faults.active(self.fault_rate)
+    }
 }
 
 /// Outcome of simulating one seed.
@@ -116,10 +151,19 @@ struct PendingCall {
     dst: usize,
     hangup_time: f64,
     killed_at_epoch: u64,
+    /// Sim-time of the kill (reroute-latency samples in sim-time).
+    killed_at_time: f64,
     /// Whether the kill was counted in `metrics.dropped` (post-warmup).
     /// The eventual reroute/abandon increments the matching counter
     /// only if so, preserving `dropped == rerouted + abandoned`.
     counted: bool,
+    /// Matches this entry to its scheduled `Retry` events (backoff
+    /// policy only; the pending vector shifts, tokens don't).
+    token: u32,
+    /// Backoff retries still available after the next scheduled one.
+    retries_left: u32,
+    /// Delay of the next backoff retry (doubles each attempt).
+    next_delay: f64,
 }
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -132,6 +176,8 @@ struct Engine<'a> {
     router: CircuitRouter<'a>,
     /// Cached per-vertex stage table (per-stage occupancy accounting).
     stage_tab: &'a [u32],
+    /// The configured fault process (which switch fails next, when).
+    injector: Box<dyn FaultInjector>,
     inst: FailureInstance,
     healthy: usize,
     fault_epoch: u32,
@@ -140,6 +186,13 @@ struct Engine<'a> {
     /// Monotone counter of fault+repair events (reroute latency unit).
     churn_epoch: u64,
     token_counter: u32,
+    /// Tokens matching backoff `Retry` events to pending entries.
+    retry_counter: u32,
+    /// Whether the fabric is currently degraded (failed switches or
+    /// calls waiting for a reroute) — the recovery-metric indicator.
+    degraded_now: bool,
+    /// When the current degraded episode began.
+    degraded_since: f64,
     perm: Vec<u32>,
     now: f64,
     last_t: f64,
@@ -163,7 +216,7 @@ pub fn run_seed_with(
     ws: &mut SimWorkspace,
 ) -> SeedOutcome {
     assert!(
-        cfg.fault_rate == 0.0 || fabric.supports_faults(),
+        !cfg.has_faults() || fabric.supports_faults(),
         "fabric {} cannot express switch faults as vertex discards",
         fabric.label()
     );
@@ -209,6 +262,7 @@ pub fn run_seed_with(
         cfg,
         router: CircuitRouter::new(net),
         stage_tab: net.stage_table(),
+        injector: cfg.faults.build(cfg, fabric),
         inst,
         healthy: m,
         fault_epoch: 0,
@@ -216,6 +270,9 @@ pub fn run_seed_with(
         burst_on: false,
         churn_epoch: 0,
         token_counter: 0,
+        retry_counter: 0,
+        degraded_now: false,
+        degraded_since: 0.0,
         perm,
         now: 0.0,
         last_t: 0.0,
@@ -237,14 +294,37 @@ pub fn run_seed_with(
 }
 
 impl<'a> Engine<'a> {
+    /// Asks the injector for its next fault time (the trait-call wrapper
+    /// assembling the read-only context from disjoint engine fields).
+    fn injector_next_fault(&mut self) -> Option<f64> {
+        let ctx = InjectCtx {
+            net: self.fabric.net(),
+            inst: &self.inst,
+            alive: self.ws.tracker.alive(),
+            router: &self.router,
+            healthy: self.healthy,
+        };
+        self.injector.next_fault(self.now, &ctx, &mut self.rng)
+    }
+
+    /// Asks the injector to pick the victim of a fault firing now.
+    fn injector_strike(&mut self) -> Option<Strike> {
+        let ctx = InjectCtx {
+            net: self.fabric.net(),
+            inst: &self.inst,
+            alive: self.ws.tracker.alive(),
+            router: &self.router,
+            healthy: self.healthy,
+        };
+        self.injector.strike(self.now, &ctx, &mut self.rng)
+    }
+
     fn schedule_initial(&mut self) {
         let mean = 1.0 / self.arrival_rate();
         let dt = exp_draw(&mut self.rng, mean);
         self.push_arrival(dt, 0);
-        if self.cfg.fault_rate > 0.0 && self.healthy > 0 {
-            let mean = 1.0 / (self.healthy as f64 * self.cfg.fault_rate);
-            let dt = exp_draw(&mut self.rng, mean);
-            self.ws.queue.push(dt, EventKind::Fault { epoch: 0 });
+        if let Some(t) = self.injector_next_fault() {
+            self.ws.queue.push(t, EventKind::Fault { epoch: 0 });
         }
         if let Some((_, mean_off, _)) = self.cfg.pattern.burst_params() {
             let dt = exp_draw(&mut self.rng, mean_off);
@@ -299,6 +379,7 @@ impl<'a> Engine<'a> {
                 EventKind::Fault { epoch } => self.on_fault(epoch),
                 EventKind::Repair { edge } => self.on_repair(edge),
                 EventKind::BurstToggle => self.on_burst_toggle(),
+                EventKind::Retry { token } => self.on_retry(token),
             }
         }
         self.advance_clock(self.cfg.duration);
@@ -317,6 +398,7 @@ impl<'a> Engine<'a> {
             EventKind::Fault { epoch } => (3, epoch as u64, 0),
             EventKind::Repair { edge } => (4, edge.index() as u64, 0),
             EventKind::BurstToggle => (5, 0, 0),
+            EventKind::Retry { token } => (6, token as u64, 0),
         };
         for word in [tag, time.to_bits(), a, b] {
             self.fingerprint = (self.fingerprint ^ word).wrapping_mul(FNV_PRIME);
@@ -330,6 +412,9 @@ impl<'a> Engine<'a> {
         if b > a {
             let dt = b - a;
             self.metrics.active_time += self.active_now as f64 * dt;
+            if self.degraded_now {
+                self.metrics.degraded_time += dt;
+            }
             for (acc, &busy) in self
                 .metrics
                 .stage_busy_time
@@ -466,26 +551,6 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Uniformly random healthy switch (rejection sampling with a
-    /// deterministic linear-scan fallback).
-    fn pick_healthy_edge(&mut self) -> EdgeId {
-        let m = self.inst.len();
-        for _ in 0..128 {
-            let e = EdgeId::from(self.rng.random_range(0..m));
-            if self.inst.is_normal(e) {
-                return e;
-            }
-        }
-        let start = self.rng.random_range(0..m);
-        for k in 0..m {
-            let e = EdgeId::from((start + k) % m);
-            if self.inst.is_normal(e) {
-                return e;
-            }
-        }
-        unreachable!("pick_healthy_edge called with no healthy switch");
-    }
-
     /// Debug-only oracle: the incrementally maintained repair mask must
     /// be bit-identical to the from-scratch recompute after every event.
     #[cfg(debug_assertions)]
@@ -497,21 +562,52 @@ impl<'a> Engine<'a> {
         );
     }
 
+    /// Recomputes the degraded indicator (failed switches present or
+    /// calls waiting for a reroute) and books the recovery metrics on
+    /// its edges: a rising edge opens an episode, a falling edge closes
+    /// one and records its full length as a time-to-recover sample
+    /// (fully healed + drained ⇒ blocking is back at its fault-free
+    /// baseline). Episodes still open at the end of the run contribute
+    /// to `degraded_time` but not to the closed-interval samples.
+    fn update_degraded(&mut self) {
+        let degraded = self.healthy < self.inst.len() || !self.ws.pending.is_empty();
+        if degraded == self.degraded_now {
+            return;
+        }
+        if degraded {
+            self.degraded_since = self.now;
+        } else if self.measured() {
+            let span = self.now - self.degraded_since;
+            self.metrics.recovery_sum += span;
+            self.metrics.recovery_count += 1;
+            self.metrics.recovery_max = self.metrics.recovery_max.max(span);
+        }
+        self.degraded_now = degraded;
+    }
+
     fn on_fault(&mut self, epoch: u32) {
         if epoch != self.fault_epoch || self.healthy == 0 {
             return; // stale draw from before a healthy-count change
         }
-        self.churn_epoch += 1;
-        let e = self.pick_healthy_edge();
-        let state = if self.rng.random::<f64>() < self.cfg.fault_open_share {
-            SwitchState::Open
-        } else {
-            SwitchState::Closed
+        let Some(strike) = self.injector_strike() else {
+            // No viable victim (e.g. a storm whose target group came up
+            // empty): the event is a no-op, but the process continues.
+            self.reschedule_faults();
+            return;
         };
-        self.inst.set_state(e, state);
+        self.churn_epoch += 1;
+        let e = strike.edge;
+        debug_assert!(
+            self.inst.is_normal(e),
+            "strike hit an already-failed switch"
+        );
+        self.inst.set_state(e, strike.state);
         self.healthy -= 1;
         if self.measured() {
             self.metrics.faults += 1;
+            if strike.new_episode {
+                self.metrics.storms += 1;
+            }
         }
         // Delta-update the repair mask: one switch transition can only
         // discard its (≤ 2) endpoints, so the event touches the killed
@@ -570,15 +666,7 @@ impl<'a> Engine<'a> {
             }
             self.bucket().dropped += 1;
             self.active_now -= 1;
-            // Immediate reroute: the repaired fabric may still hold an
-            // idle path for the same endpoints.
-            self.try_reroute(
-                call.src,
-                call.dst,
-                call.hangup_time,
-                self.churn_epoch,
-                measured,
-            );
+            self.route_after_kill(call, measured);
         }
         if self.cfg.mttr > 0.0 {
             let dt = exp_draw(&mut self.rng, self.cfg.mttr);
@@ -587,6 +675,113 @@ impl<'a> Engine<'a> {
                 .push(self.now + dt, EventKind::Repair { edge: e });
         }
         self.reschedule_faults();
+        self.update_degraded();
+    }
+
+    /// The degradation ladder's admission step for one killed call: an
+    /// immediate reroute attempt, then — per the retry policy — either
+    /// park in the pending queue for repair-triggered retries, or
+    /// schedule deterministic exponential-backoff retries (shedding
+    /// outright when the queue is past the overload threshold).
+    fn route_after_kill(&mut self, call: Call, counted: bool) {
+        match self.cfg.retry {
+            RetryPolicy::OnRepair => self.try_reroute(
+                call.src,
+                call.dst,
+                call.hangup_time,
+                self.churn_epoch,
+                self.now,
+                counted,
+            ),
+            RetryPolicy::Backoff {
+                budget,
+                base,
+                shed_depth,
+            } => {
+                if shed_depth > 0 && self.ws.pending.len() >= shed_depth {
+                    // Storm-mode admission shedding: the queue is past
+                    // the overload threshold, drop without retrying.
+                    if counted {
+                        self.metrics.shed += 1;
+                        self.metrics.abandoned += 1;
+                    }
+                    return;
+                }
+                if self.try_reroute_inner(
+                    call.src,
+                    call.dst,
+                    call.hangup_time,
+                    self.churn_epoch,
+                    self.now,
+                    counted,
+                ) {
+                    return;
+                }
+                if budget == 0 {
+                    if counted {
+                        self.metrics.abandoned += 1;
+                    }
+                    return;
+                }
+                let token = self.retry_counter;
+                self.retry_counter = self
+                    .retry_counter
+                    .checked_add(1)
+                    .expect("retry token overflow");
+                self.ws.pending.push(PendingCall {
+                    src: call.src,
+                    dst: call.dst,
+                    hangup_time: call.hangup_time,
+                    killed_at_epoch: self.churn_epoch,
+                    killed_at_time: self.now,
+                    counted,
+                    token,
+                    retries_left: budget - 1,
+                    next_delay: base * 2.0,
+                });
+                self.ws
+                    .queue
+                    .push(self.now + base, EventKind::Retry { token });
+            }
+        }
+    }
+
+    /// A scheduled backoff retry fires: expire, reroute, or back off
+    /// again (doubling the delay) until the budget runs out.
+    fn on_retry(&mut self, token: u32) {
+        let Some(pos) = self.ws.pending.iter().position(|p| p.token == token) else {
+            return; // entry already resolved
+        };
+        let p = self.ws.pending[pos];
+        if p.hangup_time <= self.now {
+            self.ws.pending.remove(pos);
+            if p.counted {
+                self.metrics.abandoned += 1;
+            }
+        } else if self.try_reroute_inner(
+            p.src,
+            p.dst,
+            p.hangup_time,
+            p.killed_at_epoch,
+            p.killed_at_time,
+            p.counted,
+        ) {
+            self.ws.pending.remove(pos);
+        } else if p.retries_left > 0 {
+            let entry = &mut self.ws.pending[pos];
+            entry.retries_left -= 1;
+            let at = self.now + entry.next_delay;
+            // Delays double deterministically; the clamp keeps the
+            // timestamp finite for pathological budgets.
+            entry.next_delay = (entry.next_delay * 2.0).min(1e18);
+            self.ws.queue.push(at, EventKind::Retry { token });
+        } else {
+            self.ws.pending.remove(pos);
+            if p.counted {
+                self.metrics.abandoned += 1;
+            }
+        }
+        self.update_degraded();
     }
 
     fn on_repair(&mut self, edge: EdgeId) {
@@ -609,32 +804,43 @@ impl<'a> Engine<'a> {
             self.router.revive_vertex(v);
         }
         self.reschedule_faults();
-        // Waiting calls retry in kill order; expired ones are lost.
-        let mut waiting = std::mem::take(&mut self.ws.pending);
-        waiting.retain(|p| {
-            if p.hangup_time <= self.now {
-                if p.counted {
-                    self.metrics.abandoned += 1;
+        if matches!(self.cfg.retry, RetryPolicy::OnRepair) {
+            // Waiting calls retry in kill order; expired ones are lost.
+            // (Under the backoff policy retries fire at their own
+            // scheduled times instead.)
+            let mut waiting = std::mem::take(&mut self.ws.pending);
+            waiting.retain(|p| {
+                if p.hangup_time <= self.now {
+                    if p.counted {
+                        self.metrics.abandoned += 1;
+                    }
+                    return false;
                 }
-                return false;
-            }
-            !self.try_reroute_inner(p.src, p.dst, p.hangup_time, p.killed_at_epoch, p.counted)
-        });
-        debug_assert!(self.ws.pending.is_empty());
-        self.ws.pending = waiting;
+                !self.try_reroute_inner(
+                    p.src,
+                    p.dst,
+                    p.hangup_time,
+                    p.killed_at_epoch,
+                    p.killed_at_time,
+                    p.counted,
+                )
+            });
+            debug_assert!(self.ws.pending.is_empty());
+            self.ws.pending = waiting;
+        }
+        self.update_degraded();
     }
 
-    /// Resamples the aggregate next-fault draw after a healthy-count
-    /// change (exact by memorylessness of the exponential).
+    /// Invalidates the pending next-fault draw (epoch bump) and asks
+    /// the injector for a fresh one — for the i.i.d. process an exact
+    /// resample of the aggregate exponential after a healthy-count
+    /// change (valid by memorylessness); episode processes answer from
+    /// their remembered schedules.
     fn reschedule_faults(&mut self) {
         self.fault_epoch += 1;
-        if self.cfg.fault_rate > 0.0 && self.healthy > 0 {
-            let mean = 1.0 / (self.healthy as f64 * self.cfg.fault_rate);
-            let dt = exp_draw(&mut self.rng, mean);
+        if let Some(t) = self.injector_next_fault() {
             let epoch = self.fault_epoch;
-            self.ws
-                .queue
-                .push(self.now + dt, EventKind::Fault { epoch });
+            self.ws.queue.push(t, EventKind::Fault { epoch });
         }
     }
 
@@ -644,15 +850,20 @@ impl<'a> Engine<'a> {
         dst: usize,
         hangup_time: f64,
         killed_at: u64,
+        killed_at_time: f64,
         counted: bool,
     ) {
-        if !self.try_reroute_inner(src, dst, hangup_time, killed_at, counted) {
+        if !self.try_reroute_inner(src, dst, hangup_time, killed_at, killed_at_time, counted) {
             self.ws.pending.push(PendingCall {
                 src,
                 dst,
                 hangup_time,
                 killed_at_epoch: killed_at,
+                killed_at_time,
                 counted,
+                token: 0,
+                retries_left: 0,
+                next_delay: 0.0,
             });
         }
     }
@@ -667,6 +878,7 @@ impl<'a> Engine<'a> {
         dst: usize,
         hangup_time: f64,
         killed_at: u64,
+        killed_at_time: f64,
         counted: bool,
     ) -> bool {
         let input = self.fabric.net().inputs()[src];
@@ -676,6 +888,12 @@ impl<'a> Engine<'a> {
                 if counted {
                     self.metrics.rerouted += 1;
                     self.metrics.reroute_latency_events += self.churn_epoch - killed_at;
+                    self.metrics
+                        .reroute_samples_events
+                        .push(self.churn_epoch - killed_at);
+                    self.metrics
+                        .reroute_samples_time
+                        .push(self.now - killed_at_time);
                 }
                 self.admit(id, src, dst, hangup_time);
                 true
@@ -714,6 +932,8 @@ mod tests {
             duration: 50.0,
             warmup: 0.0,
             buckets: 5,
+            faults: FaultSpec::Iid,
+            retry: RetryPolicy::OnRepair,
         }
     }
 

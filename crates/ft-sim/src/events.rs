@@ -47,6 +47,14 @@ pub enum EventKind {
     },
     /// The bursty traffic modulator flips between its on/off phases.
     BurstToggle,
+    /// A scheduled reroute retry for a fault-killed call waiting under
+    /// the backoff policy. `token` identifies the pending entry; if the
+    /// call was already rerouted, expired, or shed, the token no longer
+    /// matches anything and the event is a no-op.
+    Retry {
+        /// Per-run pending-call token the retry was scheduled for.
+        token: u32,
+    },
 }
 
 /// One scheduled event.

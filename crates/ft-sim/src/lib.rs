@@ -15,6 +15,11 @@
 //! * [`fabric`] — the switch fabrics under test and the §4 repair
 //!   discipline that turns a cumulative failure instance into a router
 //!   alive-mask;
+//! * [`inject`] — pluggable fault processes behind the
+//!   [`inject::FaultInjector`] trait: the i.i.d. exponential baseline,
+//!   stage-group storms, spatially correlated bursts, and a greedy
+//!   targeted adversary, plus the [`inject::RetryPolicy`] degradation
+//!   ladder (retry budgets, exponential backoff, admission shedding);
 //! * [`engine`] — the event loop: faults kill the circuits crossing
 //!   discarded vertices and trigger immediate re-routes; repairs retry
 //!   the calls still waiting;
@@ -40,6 +45,7 @@
 pub mod engine;
 pub mod events;
 pub mod fabric;
+pub mod inject;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
@@ -50,6 +56,7 @@ pub mod workload;
 pub use engine::{run_seed, run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
 pub use events::{Event, EventKind, EventQueue};
 pub use fabric::Fabric;
+pub use inject::{FaultInjector, FaultSpec, InjectCtx, RetryPolicy, Strike};
 pub use metrics::{erlang_b, Bucket, Metrics};
 pub use report::Report;
 pub use scenario::{FabricSpec, Scenario, ScenarioBuilder, SCENARIO_KEYS};

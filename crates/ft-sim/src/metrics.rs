@@ -46,6 +46,29 @@ pub struct Metrics {
     pub faults: u64,
     /// Repair completions.
     pub repairs: u64,
+    /// Fault *episodes*: storm/burst/adversary strike onsets. Under the
+    /// i.i.d. process every fault opens its own episode, so
+    /// `storms == faults` there.
+    pub storms: u64,
+    /// Killed calls shed by the admission ladder instead of queued for
+    /// retry (each also counts in `abandoned`, preserving the
+    /// `dropped == rerouted + abandoned` identity).
+    pub shed: u64,
+    /// ∫ dt over the measured window while the network was *degraded*:
+    /// at least one switch failed or at least one killed call waiting.
+    pub degraded_time: f64,
+    /// Sum of completed degraded-interval lengths (recovery episodes
+    /// whose falling edge landed in the measured window).
+    pub recovery_sum: f64,
+    /// Number of completed recovery episodes.
+    pub recovery_count: u64,
+    /// Longest completed recovery episode.
+    pub recovery_max: f64,
+    /// Per-reroute latency samples in churn epochs (fault/repair events
+    /// waited), one per counted reroute; basis for p50/p99.
+    pub reroute_samples_events: Vec<u64>,
+    /// Per-reroute latency samples in sim-time (kill → re-establish).
+    pub reroute_samples_time: Vec<f64>,
     /// Total switch count over established paths.
     pub total_path_len: u64,
     /// Longest established path (switches).
@@ -113,6 +136,52 @@ impl Metrics {
             self.reroute_latency_events as f64 / self.rerouted as f64
         }
     }
+
+    /// Mean length of a completed degraded interval — the expected
+    /// sim-time from a fault episode's onset back to a fully healthy,
+    /// no-calls-waiting network. 0 when no episode completed.
+    pub fn time_to_recover_mean(&self) -> f64 {
+        if self.recovery_count == 0 {
+            0.0
+        } else {
+            self.recovery_sum / self.recovery_count as f64
+        }
+    }
+
+    /// Killed calls per fault episode. 0 when no episode was observed.
+    pub fn dropped_per_storm(&self) -> f64 {
+        if self.storms == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.storms as f64
+        }
+    }
+
+    /// Nearest-rank `p`-th percentile of reroute latency in churn
+    /// epochs (fault/repair events waited). 0 with no samples.
+    pub fn reroute_latency_events_pct(&self, p: f64) -> u64 {
+        let mut v = self.reroute_samples_events.clone();
+        v.sort_unstable();
+        percentile_sorted(&v, p).copied().unwrap_or(0)
+    }
+
+    /// Nearest-rank `p`-th percentile of reroute latency in sim-time.
+    /// 0 with no samples.
+    pub fn reroute_latency_time_pct(&self, p: f64) -> f64 {
+        let mut v = self.reroute_samples_time.clone();
+        v.sort_unstable_by(f64::total_cmp);
+        percentile_sorted(&v, p).copied().unwrap_or(0.0)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// element with at least `p`% of the samples at or below it.
+fn percentile_sorted<T>(sorted: &[T], p: f64) -> Option<&T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted.get(rank.clamp(1, sorted.len()) - 1)
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -168,6 +237,33 @@ mod tests {
         assert_eq!(m.mean_path_len(), 0.0);
         assert_eq!(m.carried_erlangs(), 0.0);
         assert_eq!(m.mean_reroute_latency_events(), 0.0);
+    }
+
+    #[test]
+    fn recovery_metrics() {
+        let m = Metrics {
+            dropped: 12,
+            storms: 4,
+            recovery_sum: 6.0,
+            recovery_count: 3,
+            recovery_max: 4.0,
+            reroute_samples_events: vec![5, 1, 3, 2, 4],
+            reroute_samples_time: vec![0.5, 0.1, 0.3, 0.2, 0.4],
+            ..Metrics::default()
+        };
+        assert!((m.time_to_recover_mean() - 2.0).abs() < 1e-12);
+        assert!((m.dropped_per_storm() - 3.0).abs() < 1e-12);
+        // nearest rank over 5 samples: p50 → rank 3, p99 → rank 5
+        assert_eq!(m.reroute_latency_events_pct(50.0), 3);
+        assert_eq!(m.reroute_latency_events_pct(99.0), 5);
+        assert!((m.reroute_latency_time_pct(50.0) - 0.3).abs() < 1e-12);
+        assert!((m.reroute_latency_time_pct(99.0) - 0.5).abs() < 1e-12);
+        // empty-sample / zero-count cases fall back to 0
+        let z = Metrics::default();
+        assert_eq!(z.time_to_recover_mean(), 0.0);
+        assert_eq!(z.dropped_per_storm(), 0.0);
+        assert_eq!(z.reroute_latency_events_pct(99.0), 0);
+        assert_eq!(z.reroute_latency_time_pct(99.0), 0.0);
     }
 
     #[test]

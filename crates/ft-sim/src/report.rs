@@ -178,6 +178,20 @@ impl Report {
             false,
         );
         push_kv(&mut out, "    ", "mttr", &c.mttr.to_string(), false);
+        push_kv(
+            &mut out,
+            "    ",
+            "faults",
+            &json_str(&c.faults.to_spec_string()),
+            false,
+        );
+        push_kv(
+            &mut out,
+            "    ",
+            "retry",
+            &json_str(&c.retry.to_spec_string()),
+            false,
+        );
         push_kv(&mut out, "    ", "duration", &c.duration.to_string(), false);
         push_kv(&mut out, "    ", "warmup", &c.warmup.to_string(), false);
         push_kv(
@@ -249,6 +263,36 @@ impl Report {
             );
             push_kv(&mut out, "      ", "faults", &m.faults.to_string(), false);
             push_kv(&mut out, "      ", "repairs", &m.repairs.to_string(), false);
+            push_kv(&mut out, "      ", "storms", &m.storms.to_string(), false);
+            push_kv(&mut out, "      ", "shed", &m.shed.to_string(), false);
+            push_kv(
+                &mut out,
+                "      ",
+                "degraded_time",
+                &m.degraded_time.to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "recovery_episodes",
+                &m.recovery_count.to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "time_to_recover",
+                &m.time_to_recover_mean().to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "dropped_per_storm",
+                &m.dropped_per_storm().to_string(),
+                false,
+            );
             push_kv(
                 &mut out,
                 "      ",
@@ -296,6 +340,34 @@ impl Report {
                 "      ",
                 "mean_reroute_latency_events",
                 &m.mean_reroute_latency_events().to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "reroute_latency_events_p50",
+                &m.reroute_latency_events_pct(50.0).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "reroute_latency_events_p99",
+                &m.reroute_latency_events_pct(99.0).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "reroute_latency_time_p50",
+                &m.reroute_latency_time_pct(50.0).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "reroute_latency_time_p99",
+                &m.reroute_latency_time_pct(99.0).to_string(),
                 false,
             );
             let utilisation: Vec<String> = (0..m.stage_busy_time.len())
@@ -359,6 +431,18 @@ impl Report {
                 "mean_path_len",
                 mean_std(self.outcomes.iter().map(|o| o.metrics.mean_path_len())),
             ),
+            (
+                "time_to_recover",
+                mean_std(
+                    self.outcomes
+                        .iter()
+                        .map(|o| o.metrics.time_to_recover_mean()),
+                ),
+            ),
+            (
+                "dropped_per_storm",
+                mean_std(self.outcomes.iter().map(|o| o.metrics.dropped_per_storm())),
+            ),
         ];
         for (i, (name, (mean, std))) in stats.iter().enumerate() {
             push_kv(
@@ -411,6 +495,15 @@ mod tests {
             "\"blocking_probability\"",
             "\"stage_utilisation\"",
             "\"buckets\"",
+            "\"faults\": \"iid\"",
+            "\"retry\": \"on-repair\"",
+            "\"storms\"",
+            "\"degraded_time\"",
+            "\"recovery_episodes\"",
+            "\"time_to_recover\"",
+            "\"dropped_per_storm\"",
+            "\"reroute_latency_events_p99\"",
+            "\"reroute_latency_time_p50\"",
         ] {
             assert!(a.contains(key), "missing {key} in\n{a}");
         }

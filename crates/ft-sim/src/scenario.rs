@@ -26,6 +26,11 @@
 //! Recognised `pattern`s: `uniform`, `permutation`,
 //! `hotspot FRAC P_HOT`, `bursty MEAN_ON MEAN_OFF BOOST`.
 //! Recognised `holding`s: `exp MEAN`, `pareto SHAPE MEAN`.
+//! Recognised `faults` processes: `iid` (the default, driven by
+//! `fault_rate`), `storm RATE WINDOW [STAGE]`, `burst RATE SIZE WINDOW`,
+//! `targeted RATE`.
+//! Recognised `retry` policies: `on-repair` (the default),
+//! `budget N backoff BASE [shed DEPTH]`.
 //! `threads = 0` means one worker per available core.
 //!
 //! Every diagnostic — malformed directive, unknown key, *and*
@@ -37,6 +42,7 @@
 
 use crate::engine::SimConfig;
 use crate::fabric::Fabric;
+use crate::inject::{FaultSpec, RetryPolicy};
 use crate::workload::{HoldingTime, TrafficPattern};
 
 /// Which fabric a scenario builds (kept symbolic so reports can echo it).
@@ -113,6 +119,8 @@ pub const SCENARIO_KEYS: &[&str] = &[
     "duration",
     "warmup",
     "buckets",
+    "faults",
+    "retry",
     "seeds",
     "seed_base",
     "threads",
@@ -142,17 +150,7 @@ impl Default for ScenarioBuilder {
     fn default() -> Self {
         ScenarioBuilder {
             fabric: None,
-            config: SimConfig {
-                arrival_rate: 1.0,
-                holding: HoldingTime::Exponential { mean: 1.0 },
-                pattern: TrafficPattern::Uniform,
-                fault_rate: 0.0,
-                fault_open_share: 0.5,
-                mttr: 0.0,
-                duration: 100.0,
-                warmup: 0.0,
-                buckets: 10,
-            },
+            config: SimConfig::default(),
             seeds: 1,
             seed_base: 1,
             threads: 0,
@@ -184,6 +182,8 @@ impl ScenarioBuilder {
             "duration" => self.config.duration = parse_num(value)?,
             "warmup" => self.config.warmup = parse_num(value)?,
             "buckets" => self.config.buckets = parse_int(value)?,
+            "faults" => self.config.faults = parse_faults(&words)?,
+            "retry" => self.config.retry = parse_retry(&words)?,
             "seeds" => self.seeds = parse_int(value)? as u64,
             "seed_base" => self.seed_base = parse_int(value)? as u64,
             "threads" => self.threads = parse_int(value)?,
@@ -344,12 +344,66 @@ impl Scenario {
                 ));
             }
         }
-        if c.fault_rate > 0.0 && matches!(self.fabric, FabricSpec::Crossbar(_)) {
+        match c.faults {
+            FaultSpec::Iid => {}
+            FaultSpec::Storm { rate, window, .. } => {
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(("faults", format!("storm rate must be positive, got {rate}")));
+                }
+                if window < 0.0 || !window.is_finite() {
+                    return Err((
+                        "faults",
+                        format!("storm window must be nonnegative, got {window}"),
+                    ));
+                }
+            }
+            FaultSpec::Burst { rate, size, window } => {
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(("faults", format!("burst rate must be positive, got {rate}")));
+                }
+                if size == 0 {
+                    return Err(("faults", "burst size must be at least 1".into()));
+                }
+                if window < 0.0 || !window.is_finite() {
+                    return Err((
+                        "faults",
+                        format!("burst window must be nonnegative, got {window}"),
+                    ));
+                }
+            }
+            FaultSpec::Targeted { rate } => {
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err((
+                        "faults",
+                        format!("targeted rate must be positive, got {rate}"),
+                    ));
+                }
+            }
+        }
+        if !c.faults.is_iid() && c.fault_rate > 0.0 {
+            return Err((
+                "faults",
+                "fault_rate drives the i.i.d. process only; set fault_rate = 0 \
+                 when a correlated injector supplies its own rate"
+                    .into(),
+            ));
+        }
+        if let RetryPolicy::Backoff { base, .. } = c.retry {
+            if !(base > 0.0 && base.is_finite()) {
+                return Err((
+                    "retry",
+                    format!("backoff base must be positive, got {base}"),
+                ));
+            }
+        }
+        if (c.fault_rate > 0.0 || !c.faults.is_iid())
+            && matches!(self.fabric, FabricSpec::Crossbar(_))
+        {
             return Err((
                 "network",
                 "crossbar switches join two terminals: the vertex-discard repair \
                  discipline cannot express their failures — use a staged fabric \
-                 (clos/benes/multibutterfly/ftn) or set fault_rate = 0"
+                 (clos/benes/multibutterfly/ftn) or disable faults"
                     .into(),
             ));
         }
@@ -428,6 +482,53 @@ fn parse_pattern(words: &[&str]) -> Result<TrafficPattern, String> {
             "unrecognised pattern `{}`; {usage}",
             words.join(" ")
         )),
+    }
+}
+
+fn parse_faults(words: &[&str]) -> Result<FaultSpec, String> {
+    let usage = "faults = iid | storm RATE WINDOW [STAGE] | burst RATE SIZE WINDOW | targeted RATE";
+    match words {
+        ["iid"] => Ok(FaultSpec::Iid),
+        ["storm", rate, window] => Ok(FaultSpec::Storm {
+            rate: parse_num(rate)?,
+            window: parse_num(window)?,
+            stage: None,
+        }),
+        ["storm", rate, window, stage] => Ok(FaultSpec::Storm {
+            rate: parse_num(rate)?,
+            window: parse_num(window)?,
+            stage: Some(parse_int(stage)?),
+        }),
+        ["burst", rate, size, window] => Ok(FaultSpec::Burst {
+            rate: parse_num(rate)?,
+            size: parse_int(size)?,
+            window: parse_num(window)?,
+        }),
+        ["targeted", rate] => Ok(FaultSpec::Targeted {
+            rate: parse_num(rate)?,
+        }),
+        _ => Err(format!(
+            "unrecognised faults `{}`; {usage}",
+            words.join(" ")
+        )),
+    }
+}
+
+fn parse_retry(words: &[&str]) -> Result<RetryPolicy, String> {
+    let usage = "retry = on-repair | budget N backoff BASE [shed DEPTH]";
+    match words {
+        ["on-repair"] => Ok(RetryPolicy::OnRepair),
+        ["budget", n, "backoff", base] => Ok(RetryPolicy::Backoff {
+            budget: parse_int(n)? as u32,
+            base: parse_num(base)?,
+            shed_depth: 0,
+        }),
+        ["budget", n, "backoff", base, "shed", depth] => Ok(RetryPolicy::Backoff {
+            budget: parse_int(n)? as u32,
+            base: parse_num(base)?,
+            shed_depth: parse_int(depth)?,
+        }),
+        _ => Err(format!("unrecognised retry `{}`; {usage}", words.join(" "))),
     }
 }
 
@@ -548,6 +649,144 @@ threads = 2
         assert!(err.contains("warmup must be in [0, duration)"), "{err}");
         // crossbar + faults: attributed to the `network` line
         let err = Scenario::parse("fault_rate = 0.01\nnetwork = crossbar 4\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("crossbar"), "{err}");
+    }
+
+    #[test]
+    fn faults_and_retry_directives_parse() {
+        let s = Scenario::parse("network = clos-strict 2 2\nfaults = storm 0.05 2.0 1\nmttr = 5\n")
+            .unwrap();
+        assert_eq!(
+            s.config.faults,
+            FaultSpec::Storm {
+                rate: 0.05,
+                window: 2.0,
+                stage: Some(1)
+            }
+        );
+        assert_eq!(s.config.faults.to_spec_string(), "storm 0.05 2 1");
+        let s = Scenario::parse("network = clos-strict 2 2\nfaults = burst 0.1 3 1.5\nmttr = 5\n")
+            .unwrap();
+        assert_eq!(
+            s.config.faults,
+            FaultSpec::Burst {
+                rate: 0.1,
+                size: 3,
+                window: 1.5
+            }
+        );
+        let s = Scenario::parse("network = clos-strict 2 2\nfaults = targeted 0.02\nmttr = 5\n")
+            .unwrap();
+        assert_eq!(s.config.faults, FaultSpec::Targeted { rate: 0.02 });
+        let s =
+            Scenario::parse("network = clos-strict 2 2\nretry = budget 3 backoff 0.5 shed 64\n")
+                .unwrap();
+        assert_eq!(
+            s.config.retry,
+            RetryPolicy::Backoff {
+                budget: 3,
+                base: 0.5,
+                shed_depth: 64
+            }
+        );
+        let s = Scenario::parse("network = clos-strict 2 2\nretry = on-repair\n").unwrap();
+        assert_eq!(s.config.retry, RetryPolicy::OnRepair);
+    }
+
+    #[test]
+    fn malformed_faults_directives_carry_line_numbers() {
+        for (text, needle) in [
+            // unknown process
+            (
+                "network = clos-strict 2 2\nfaults = meteor 1\n",
+                "unrecognised faults",
+            ),
+            // wrong arity
+            (
+                "network = clos-strict 2 2\nfaults = storm 0.05\n",
+                "unrecognised faults",
+            ),
+            (
+                "network = clos-strict 2 2\nfaults = targeted\n",
+                "unrecognised faults",
+            ),
+            // non-numeric field
+            (
+                "network = clos-strict 2 2\nfaults = burst fast 3 1\n",
+                "expected a number",
+            ),
+            (
+                "network = clos-strict 2 2\nfaults = storm 0.05 2.0 mid\n",
+                "expected a nonnegative integer",
+            ),
+        ] {
+            let err = Scenario::parse(text).unwrap_err();
+            assert!(err.starts_with("line 2:"), "{text} -> {err}");
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_retry_directives_carry_line_numbers() {
+        for (text, needle) in [
+            (
+                "network = clos-strict 2 2\nretry = always\n",
+                "unrecognised retry",
+            ),
+            (
+                "network = clos-strict 2 2\nretry = budget 3\n",
+                "unrecognised retry",
+            ),
+            (
+                "network = clos-strict 2 2\nretry = budget 3 backoff 0.5 shed\n",
+                "unrecognised retry",
+            ),
+            (
+                "network = clos-strict 2 2\nretry = budget many backoff 0.5\n",
+                "expected a nonnegative integer",
+            ),
+            (
+                "network = clos-strict 2 2\nretry = budget 3 backoff slow\n",
+                "expected a number",
+            ),
+        ] {
+            let err = Scenario::parse(text).unwrap_err();
+            assert!(err.starts_with("line 2:"), "{text} -> {err}");
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+    }
+
+    #[test]
+    fn faults_and_retry_validation_points_at_the_offending_line() {
+        // zero storm rate
+        let err = Scenario::parse("network = clos-strict 2 2\nfaults = storm 0 2.0\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("storm rate must be positive"), "{err}");
+        // negative window
+        let err =
+            Scenario::parse("network = clos-strict 2 2\nfaults = storm 0.05 -1\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("storm window must be nonnegative"), "{err}");
+        // zero burst size
+        let err =
+            Scenario::parse("network = clos-strict 2 2\nfaults = burst 0.1 0 1\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("burst size must be at least 1"), "{err}");
+        // correlated injector + i.i.d. fault_rate clash
+        let err = Scenario::parse(
+            "network = clos-strict 2 2\nfault_rate = 0.01\nfaults = targeted 0.02\n",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("fault_rate drives the i.i.d."), "{err}");
+        // zero backoff base
+        let err =
+            Scenario::parse("network = clos-strict 2 2\nretry = budget 3 backoff 0\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("backoff base must be positive"), "{err}");
+        // crossbar + correlated faults: attributed to the network line
+        let err = Scenario::parse("faults = storm 0.05 2\nnetwork = crossbar 4\n").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
         assert!(err.contains("crossbar"), "{err}");
     }

@@ -66,6 +66,7 @@ mod tests {
             duration: 40.0,
             warmup: 0.0,
             buckets: 4,
+            ..SimConfig::default()
         }
     }
 

@@ -32,6 +32,7 @@ fn cfg(arrival_rate: f64, duration: f64) -> SimConfig {
         duration,
         warmup: 0.0,
         buckets: 1,
+        ..SimConfig::default()
     }
 }
 
@@ -123,6 +124,7 @@ fn temporal_fault_blocking_matches_static_snapshot_estimate() {
         duration: 4000.0,
         warmup: 100.0,
         buckets: 1,
+        ..SimConfig::default()
     };
     let out = run_seed(&fabric, &sim_cfg, 2024);
     let m = &out.metrics;

@@ -36,6 +36,7 @@ fn day_config(fault_rate_per_hour: f64) -> SimConfig {
         duration: 24.0,
         warmup: 0.0,
         buckets: 24, // one per hour
+        ..SimConfig::default()
     }
 }
 

@@ -47,6 +47,7 @@ sim_churn_1k_calls
 sim_churn_1k_calls_faulty
 sim_churn_100k_calls
 sim_churn_100k_calls_faulty
+reroute_storm
 router_connect_pair_ftn_nu2
 bfs_forward_ftn_nu2_reused
 mc_bridge_10k_sliced

@@ -245,6 +245,62 @@ threads = 2
     assert!(json.contains("\"network\": \"clos-strict 2 3\""));
 }
 
+/// The PR-7 correlated injectors extend the event-stream contract: one
+/// storm seed and one targeted-adversary seed are pinned alongside the
+/// i.i.d. goldens above. As ever, a change here means every recorded
+/// storm scenario is invalidated — breaking change, not a casual update.
+#[test]
+fn correlated_injector_streams_are_pinned() {
+    use fault_tolerant_switching::sim;
+
+    const STORM: &str = "\
+network = clos-strict 2 3
+arrival_rate = 4
+holding = exp 0.8
+faults = storm 0.08 2.0
+retry = budget 3 backoff 0.5 shed 8
+mttr = 10
+duration = 60
+seeds = 1
+seed_base = 5
+buckets = 4
+";
+    let report = sim::run_scenario_text(STORM).expect("storm scenario parses");
+    let out = &report.outcomes[0];
+    assert_eq!(out.seed, 5);
+    assert_eq!(out.events, 532, "storm events");
+    assert_eq!(out.fingerprint, 0x754fee9c85468a68, "storm fingerprint");
+    assert!(out.metrics.storms > 0);
+    assert!(out.metrics.faults > out.metrics.storms);
+    // byte-identical report on a rerun
+    assert_eq!(
+        report.to_json(),
+        sim::run_scenario_text(STORM).unwrap().to_json()
+    );
+
+    const TARGETED: &str = "\
+network = clos-strict 2 3
+arrival_rate = 4
+holding = exp 0.8
+faults = targeted 0.05
+mttr = 10
+duration = 60
+seeds = 1
+seed_base = 9
+buckets = 4
+";
+    let report = sim::run_scenario_text(TARGETED).expect("targeted scenario parses");
+    let out = &report.outcomes[0];
+    assert_eq!(out.seed, 9);
+    assert_eq!(out.events, 345, "targeted events");
+    assert_eq!(out.fingerprint, 0x4ef793e9fcb2f216, "targeted fingerprint");
+    assert!(out.metrics.faults > 0);
+    assert_eq!(
+        report.to_json(),
+        sim::run_scenario_text(TARGETED).unwrap().to_json()
+    );
+}
+
 /// The `ftexp` grid runner extends the same contract to whole studies:
 /// the aggregate JSON and CSV tables must be byte-identical across
 /// worker counts AND across a cache-cold vs cache-warm run, and the
