@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ft_sim::{
-    run_seed_with, Fabric, FaultSpec, HoldingTime, RetryPolicy, SimConfig, SimWorkspace,
-    TrafficPattern,
+    run_seed_obs, run_seed_with, Fabric, FaultSpec, HoldingTime, RetryPolicy, SimConfig,
+    SimWorkspace, TrafficPattern,
 };
 use std::hint::black_box;
 
@@ -24,7 +24,10 @@ fn cfg_1k_calls() -> SimConfig {
 }
 
 /// Pure event-loop churn: ~1000 arrivals plus their hangups on a
-/// strict Clos, no faults — the engine overhead per call.
+/// strict Clos, no faults — the engine overhead per call. This (and
+/// every other `run_seed_with` bench here) exercises the no-op
+/// [`ft_obs::Observer`] path: emission sites are monomorphized away,
+/// so these numbers ARE the disabled-observer cost the gate pins.
 fn bench_sim_churn(c: &mut Criterion) {
     let fabric = Fabric::clos_strict(4, 4);
     let cfg = cfg_1k_calls();
@@ -34,6 +37,25 @@ fn bench_sim_churn(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
+        })
+    });
+}
+
+/// The 1k-call churn with a live NDJSON trace observer: what `ftsim
+/// --trace` pays over the no-op path (JSON formatting per event into a
+/// reused string buffer).
+fn bench_sim_churn_traced(c: &mut Criterion) {
+    let fabric = Fabric::clos_strict(4, 4);
+    let cfg = cfg_1k_calls();
+    let mut ws = SimWorkspace::default();
+    let mut seed = 0u64;
+    c.bench_function("sim_churn_1k_calls_traced", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut buf = ft_obs::TraceBuf::new();
+            buf.begin_seed(seed);
+            let out = run_seed_obs(&fabric, &cfg, seed, &mut ws, &mut buf);
+            black_box((out, buf.lines()))
         })
     });
 }
@@ -148,6 +170,7 @@ fn bench_reroute_storm(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sim_churn,
+    bench_sim_churn_traced,
     bench_sim_churn_faulty,
     bench_sim_churn_100k,
     bench_sim_churn_100k_faulty,

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! usage: ftexp SPEC [--out PATH] [--csv PATH] [--cache DIR]
-//!              [--no-cache] [--recompute] [--threads N]
+//!              [--no-cache] [--recompute] [--threads N] [--profile]
 //!
 //!   SPEC          path to a grid spec (`-` reads stdin)
 //!   --out PATH    also write the JSON table to PATH
@@ -14,6 +14,7 @@
 //!   --recompute   ignore cache hits, recompute and rewrite every cell
 //!   --threads N   worker threads (0 = one per core; default: the
 //!                 spec's `threads` directive)
+//!   --profile     print per-phase wall-clock lines to stderr
 //! ```
 //!
 //! The JSON table goes to stdout; diagnostics go to stderr, including
@@ -30,7 +31,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: ftexp SPEC [--out PATH] [--csv PATH] [--cache DIR] [--no-cache] [--recompute] [--threads N]\n       (SPEC = path to a grid spec file, or `-` for stdin)"
+    "usage: ftexp SPEC [--out PATH] [--csv PATH] [--cache DIR] [--no-cache] [--recompute] [--threads N] [--profile]\n       (SPEC = path to a grid spec file, or `-` for stdin)"
 }
 
 fn run() -> Result<(), String> {
@@ -41,6 +42,7 @@ fn run() -> Result<(), String> {
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
     let mut recompute = false;
+    let mut profile = false;
     let mut threads_override: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -54,6 +56,7 @@ fn run() -> Result<(), String> {
             "--cache" => cache_dir = Some(PathBuf::from(it.next().ok_or("--cache needs a dir")?)),
             "--no-cache" => no_cache = true,
             "--recompute" => recompute = true,
+            "--profile" => profile = true,
             "--threads" => {
                 let n = it.next().ok_or("--threads needs a count")?;
                 threads_override = Some(n.parse().map_err(|_| format!("bad thread count `{n}`"))?);
@@ -99,6 +102,11 @@ fn run() -> Result<(), String> {
     eprintln!("ftexp: {}", result.summary_line());
     if let Some(timing) = result.timing_line() {
         eprintln!("ftexp: {timing}");
+    }
+    if profile {
+        for line in result.phase_lines() {
+            eprintln!("ftexp: {line}");
+        }
     }
 
     let json = to_json(&spec, &result);

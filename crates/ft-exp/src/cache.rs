@@ -18,8 +18,10 @@ use std::path::{Path, PathBuf};
 
 /// Format tag written to (and required of) every cache file. Bumped to
 /// v2 when the recovery metrics (storms/shed/degraded_time/…) joined
-/// the per-seed rows — v1 files are clean misses.
-const VERSION: &str = "ftexp cell-cache v2";
+/// the per-seed rows, and to v3 when the reroute-latency histograms
+/// (compact `idx:count` sparse encodings) did — older files are clean
+/// misses.
+const VERSION: &str = "ftexp cell-cache v3";
 
 /// The cache file path for a cell hash.
 pub fn cell_path(dir: &Path, hash: u64) -> PathBuf {
@@ -85,6 +87,16 @@ pub fn render(hash: u64, data: &CellData) -> String {
             &row.mean_reroute_latency.to_string(),
         );
         push(&mut out, "util_max", &row.util_max.to_string());
+        push(
+            &mut out,
+            "reroute_hist_events",
+            &row.reroute_hist_events.to_compact_string(),
+        );
+        push(
+            &mut out,
+            "reroute_hist_time",
+            &row.reroute_hist_time.to_compact_string(),
+        );
     }
     out
 }
@@ -104,7 +116,7 @@ pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
         return None;
     }
     /// Per-seed fields following each `seed` line (completeness check).
-    const SEED_FIELDS: usize = 23;
+    const SEED_FIELDS: usize = 25;
     let mut header: Vec<(String, String)> = Vec::new();
     let mut seeds: Vec<SeedRow> = Vec::new();
     let mut fields_in_row = SEED_FIELDS;
@@ -149,6 +161,12 @@ pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
                     "mean_path_len" => row.mean_path_len = v.parse().ok()?,
                     "mean_reroute_latency" => row.mean_reroute_latency = v.parse().ok()?,
                     "util_max" => row.util_max = v.parse().ok()?,
+                    "reroute_hist_events" => {
+                        row.reroute_hist_events = ft_obs::Hist::from_compact_str(v)?
+                    }
+                    "reroute_hist_time" => {
+                        row.reroute_hist_time = ft_obs::Hist::from_compact_str(v)?
+                    }
                     _ => return None,
                 }
                 fields_in_row += 1;
@@ -240,6 +258,17 @@ mod tests {
                     mean_path_len: 3.733_333_333_333_333_3,
                     mean_reroute_latency: 0.5,
                     util_max: 0.312_500_001,
+                    reroute_hist_events: {
+                        let mut h = ft_obs::Hist::new();
+                        h.record(1.0);
+                        h.record_n(3.0, 2);
+                        h
+                    },
+                    reroute_hist_time: {
+                        let mut h = ft_obs::Hist::new();
+                        h.record(0.5);
+                        h
+                    },
                 },
                 SeedRow {
                     seed: 2,

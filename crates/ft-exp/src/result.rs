@@ -8,6 +8,7 @@
 //! and a cache-cold run go through the identical arithmetic.
 
 use ft_failure::Estimate;
+use ft_obs::Hist;
 use ft_sim::{Fabric, SeedOutcome};
 
 /// Flat scalar summary of one simulated seed.
@@ -62,6 +63,11 @@ pub struct SeedRow {
     pub mean_reroute_latency: f64,
     /// Busiest stage's mean utilisation.
     pub util_max: f64,
+    /// Reroute-latency distribution in fault/repair events (streaming
+    /// log-bucketed histogram; merges exactly across seeds).
+    pub reroute_hist_events: Hist,
+    /// Reroute-latency distribution in sim-time units.
+    pub reroute_hist_time: Hist,
 }
 
 impl SeedRow {
@@ -100,6 +106,8 @@ impl SeedRow {
             mean_path_len: m.mean_path_len(),
             mean_reroute_latency: m.mean_reroute_latency_events(),
             util_max,
+            reroute_hist_events: m.reroute_hist_events.clone(),
+            reroute_hist_time: m.reroute_hist_time.clone(),
         }
     }
 }
@@ -185,6 +193,19 @@ pub struct CellAggregate {
 }
 
 impl CellData {
+    /// Merges the per-seed reroute-latency histograms (events, time).
+    /// Histogram merge is exact, so the resulting quantiles are the
+    /// quantiles of the pooled sample regardless of seed partitioning.
+    pub fn merged_reroute_hists(&self) -> (Hist, Hist) {
+        let mut events = Hist::new();
+        let mut time = Hist::new();
+        for row in &self.seeds {
+            events.merge(&row.reroute_hist_events);
+            time.merge(&row.reroute_hist_time);
+        }
+        (events, time)
+    }
+
     /// Aggregates the seed rows (recomputed at render time on both the
     /// cold and the warm path).
     pub fn aggregate(&self) -> CellAggregate {

@@ -65,20 +65,26 @@ pub struct StudyResult {
     pub wall_ms_mean: f64,
     /// Worst computed-cell wall-time, in milliseconds.
     pub wall_ms_max: f64,
+    /// Wall-clock of the three runner phases — (serial cache probe,
+    /// parallel compute, write-back/assembly) — in milliseconds. Run
+    /// accounting for `--profile`; stderr only, never in the tables.
+    pub phase_ms: [f64; 3],
 }
+
+/// Display names for [`StudyResult::phase_ms`], in order.
+pub const PHASE_NAMES: [&str; 3] = ["probe", "compute", "write-back"];
 
 impl StudyResult {
     /// One-line run accounting (the `ftexp` CLI prints this to stderr;
     /// CI greps it to assert a warm run computes zero cells). Stable
     /// and deterministic — timing lives in [`Self::timing_line`].
     pub fn summary_line(&self) -> String {
-        format!(
-            "cells total={} computed={} cached={} skipped={}",
-            self.cells.len(),
-            self.computed,
-            self.cached,
-            self.skipped
-        )
+        ft_obs::KvLine::new("cells")
+            .kv("total", self.cells.len())
+            .kv("computed", self.computed)
+            .kv("cached", self.cached)
+            .kv("skipped", self.skipped)
+            .finish()
     }
 
     /// Per-cell wall-time accounting for the cells computed this run
@@ -87,11 +93,21 @@ impl StudyResult {
     /// touching the byte-stable tables.
     pub fn timing_line(&self) -> Option<String> {
         (self.computed > 0).then(|| {
-            format!(
-                "cell wall-time ms: computed={} mean={:.1} max={:.1}",
-                self.computed, self.wall_ms_mean, self.wall_ms_max
-            )
+            ft_obs::KvLine::new("cell wall-time ms:")
+                .kv("computed", self.computed)
+                .kv_f1("mean", self.wall_ms_mean)
+                .kv_f1("max", self.wall_ms_max)
+                .finish()
         })
+    }
+
+    /// One `phase <name> ms=<t>` line per runner phase, for `--profile`.
+    pub fn phase_lines(&self) -> Vec<String> {
+        let mut prof = ft_obs::Profiler::new(true);
+        for (name, &ms) in PHASE_NAMES.iter().zip(&self.phase_ms) {
+            prof.add_ms(name, ms);
+        }
+        prof.lines()
     }
 }
 
@@ -107,6 +123,7 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<StudyResult, Strin
     }
 
     let cells = spec.cells();
+    let phase_start = std::time::Instant::now();
     // 1) serial pass: skips and cache probes, in cell order
     let mut resolved: Vec<Option<Result<(CellData, CellSource), String>>> =
         Vec::with_capacity(cells.len());
@@ -140,6 +157,9 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<StudyResult, Strin
         resolved.push(entry);
     }
 
+    let probe_ms = phase_start.elapsed().as_secs_f64() * 1e3;
+    let phase_start = std::time::Instant::now();
+
     // 2) parallel pass: workers claim cache misses from a cursor
     let computed = jobs.len();
     let slots: Vec<Mutex<Option<(CellData, f64)>>> =
@@ -172,6 +192,9 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<StudyResult, Strin
             });
         }
     });
+
+    let compute_ms = phase_start.elapsed().as_secs_f64() * 1e3;
+    let phase_start = std::time::Instant::now();
 
     // 3) write-back and assembly, in cell order
     let (mut wall_sum, mut wall_max) = (0.0f64, 0.0f64);
@@ -208,6 +231,11 @@ pub fn run_grid(spec: &GridSpec, opts: &RunOptions) -> Result<StudyResult, Strin
             0.0
         },
         wall_ms_max: wall_max,
+        phase_ms: [
+            probe_ms,
+            compute_ms,
+            phase_start.elapsed().as_secs_f64() * 1e3,
+        ],
     })
 }
 
@@ -287,6 +315,15 @@ sweep fault_rate = 0, 0.004
         assert!(result.wall_ms_max >= result.wall_ms_mean);
         let timing = result.timing_line().expect("cells were computed");
         assert!(timing.starts_with("cell wall-time ms: computed=3 mean="));
+        let phases = result.phase_lines();
+        assert_eq!(phases.len(), 3);
+        assert!(phases[0].starts_with("phase probe ms="), "{}", phases[0]);
+        assert!(phases[1].starts_with("phase compute ms="), "{}", phases[1]);
+        assert!(
+            phases[2].starts_with("phase write-back ms="),
+            "{}",
+            phases[2]
+        );
     }
 
     #[test]

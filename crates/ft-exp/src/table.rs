@@ -93,7 +93,11 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                          \"time_to_recover\": {}, \"dropped_per_storm\": {}, \
                          \"blocking\": {}, \"busy_rejection\": {}, \"drop_rate\": {}, \
                          \"carried_erlangs\": {}, \"mean_path_len\": {}, \
-                         \"mean_reroute_latency\": {}, \"util_max\": {}}}{}\n",
+                         \"mean_reroute_latency\": {}, \"util_max\": {}, \
+                         \"reroute_latency_events_p50\": {}, \
+                         \"reroute_latency_events_p99\": {}, \
+                         \"reroute_latency_time_p50\": {}, \
+                         \"reroute_latency_time_p99\": {}}}{}\n",
                         r.seed,
                         r.events,
                         r.fingerprint,
@@ -118,16 +122,24 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                         r.mean_path_len,
                         r.mean_reroute_latency,
                         r.util_max,
+                        r.reroute_hist_events.quantile(50.0) as u64,
+                        r.reroute_hist_events.quantile(99.0) as u64,
+                        r.reroute_hist_time.quantile(50.0),
+                        r.reroute_hist_time.quantile(99.0),
                         if j + 1 == data.seeds.len() { "" } else { "," }
                     ));
                 }
                 out.push_str("      ],\n");
                 let a = data.aggregate();
+                let (ev_hist, time_hist) = data.merged_reroute_hists();
                 out.push_str(&format!(
                     "      \"aggregate\": {{\"offered\": {}, \"blocking\": {}, \
                      \"busy_rejection\": {}, \"drop_rate\": {}, \"carried_erlangs\": {}, \
                      \"mean_path_len\": {}, \"reroute_latency\": {}, \"util_max\": {}, \
-                     \"time_to_recover\": {}, \"dropped_per_storm\": {}}}",
+                     \"time_to_recover\": {}, \"dropped_per_storm\": {}, \
+                     \"reroute_latency_quantiles\": {{\"events_p50\": {}, \
+                     \"events_p99\": {}, \"events_p999\": {}, \"time_p50\": {}, \
+                     \"time_p99\": {}, \"time_p999\": {}}}}}",
                     a.offered_total,
                     stat_json(&a.blocking),
                     stat_json(&a.busy_rejection),
@@ -138,6 +150,12 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                     stat_json(&a.util_max),
                     stat_json(&a.time_to_recover),
                     stat_json(&a.dropped_per_storm),
+                    ev_hist.quantile(50.0) as u64,
+                    ev_hist.quantile(99.0) as u64,
+                    ev_hist.quantile(99.9) as u64,
+                    time_hist.quantile(50.0),
+                    time_hist.quantile(99.0),
+                    time_hist.quantile(99.9),
                 ));
                 match data.static_est {
                     Some(est) => {
@@ -188,7 +206,9 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
         ",status,fabric,switches,terminals,seeds,offered,blocking_mean,blocking_std,\
          blocking_ci95,busy_rejection_mean,drop_rate_mean,carried_erlangs_mean,\
          mean_path_len_mean,reroute_latency_mean,util_max_mean,time_to_recover_mean,\
-         dropped_per_storm_mean,static_p,static_lo95,static_hi95,static_trials,note\n",
+         dropped_per_storm_mean,reroute_latency_events_p50,reroute_latency_events_p99,\
+         reroute_latency_events_p999,reroute_latency_time_p50,reroute_latency_time_p99,\
+         reroute_latency_time_p999,static_p,static_lo95,static_hi95,static_trials,note\n",
     );
     for report in &result.cells {
         out.push_str(&report.cell.index.to_string());
@@ -199,14 +219,15 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
         match &report.data {
             Err(reason) => {
                 out.push_str(",skipped");
-                out.push_str(&",".repeat(20));
+                out.push_str(&",".repeat(26));
                 out.push(',');
                 out.push_str(&csv_field(reason));
             }
             Ok((data, _)) => {
                 let a = data.aggregate();
+                let (ev_hist, time_hist) = data.merged_reroute_hists();
                 out.push_str(&format!(
-                    ",ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    ",ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     csv_field(&data.fabric_label),
                     data.switches,
                     data.terminals,
@@ -223,6 +244,12 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
                     a.util_max.mean,
                     a.time_to_recover.mean,
                     a.dropped_per_storm.mean,
+                    ev_hist.quantile(50.0) as u64,
+                    ev_hist.quantile(99.0) as u64,
+                    ev_hist.quantile(99.9) as u64,
+                    time_hist.quantile(50.0),
+                    time_hist.quantile(99.0),
+                    time_hist.quantile(99.9),
                 ));
                 match data.static_est {
                     Some(est) => {
@@ -276,6 +303,8 @@ mod tests {
             "\"static\"",
             "\"skipped\"",
             "\"skip_reason\"",
+            "\"reroute_latency_events_p50\"",
+            "\"reroute_latency_quantiles\"",
         ] {
             assert!(a.contains(key), "missing {key} in\n{a}");
         }

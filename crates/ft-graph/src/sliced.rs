@@ -33,6 +33,7 @@
 
 use crate::ids::{EdgeId, VertexId};
 use crate::traversal::Direction;
+use crate::workspace::KernelStats;
 use crate::Digraph;
 
 /// Number of Monte Carlo lanes carried per machine word.
@@ -59,6 +60,8 @@ pub struct SlicedWorkspace {
     /// worklist; demoted on pop so new lanes can re-enqueue it).
     inq: Vec<u32>,
     queue: Vec<VertexId>,
+    /// Deterministic work counters (resets, worklist pops, lane bits).
+    stats: KernelStats,
 }
 
 impl SlicedWorkspace {
@@ -85,7 +88,20 @@ impl SlicedWorkspace {
             self.inq.fill(0);
             self.epoch = 1;
         }
+        self.stats.epoch_resets += 1;
         self.queue.clear();
+    }
+
+    /// The workspace's accumulated [`KernelStats`] (sweeps started,
+    /// worklist pops, lane bits decided).
+    #[inline]
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Zeroes the accumulated [`KernelStats`].
+    pub fn reset_stats(&mut self) {
+        self.stats = KernelStats::default();
     }
 
     /// Lane word of `v` after the last sweep: bit `i` set ⇔ `v` was
@@ -133,6 +149,7 @@ impl SlicedWorkspace {
         if new == 0 {
             return;
         }
+        self.stats.sliced_lane_decisions += u64::from(new.count_ones());
         self.stamp[i] = self.epoch;
         self.reached[i] = cur | new;
         if self.inq[i] != self.epoch {
@@ -186,6 +203,7 @@ pub fn sliced_reach_into<G: Digraph>(
     while head < ws.queue.len() {
         let u = ws.queue[head];
         head += 1;
+        ws.stats.sliced_pops += 1;
         // demote the in-queue stamp so late-arriving lanes re-enqueue
         ws.inq[u.index()] = ws.epoch.wrapping_sub(1);
         let ru = ws.reached[u.index()];

@@ -411,6 +411,7 @@ pub fn bibfs_into<G: Digraph>(
         let may_grow_bwd = sl - meet < max_backward_levels;
         if may_grow_bwd && blen <= flen {
             let end = bwd.queue.len();
+            bwd.stats.bibfs_pops += (end - bhead) as u64;
             expand_backward_level(g, bwd, bhead..end, &mut vertex_ok);
             bhead = end;
             meet -= 1;
@@ -421,6 +422,7 @@ pub fn bibfs_into<G: Digraph>(
             }
         } else {
             let end = fwd.queue.len();
+            fwd.stats.bibfs_pops += (end - fhead) as u64;
             if expand_forward_stage(g, fwd, fhead..end, target, &mut vertex_ok, None) {
                 return true; // adjacent-stage source/target pairs
             }
@@ -439,6 +441,7 @@ pub fn bibfs_into<G: Digraph>(
         if fhead == end {
             return false;
         }
+        fwd.stats.bibfs_pops += (end - fhead) as u64;
         if expand_forward_stage(g, fwd, fhead..end, target, &mut vertex_ok, Some(bwd)) {
             return true;
         }

@@ -22,6 +22,40 @@ use crate::traversal::UNREACHED;
 use crate::Digraph;
 use std::ops::Range;
 
+/// Per-kernel work counters, accumulated by the traversal workspaces.
+///
+/// These are *deterministic* cost measures (they count algorithmic
+/// steps, not wall-clock), so they can feed reproducible reports: the
+/// same run always pops the same frontiers. Counters accumulate across
+/// traversals until [`TraversalWorkspace::reset_stats`] /
+/// [`crate::sliced::SlicedWorkspace::reset_stats`]; readers that want a
+/// per-operation delta snapshot before and after.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Epoch-stamped workspace resets (`begin` calls): one per
+    /// traversal started, the O(1)-clear discipline's unit of work.
+    pub epoch_resets: u64,
+    /// Vertices popped off the bidirectional route search's frontiers
+    /// ([`crate::traversal::bibfs_into`], both cones) — the dominant
+    /// cost of a `connect` attempt.
+    pub bibfs_pops: u64,
+    /// Worklist pops of the 64-lane sliced reachability sweep.
+    pub sliced_pops: u64,
+    /// Lane bits newly decided by sliced frontier absorption.
+    pub sliced_lane_decisions: u64,
+}
+
+impl KernelStats {
+    /// Folds another counter set into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.epoch_resets += other.epoch_resets;
+        self.bibfs_pops += other.bibfs_pops;
+        self.sliced_pops += other.sliced_pops;
+        self.sliced_lane_decisions += other.sliced_lane_decisions;
+    }
+}
+
 /// Reusable buffers for BFS-shaped traversals, cleared in O(touched).
 ///
 /// After a traversal (`bfs_into` and friends) the workspace *is* the
@@ -40,6 +74,8 @@ pub struct TraversalWorkspace {
     pub(crate) parent: Vec<u32>,
     /// FIFO queue; after a BFS this is the discovery order.
     pub(crate) queue: Vec<VertexId>,
+    /// Deterministic work counters (resets, bibfs frontier pops).
+    pub(crate) stats: KernelStats,
 }
 
 impl TraversalWorkspace {
@@ -62,7 +98,19 @@ impl TraversalWorkspace {
             self.stamp.fill(0);
             self.epoch = 1;
         }
+        self.stats.epoch_resets += 1;
         self.queue.clear();
+    }
+
+    /// The workspace's accumulated [`KernelStats`].
+    #[inline]
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Zeroes the accumulated [`KernelStats`].
+    pub fn reset_stats(&mut self) {
+        self.stats = KernelStats::default();
     }
 
     /// Whether entry `i` has been touched in the current traversal.

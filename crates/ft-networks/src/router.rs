@@ -167,6 +167,18 @@ impl<'a> CircuitRouter<'a> {
         self.sessions.get(id.0 as usize).and_then(|s| s.as_deref())
     }
 
+    /// Accumulated per-kernel work counters of the router's search
+    /// workspaces (both cones of the bidirectional search). Counters are
+    /// deterministic functions of the connect/disconnect history, so
+    /// they may feed byte-reproducible reports; deltas around a single
+    /// `connect` measure that attempt's search effort.
+    #[inline]
+    pub fn kernel_stats(&self) -> ft_graph::KernelStats {
+        let mut s = self.ws.stats();
+        s.merge(&self.ws_b.stats());
+        s
+    }
+
     /// Attempts to connect `input → output` greedily (BFS over idle
     /// vertices, shortest idle path). On success the path's vertices
     /// become busy.

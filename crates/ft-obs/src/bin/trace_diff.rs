@@ -1,0 +1,51 @@
+//! `trace_diff A B` — locate the first diverging event between two
+//! `ftsim --trace` NDJSON files.
+//!
+//! Exit status: 0 when the traces are identical, 1 on a divergence
+//! (the 0-based line index and both conflicting lines are printed),
+//! 2 on usage or I/O errors. Designed for CI: a fingerprint mismatch
+//! becomes an exact event to stare at.
+
+use ft_obs::{first_divergence, TraceDiff};
+use std::process::ExitCode;
+
+fn render(side: Option<&str>) -> &str {
+    side.unwrap_or("<end of trace>")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [left_path, right_path] = match args.as_slice() {
+        [a, b] => [a, b],
+        _ => {
+            eprintln!("usage: trace_diff LEFT.ndjson RIGHT.ndjson");
+            return ExitCode::from(2);
+        }
+    };
+    let read = |path: &str| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("trace_diff: cannot read {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let left = match read(left_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let right = match read(right_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match first_divergence(&left, &right) {
+        TraceDiff::Identical { lines } => {
+            println!("trace_diff: traces identical ({lines} events)");
+            ExitCode::SUCCESS
+        }
+        TraceDiff::Divergence { index, left, right } => {
+            println!("trace_diff: first divergence at event {index}");
+            println!("- {}", render(left.as_deref()));
+            println!("+ {}", render(right.as_deref()));
+            ExitCode::from(1)
+        }
+    }
+}

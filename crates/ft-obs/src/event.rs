@@ -1,0 +1,300 @@
+//! The structured trace-event vocabulary and the [`Observer`] trait the
+//! simulation engine is generic over.
+//!
+//! The engine calls [`Observer::event`] at every semantic event it
+//! processes, stamped with the event's `(sim-time, seq)` — the same total
+//! order the event-stream fingerprint folds over. The default observer is
+//! [`Noop`], a zero-sized type whose `event` body is empty: the engine is
+//! monomorphized per observer, so with `Noop` every emission site compiles
+//! to nothing (path scratch included — sites gate on
+//! [`Observer::ENABLED`]) and the hot loop is byte-for-byte the pre-trace
+//! engine, pinned by the golden event-stream fingerprints and the gated
+//! sim benches.
+
+use std::fmt::Write as _;
+
+/// One structured simulation event, borrowed from engine state.
+///
+/// `token` is the session token of the call involved (unique per
+/// admitted call within a run); `path` is the circuit's vertex-id route
+/// through the fabric where one exists.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent<'a> {
+    /// A live call arrival sampled `src → dst` (terminal indices).
+    Arrival { src: u32, dst: u32 },
+    /// The arrival was admitted with a circuit along `path`.
+    Connect {
+        token: u32,
+        src: u32,
+        dst: u32,
+        path: &'a [u32],
+    },
+    /// The arrival found an endpoint already in use.
+    BusyReject { src: u32, dst: u32 },
+    /// The arrival found no idle path (the paper's blocking event).
+    Block { src: u32, dst: u32 },
+    /// An established call hung up normally.
+    Hangup { token: u32 },
+    /// A switch failed (`open` = stuck-open, else stuck-closed);
+    /// `episode` marks the first strike of a new storm episode.
+    Fault {
+        switch: u32,
+        open: bool,
+        episode: bool,
+    },
+    /// The fault killed this session's circuit.
+    Kill { token: u32, slot: u32 },
+    /// A reroute attempt for a killed call; on success `token`/`path`
+    /// identify the re-established circuit (0/empty on failure).
+    Reroute {
+        token: u32,
+        src: u32,
+        dst: u32,
+        ok: bool,
+        path: &'a [u32],
+    },
+    /// A scheduled backoff retry fired for a still-pending call.
+    Retry { token: u32 },
+    /// The degradation ladder shed a killed call without retrying.
+    Shed { token: u32, src: u32, dst: u32 },
+    /// A failed switch was repaired.
+    Repair { switch: u32 },
+    /// A degraded episode closed; `span` is its length in sim-time.
+    RecoveryClose { span: f64 },
+}
+
+impl TraceEvent<'_> {
+    /// The `ev` tag the NDJSON serialization uses.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Arrival { .. } => "arrival",
+            TraceEvent::Connect { .. } => "connect",
+            TraceEvent::BusyReject { .. } => "busy_reject",
+            TraceEvent::Block { .. } => "block",
+            TraceEvent::Hangup { .. } => "hangup",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Kill { .. } => "kill",
+            TraceEvent::Reroute { .. } => "reroute",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Shed { .. } => "shed",
+            TraceEvent::Repair { .. } => "repair",
+            TraceEvent::RecoveryClose { .. } => "recovery_close",
+        }
+    }
+}
+
+/// A sink for the engine's structured event stream.
+///
+/// Implementations must be deterministic functions of the event sequence
+/// alone — the engine guarantees it calls `event` in `(time, seq)` order
+/// and never consults the observer, so an observer can never perturb the
+/// simulation (the golden fingerprints pin this).
+pub trait Observer {
+    /// Whether emission sites should do any work at all. The engine
+    /// gates path-materialisation scratch on this constant, so a
+    /// disabled observer pays nothing, not even a branch.
+    const ENABLED: bool = true;
+
+    /// One event at simulation time `time`, queue sequence `seq`.
+    fn event(&mut self, time: f64, seq: u64, ev: &TraceEvent<'_>);
+}
+
+/// The disabled observer: a zero-sized no-op the engine monomorphizes
+/// away entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Noop;
+
+impl Observer for Noop {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _time: f64, _seq: u64, _ev: &TraceEvent<'_>) {}
+}
+
+/// An observer serializing every event as one line of deterministic
+/// NDJSON into an in-memory buffer.
+///
+/// Numbers are rendered with Rust's shortest-round-trip float formatting
+/// and keys appear in a fixed order per event kind, so the same event
+/// stream always produces the same bytes — `trace_diff` compares traces
+/// line-by-line on that guarantee.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuf {
+    buf: String,
+    lines: u64,
+}
+
+impl TraceBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a seed header line. Sweep drivers call this once per seed
+    /// before running it, so a multi-seed trace file concatenated in
+    /// seed order is self-describing (and independent of thread count).
+    pub fn begin_seed(&mut self, seed: u64) {
+        let _ = writeln!(self.buf, "{{\"ev\":\"seed\",\"seed\":{seed}}}");
+        self.lines += 1;
+    }
+
+    /// Number of NDJSON lines written (seed headers included).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+fn push_path(buf: &mut String, path: &[u32]) {
+    buf.push('[');
+    for (i, v) in path.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        let _ = write!(buf, "{v}");
+    }
+    buf.push(']');
+}
+
+impl Observer for TraceBuf {
+    fn event(&mut self, time: f64, seq: u64, ev: &TraceEvent<'_>) {
+        let buf = &mut self.buf;
+        let _ = write!(buf, "{{\"t\":{time},\"seq\":{seq},\"ev\":\"{}\"", ev.tag());
+        match *ev {
+            TraceEvent::Arrival { src, dst }
+            | TraceEvent::BusyReject { src, dst }
+            | TraceEvent::Block { src, dst } => {
+                let _ = write!(buf, ",\"src\":{src},\"dst\":{dst}");
+            }
+            TraceEvent::Connect {
+                token,
+                src,
+                dst,
+                path,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"token\":{token},\"src\":{src},\"dst\":{dst},\"path\":"
+                );
+                push_path(buf, path);
+            }
+            TraceEvent::Hangup { token } | TraceEvent::Retry { token } => {
+                let _ = write!(buf, ",\"token\":{token}");
+            }
+            TraceEvent::Fault {
+                switch,
+                open,
+                episode,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"switch\":{switch},\"open\":{open},\"episode\":{episode}"
+                );
+            }
+            TraceEvent::Kill { token, slot } => {
+                let _ = write!(buf, ",\"token\":{token},\"slot\":{slot}");
+            }
+            TraceEvent::Reroute {
+                token,
+                src,
+                dst,
+                ok,
+                path,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"token\":{token},\"src\":{src},\"dst\":{dst},\"ok\":{ok},\"path\":"
+                );
+                push_path(buf, path);
+            }
+            TraceEvent::Shed { token, src, dst } => {
+                let _ = write!(buf, ",\"token\":{token},\"src\":{src},\"dst\":{dst}");
+            }
+            TraceEvent::Repair { switch } => {
+                let _ = write!(buf, ",\"switch\":{switch}");
+            }
+            TraceEvent::RecoveryClose { span } => {
+                let _ = write!(buf, ",\"span\":{span}");
+            }
+        }
+        buf.push_str("}\n");
+        self.lines += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<Noop>(), 0);
+        const { assert!(!Noop::ENABLED) };
+        const { assert!(TraceBuf::ENABLED) };
+    }
+
+    #[test]
+    fn ndjson_lines_are_deterministic_and_wellformed() {
+        let emit = |obs: &mut TraceBuf| {
+            obs.begin_seed(7);
+            obs.event(0.5, 1, &TraceEvent::Arrival { src: 0, dst: 3 });
+            obs.event(
+                0.5,
+                1,
+                &TraceEvent::Connect {
+                    token: 0,
+                    src: 0,
+                    dst: 3,
+                    path: &[2, 9, 14],
+                },
+            );
+            obs.event(
+                1.25,
+                4,
+                &TraceEvent::Fault {
+                    switch: 11,
+                    open: true,
+                    episode: false,
+                },
+            );
+            obs.event(1.25, 4, &TraceEvent::Kill { token: 0, slot: 0 });
+            obs.event(
+                1.25,
+                4,
+                &TraceEvent::Reroute {
+                    token: 1,
+                    src: 0,
+                    dst: 3,
+                    ok: true,
+                    path: &[2, 10, 14],
+                },
+            );
+            obs.event(9.0, 20, &TraceEvent::RecoveryClose { span: 7.75 });
+        };
+        let mut a = TraceBuf::new();
+        let mut b = TraceBuf::new();
+        emit(&mut a);
+        emit(&mut b);
+        assert_eq!(a.as_str(), b.as_str());
+        assert_eq!(a.lines(), 7);
+        assert_eq!(a.as_str().lines().next(), Some(r#"{"ev":"seed","seed":7}"#));
+        assert!(a.as_str().lines().any(|l| l
+            == r#"{"t":0.5,"seq":1,"ev":"connect","token":0,"src":0,"dst":3,"path":[2,9,14]}"#));
+        assert!(a
+            .as_str()
+            .lines()
+            .any(|l| l
+                == r#"{"t":1.25,"seq":4,"ev":"fault","switch":11,"open":true,"episode":false}"#));
+        // Every line is brace-delimited and newline-terminated.
+        assert!(a.as_str().ends_with('\n'));
+        for line in a.as_str().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+}

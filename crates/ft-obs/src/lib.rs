@@ -1,0 +1,30 @@
+//! Observability layer for the fault-tolerant switching stack.
+//!
+//! Three independent pieces, all bound by the repo's byte-reproducibility
+//! contract:
+//!
+//! * **Tracing** — the [`Observer`] trait the simulation engine is
+//!   generic over, the [`Noop`] zero-cost default, and the [`TraceBuf`]
+//!   deterministic-NDJSON serializer behind `ftsim --trace FILE`; the
+//!   `trace_diff` bin (built from [`first_divergence`]) locates the
+//!   first diverging event between two trace files.
+//! * **Streaming histograms** — [`Hist`], a sparse log-bucketed
+//!   histogram with an exact `u64`-count sorted-bucket merge, so
+//!   p50/p99/p999 summaries are byte-identical however the sample
+//!   stream was partitioned across seeds, threads, or cache runs.
+//! * **Profiling** — [`Profiler`] wall-clock phase sections and the
+//!   [`KvLine`] accounting-line formatter, rendered to stderr only so
+//!   reports and study tables stay byte-stable.
+//!
+//! The crate is a dependency leaf (std only): `ft-sim`, `ft-exp`, and
+//! the binaries layer it over the engine without cycles.
+
+pub mod diff;
+pub mod event;
+pub mod hist;
+pub mod profile;
+
+pub use diff::{first_divergence, TraceDiff};
+pub use event::{Noop, Observer, TraceBuf, TraceEvent};
+pub use hist::{bucket_index, bucket_lower_edge, Hist, NUM_BUCKETS};
+pub use profile::{KvLine, Profiler};

@@ -1,0 +1,119 @@
+//! Property-based tests for the streaming histogram: merge is an
+//! associative, commutative, exact operation, so quantiles over a
+//! partitioned sample never depend on how the sample was partitioned —
+//! the property the thread-count-independent sweep aggregates rely on.
+
+use ft_obs::{bucket_index, bucket_lower_edge, Hist};
+use proptest::prelude::*;
+
+/// Builds a histogram from a slice of samples.
+fn hist_of(xs: &[f64]) -> Hist {
+    let mut h = Hist::new();
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+/// Nearest-rank quantile over the exact sorted sample.
+fn exact_quantile(xs: &mut [f64], p: f64) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0 * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+    xs[rank - 1]
+}
+
+/// Positive finite samples spanning many octaves of the histogram's
+/// normal range (mantissa × 2^(e-12) for e in 0..24).
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((1u64..=1_000_000, 0u32..24), 1..200).prop_map(|raws| {
+        raws.into_iter()
+            .map(|(m, e)| m as f64 * 2.0f64.powi(e as i32 - 12))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging is commutative: a∪b == b∪a, bucket-for-bucket.
+    #[test]
+    fn merge_commutes(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_compact_string(), ba.to_compact_string());
+    }
+
+    /// Merging is associative: (a∪b)∪c == a∪(b∪c).
+    #[test]
+    fn merge_associates(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+    }
+
+    /// Any partition of a sample merges back to the histogram of the
+    /// whole sample — recording and merging are byte-interchangeable.
+    /// This is why a 4-thread sweep aggregates identically to a
+    /// 1-thread sweep: per-seed histograms merge the same no matter
+    /// which worker recorded them.
+    #[test]
+    fn partitioned_merge_equals_whole(xs in samples(), cut_seed in 0usize..1000) {
+        let whole = hist_of(&xs);
+        let cuts = 1 + cut_seed % 4; // 2..=5 chunks
+        let chunk = xs.len().div_ceil(cuts + 1).max(1);
+        let mut merged = Hist::new();
+        for part in xs.chunks(chunk) {
+            merged.merge(&hist_of(part));
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.to_compact_string(), whole.to_compact_string());
+    }
+
+    /// The compact encoding round-trips exactly.
+    #[test]
+    fn compact_round_trip(xs in samples()) {
+        let h = hist_of(&xs);
+        let s = h.to_compact_string();
+        let back = Hist::from_compact_str(&s).expect("own encoding parses");
+        prop_assert_eq!(&back, &h);
+        prop_assert_eq!(back.to_compact_string(), s);
+    }
+
+    /// Histogram quantiles are exact sorted-vector quantiles up to one
+    /// subbucket of relative error: the reported value is a bucket
+    /// lower edge at most 1/32 (one subbucket width) below the exact
+    /// nearest-rank sample.
+    #[test]
+    fn quantile_tracks_exact(mut xs in samples(), p_pct in 1u32..=100) {
+        let h = hist_of(&xs);
+        let p = p_pct as f64;
+        let got = h.quantile(p);
+        let exact = exact_quantile(&mut xs, p);
+        prop_assert!(got <= exact, "p{p}: {got} > exact {exact}");
+        prop_assert!(
+            got >= exact * (1.0 - 1.0 / 32.0) * (1.0 - 1e-12),
+            "p{p}: {got} too far below exact {exact}"
+        );
+        // and the reported value is always a representable bucket edge
+        prop_assert_eq!(bucket_lower_edge(bucket_index(got)), got);
+    }
+
+    /// Counts are conserved by record/merge.
+    #[test]
+    fn count_conserved(a in samples(), b in samples()) {
+        let mut h = hist_of(&a);
+        prop_assert_eq!(h.count(), a.len() as u64);
+        h.merge(&hist_of(&b));
+        prop_assert_eq!(h.count(), (a.len() + b.len()) as u64);
+    }
+}

@@ -2,11 +2,13 @@
 //! engine and emit a JSON report.
 //!
 //! ```text
-//! usage: ftsim SCENARIO [--out PATH] [--threads N]
+//! usage: ftsim SCENARIO [--out PATH] [--threads N] [--trace FILE] [--profile]
 //!
 //!   SCENARIO      path to a scenario spec (`-` reads stdin)
 //!   --out PATH    also write the JSON report to PATH
 //!   --threads N   override the scenario's worker count
+//!   --trace FILE  write the deterministic NDJSON event trace to FILE
+//!   --profile     print per-phase wall-clock and kernel counters to stderr
 //! ```
 //!
 //! The report goes to stdout; diagnostics go to stderr. Exit status is
@@ -17,7 +19,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: ftsim SCENARIO [--out PATH] [--threads N]\n       (SCENARIO = path to a spec file, or `-` for stdin)"
+    "usage: ftsim SCENARIO [--out PATH] [--threads N] [--trace FILE] [--profile]\n       (SCENARIO = path to a spec file, or `-` for stdin)"
 }
 
 fn run() -> Result<(), String> {
@@ -25,6 +27,8 @@ fn run() -> Result<(), String> {
     let mut scenario_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut threads_override: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
+    let mut profile = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,6 +43,10 @@ fn run() -> Result<(), String> {
                 let n = it.next().ok_or("--threads needs a count")?;
                 threads_override = Some(n.parse().map_err(|_| format!("bad thread count `{n}`"))?);
             }
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--profile" => profile = true,
             other if scenario_path.is_none() => scenario_path = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
         }
@@ -55,11 +63,12 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("reading {scenario_path}: {e}"))?
     };
 
-    let mut scenario = ft_sim::Scenario::parse(&text)?;
+    let mut prof = ft_obs::Profiler::new(profile);
+    let mut scenario = prof.section("parse", || ft_sim::Scenario::parse(&text))?;
     if let Some(t) = threads_override {
         scenario.threads = t;
     }
-    let fabric = scenario.fabric.build();
+    let fabric = prof.section("build", || scenario.fabric.build());
     eprintln!(
         "ftsim: {} ({} switches, {} terminals), {} seed(s), duration {}",
         fabric.label(),
@@ -68,18 +77,47 @@ fn run() -> Result<(), String> {
         scenario.seeds,
         scenario.config.duration,
     );
-    let outcomes = ft_sim::run_sweep(
-        &fabric,
-        &scenario.config,
-        &scenario.seed_list(),
-        scenario.threads,
-    );
+    let seeds = scenario.seed_list();
+    let mut trace: Option<String> = None;
+    let outcomes = prof.section("sweep", || {
+        if trace_path.is_some() {
+            let (outcomes, t) =
+                ft_sim::run_sweep_traced(&fabric, &scenario.config, &seeds, scenario.threads);
+            trace = Some(t);
+            outcomes
+        } else {
+            ft_sim::run_sweep(&fabric, &scenario.config, &seeds, scenario.threads)
+        }
+    });
+    let mut kernel = ft_graph::KernelStats::default();
+    for o in &outcomes {
+        kernel.merge(&o.kernel);
+    }
     let report = ft_sim::Report::new(scenario, &fabric, outcomes);
-    let json = report.to_json();
+    let json = prof.section("render", || report.to_json());
     print!("{json}");
     if let Some(path) = out_path {
         std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("ftsim: report written to {path}");
+    }
+    if let (Some(path), Some(trace)) = (&trace_path, &trace) {
+        std::fs::write(path, trace).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "ftsim: trace written to {path} ({} lines)",
+            trace.lines().count()
+        );
+    }
+    if profile {
+        for line in prof.lines() {
+            eprintln!("ftsim: {line}");
+        }
+        let counters = ft_obs::KvLine::new("kernel counters")
+            .kv("bibfs_pops", kernel.bibfs_pops)
+            .kv("sliced_pops", kernel.sliced_pops)
+            .kv("sliced_lane_decisions", kernel.sliced_lane_decisions)
+            .kv("epoch_resets", kernel.epoch_resets)
+            .finish();
+        eprintln!("ftsim: {counters}");
     }
     Ok(())
 }

@@ -16,6 +16,16 @@
 //! so a `(scenario, seed)` pair reproduces a byte-identical event
 //! stream — pinned by the FNV fingerprint every run accumulates over
 //! the events it processes.
+//!
+//! The engine is generic over an [`Observer`] ([`run_seed_obs`]): every
+//! semantic event — arrival, connect, busy-reject, block, hangup,
+//! fault, kill, reroute attempt, retry, shed, repair, recovery-close —
+//! is emitted to it stamped with the enclosing queue event's
+//! `(sim-time, seq)` plus session token and circuit path where they
+//! exist. The observer is write-only: the engine never reads it back,
+//! so tracing cannot perturb the simulation, and with the default
+//! [`Noop`] the monomorphized emission sites vanish entirely (the
+//! golden fingerprints and the gated sim benches pin that).
 
 use crate::events::{Event, EventKind, EventQueue};
 use crate::fabric::Fabric;
@@ -24,8 +34,9 @@ use crate::metrics::{Bucket, Metrics};
 use crate::workload::{exp_draw, HoldingTime, TrafficPattern};
 use ft_failure::{AliveTracker, FailureInstance, SwitchState};
 use ft_graph::gen::{random_permutation, rng};
-use ft_graph::{Digraph, EdgeId, VertexId};
+use ft_graph::{Digraph, EdgeId, KernelStats, VertexId};
 use ft_networks::{CircuitRouter, RouteError, SessionId};
+use ft_obs::{Hist, Noop, Observer, TraceEvent};
 use rand::rngs::SmallRng;
 
 /// Resolved simulation parameters (one seed's worth of work).
@@ -96,6 +107,9 @@ pub struct SeedOutcome {
     pub fingerprint: u64,
     /// Number of events processed.
     pub events: u64,
+    /// Per-kernel work counters of the run's route searches
+    /// (deterministic: the same run always pops the same frontiers).
+    pub kernel: KernelStats,
 }
 
 /// Reusable per-worker buffers: one allocation set serves every seed a
@@ -128,6 +142,17 @@ pub struct SimWorkspace {
     victims: Vec<Call>,
     /// Vertices whose liveness the event flipped (≤ 2: the endpoints).
     delta: Vec<VertexId>,
+    /// Dense histogram scratch, `bucket * rows + row` (bucket-major so
+    /// the per-arrival occupancy sweep — every stage near the same
+    /// occupancy bucket — touches adjacent words): rows `0..stages`
+    /// hold arrival-observed per-stage occupancy (PASTA draws), row
+    /// `stages` setup cost, row `stages + 1` path length. Folded into
+    /// the corresponding `Metrics` histograms once per seed, so the
+    /// per-arrival recording cost is one add per sample. All-zero
+    /// between seeds (the flush re-zeroes every touched entry).
+    dense_hist: Vec<u64>,
+    /// Flat indices of nonzero `dense_hist` entries, first-touch order.
+    dense_touched: Vec<u32>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -169,7 +194,7 @@ struct PendingCall {
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01B3;
 
-struct Engine<'a> {
+struct Engine<'a, O: Observer> {
     fabric: &'a Fabric,
     cfg: &'a SimConfig,
     rng: SmallRng,
@@ -201,6 +226,14 @@ struct Engine<'a> {
     fingerprint: u64,
     events: u64,
     ws: &'a mut SimWorkspace,
+    /// Structured-event sink (Noop monomorphizes every emission away).
+    obs: &'a mut O,
+    /// `seq` of the queue event currently being processed — trace
+    /// events inherit it, so one queue event's emissions share a stamp.
+    cur_seq: u64,
+    /// Scratch for materialising circuit paths into trace events
+    /// (touched only when `O::ENABLED`).
+    trace_path: Vec<u32>,
 }
 
 /// Runs one seed with fresh buffers.
@@ -214,6 +247,20 @@ pub fn run_seed_with(
     cfg: &SimConfig,
     seed: u64,
     ws: &mut SimWorkspace,
+) -> SeedOutcome {
+    run_seed_obs(fabric, cfg, seed, ws, &mut Noop)
+}
+
+/// Runs one seed with an explicit [`Observer`] receiving every
+/// structured event. The observer is write-only and cannot perturb the
+/// run: metrics, fingerprint, and event count are identical to
+/// [`run_seed_with`] whatever the observer does.
+pub fn run_seed_obs<O: Observer>(
+    fabric: &Fabric,
+    cfg: &SimConfig,
+    seed: u64,
+    ws: &mut SimWorkspace,
+    obs: &mut O,
 ) -> SeedOutcome {
     assert!(
         !cfg.has_faults() || fabric.supports_faults(),
@@ -234,6 +281,9 @@ pub fn run_seed_with(
     ws.killed.clear();
     ws.victims.clear();
     ws.delta.clear();
+    ws.dense_hist
+        .resize((num_stages + 2) * ft_obs::NUM_BUCKETS, 0);
+    ws.dense_touched.clear();
     let mut r = rng(seed);
     let perm = if matches!(cfg.pattern, TrafficPattern::Permutation) {
         random_permutation(&mut r, n)
@@ -243,6 +293,7 @@ pub fn run_seed_with(
 
     let metrics = Metrics {
         stage_busy_time: vec![0.0; num_stages],
+        stage_occupancy_hist: vec![Hist::new(); num_stages],
         measured_time: cfg.duration - cfg.warmup,
         buckets: vec![Bucket::default(); cfg.buckets.max(1)],
         ..Metrics::default()
@@ -281,19 +332,81 @@ pub fn run_seed_with(
         fingerprint: FNV_OFFSET,
         events: 0,
         ws,
+        obs,
+        cur_seq: 0,
+        trace_path: Vec::new(),
         rng: r,
     };
     engine.schedule_initial();
     engine.run();
+    engine.flush_hists();
     SeedOutcome {
         seed,
         metrics: engine.metrics,
         fingerprint: engine.fingerprint,
         events: engine.events,
+        kernel: engine.router.kernel_stats(),
     }
 }
 
-impl<'a> Engine<'a> {
+impl<'a, O: Observer> Engine<'a, O> {
+    /// Forwards one structured event to the observer under the current
+    /// `(time, seq)` stamp. With [`Noop`] this compiles to nothing.
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent<'_>) {
+        if O::ENABLED {
+            self.obs.event(self.now, self.cur_seq, &ev);
+        }
+    }
+
+    /// Records one sample into a dense scratch row: one array add per
+    /// sample on the arrival hot path, deferred to [`Self::flush_hists`].
+    #[inline]
+    fn dense_record(&mut self, row: usize, v: f64) {
+        let rows = self.metrics.stage_occupancy_hist.len() + 2;
+        let flat = ft_obs::bucket_index(v) as usize * rows + row;
+        let c = &mut self.ws.dense_hist[flat];
+        if *c == 0 {
+            self.ws.dense_touched.push(flat as u32);
+        }
+        *c += 1;
+    }
+
+    /// Folds the dense scratch into the occupancy / setup-cost /
+    /// path-length histograms and re-zeroes it, restoring the
+    /// between-seeds invariant. The sparse `Hist` is canonical by
+    /// construction, so the first-touch flush order cannot affect the
+    /// folded bytes.
+    fn flush_hists(&mut self) {
+        let stages = self.metrics.stage_occupancy_hist.len();
+        for k in 0..self.ws.dense_touched.len() {
+            let flat = self.ws.dense_touched[k] as usize;
+            let n = std::mem::take(&mut self.ws.dense_hist[flat]);
+            let (row, idx) = (flat % (stages + 2), flat / (stages + 2));
+            let h = if row < stages {
+                &mut self.metrics.stage_occupancy_hist[row]
+            } else if row == stages {
+                &mut self.metrics.setup_cost_hist
+            } else {
+                &mut self.metrics.path_len_hist
+            };
+            h.record_bucket_n(idx as u32, n);
+        }
+        self.ws.dense_touched.clear();
+    }
+
+    /// Takes the trace scratch buffer filled with a session's path as
+    /// raw vertex ids (callers put it back after emitting, so the
+    /// buffer is reused for the whole run).
+    fn take_path(&mut self, id: SessionId) -> Vec<u32> {
+        let mut p = std::mem::take(&mut self.trace_path);
+        p.clear();
+        if let Some(path) = self.router.session_path(id) {
+            p.extend(path.iter().map(|v| v.0));
+        }
+        p
+    }
+
     /// Asks the injector for its next fault time (the trait-call wrapper
     /// assembling the read-only context from disjoint engine fields).
     fn injector_next_fault(&mut self) -> Option<f64> {
@@ -373,6 +486,7 @@ impl<'a> Engine<'a> {
             self.advance_clock(ev.time);
             self.absorb(&ev.kind, ev.time);
             self.events += 1;
+            self.cur_seq = ev.seq;
             match ev.kind {
                 EventKind::Arrival { epoch } => self.on_arrival(epoch),
                 EventKind::Hangup { slot, token } => self.on_hangup(slot, token),
@@ -498,17 +612,61 @@ impl<'a> Engine<'a> {
         let measured = self.measured();
         if measured {
             self.metrics.offered += 1;
+            // PASTA sampling: the occupancy this Poisson arrival sees is
+            // an unbiased draw of the time-average per-stage occupancy.
+            // Counts land in the dense scratch (one add per stage); the
+            // end-of-run flush folds them into the per-stage histograms.
+            let ws = &mut *self.ws;
+            let rows = self.metrics.stage_occupancy_hist.len() + 2;
+            for (s, &busy) in ws.busy_now.iter().enumerate() {
+                let flat = ft_obs::bucket_index(busy as f64) as usize * rows + s;
+                let c = &mut ws.dense_hist[flat];
+                if *c == 0 {
+                    ws.dense_touched.push(flat as u32);
+                }
+                *c += 1;
+            }
         }
         self.bucket().offered += 1;
-        match self.router.connect(input, output) {
+        self.emit(TraceEvent::Arrival {
+            src: src as u32,
+            dst: dst as u32,
+        });
+        let pops_before = if measured {
+            self.router.kernel_stats().bibfs_pops
+        } else {
+            0
+        };
+        let attempt = self.router.connect(input, output);
+        if measured {
+            // Setup cost in bibfs frontier pops: the deterministic
+            // search-effort analogue of setup latency.
+            let pops = self.router.kernel_stats().bibfs_pops - pops_before;
+            let row = self.metrics.stage_occupancy_hist.len();
+            self.dense_record(row, pops as f64);
+        }
+        match attempt {
             Ok(id) => {
                 let holding = self.cfg.holding.sample(&mut self.rng);
                 self.bucket().connected += 1;
+                let token = self.token_counter; // the token admit assigns
                 let len = self.admit(id, src, dst, self.now + holding);
+                if O::ENABLED {
+                    let path = self.take_path(id);
+                    self.emit(TraceEvent::Connect {
+                        token,
+                        src: src as u32,
+                        dst: dst as u32,
+                        path: &path,
+                    });
+                    self.trace_path = path;
+                }
                 if measured {
                     self.metrics.connected += 1;
                     self.metrics.total_path_len += len;
                     self.metrics.max_path_len = self.metrics.max_path_len.max(len);
+                    let row = self.metrics.stage_occupancy_hist.len() + 1;
+                    self.dense_record(row, len as f64);
                 }
             }
             Err(RouteError::Blocked(_, _)) => {
@@ -516,6 +674,10 @@ impl<'a> Engine<'a> {
                     self.metrics.blocked += 1;
                 }
                 self.bucket().blocked += 1;
+                self.emit(TraceEvent::Block {
+                    src: src as u32,
+                    dst: dst as u32,
+                });
             }
             Err(_) => {
                 // Terminals are exempt from repair discards, so an
@@ -524,6 +686,10 @@ impl<'a> Engine<'a> {
                 if measured {
                     self.metrics.rejected_busy += 1;
                 }
+                self.emit(TraceEvent::BusyReject {
+                    src: src as u32,
+                    dst: dst as u32,
+                });
             }
         }
     }
@@ -538,6 +704,7 @@ impl<'a> Engine<'a> {
         if !live {
             return; // session was killed by a fault (slot possibly reused)
         }
+        self.emit(TraceEvent::Hangup { token });
         self.ws.calls[slot as usize] = None;
         let id = SessionId(slot);
         let (busy_now, stage_tab) = (&mut self.ws.busy_now, self.stage_tab);
@@ -576,11 +743,14 @@ impl<'a> Engine<'a> {
         }
         if degraded {
             self.degraded_since = self.now;
-        } else if self.measured() {
+        } else {
             let span = self.now - self.degraded_since;
-            self.metrics.recovery_sum += span;
-            self.metrics.recovery_count += 1;
-            self.metrics.recovery_max = self.metrics.recovery_max.max(span);
+            self.emit(TraceEvent::RecoveryClose { span });
+            if self.measured() {
+                self.metrics.recovery_sum += span;
+                self.metrics.recovery_count += 1;
+                self.metrics.recovery_max = self.metrics.recovery_max.max(span);
+            }
         }
         self.degraded_now = degraded;
     }
@@ -603,6 +773,11 @@ impl<'a> Engine<'a> {
         );
         self.inst.set_state(e, strike.state);
         self.healthy -= 1;
+        self.emit(TraceEvent::Fault {
+            switch: e.index() as u32,
+            open: matches!(strike.state, SwitchState::Open),
+            episode: strike.new_episode,
+        });
         if self.measured() {
             self.metrics.faults += 1;
             if strike.new_episode {
@@ -657,6 +832,10 @@ impl<'a> Engine<'a> {
             let call = self.ws.calls[id.0 as usize]
                 .take()
                 .expect("killed session had no call record");
+            self.emit(TraceEvent::Kill {
+                token: call.token,
+                slot: id.0,
+            });
             self.ws.victims.push(call);
         }
         for i in 0..self.ws.victims.len() {
@@ -701,6 +880,11 @@ impl<'a> Engine<'a> {
                 if shed_depth > 0 && self.ws.pending.len() >= shed_depth {
                     // Storm-mode admission shedding: the queue is past
                     // the overload threshold, drop without retrying.
+                    self.emit(TraceEvent::Shed {
+                        token: call.token,
+                        src: call.src as u32,
+                        dst: call.dst as u32,
+                    });
                     if counted {
                         self.metrics.shed += 1;
                         self.metrics.abandoned += 1;
@@ -752,6 +936,7 @@ impl<'a> Engine<'a> {
         let Some(pos) = self.ws.pending.iter().position(|p| p.token == token) else {
             return; // entry already resolved
         };
+        self.emit(TraceEvent::Retry { token });
         let p = self.ws.pending[pos];
         if p.hangup_time <= self.now {
             self.ws.pending.remove(pos);
@@ -789,6 +974,9 @@ impl<'a> Engine<'a> {
         self.churn_epoch += 1;
         self.inst.set_state(edge, SwitchState::Normal);
         self.healthy += 1;
+        self.emit(TraceEvent::Repair {
+            switch: edge.index() as u32,
+        });
         if self.measured() {
             self.metrics.repairs += 1;
         }
@@ -889,16 +1077,37 @@ impl<'a> Engine<'a> {
                     self.metrics.rerouted += 1;
                     self.metrics.reroute_latency_events += self.churn_epoch - killed_at;
                     self.metrics
-                        .reroute_samples_events
-                        .push(self.churn_epoch - killed_at);
+                        .reroute_hist_events
+                        .record((self.churn_epoch - killed_at) as f64);
                     self.metrics
-                        .reroute_samples_time
-                        .push(self.now - killed_at_time);
+                        .reroute_hist_time
+                        .record(self.now - killed_at_time);
                 }
+                let token = self.token_counter; // the token admit assigns
                 self.admit(id, src, dst, hangup_time);
+                if O::ENABLED {
+                    let path = self.take_path(id);
+                    self.emit(TraceEvent::Reroute {
+                        token,
+                        src: src as u32,
+                        dst: dst as u32,
+                        ok: true,
+                        path: &path,
+                    });
+                    self.trace_path = path;
+                }
                 true
             }
-            Err(_) => false,
+            Err(_) => {
+                self.emit(TraceEvent::Reroute {
+                    token: 0,
+                    src: src as u32,
+                    dst: dst as u32,
+                    ok: false,
+                    path: &[],
+                });
+                false
+            }
         }
     }
 

@@ -53,7 +53,7 @@ pub mod staticcheck;
 pub mod sweep;
 pub mod workload;
 
-pub use engine::{run_seed, run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
+pub use engine::{run_seed, run_seed_obs, run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
 pub use events::{Event, EventKind, EventQueue};
 pub use fabric::Fabric;
 pub use inject::{FaultInjector, FaultSpec, InjectCtx, RetryPolicy, Strike};
@@ -61,7 +61,7 @@ pub use metrics::{erlang_b, Bucket, Metrics};
 pub use report::Report;
 pub use scenario::{FabricSpec, Scenario, ScenarioBuilder, SCENARIO_KEYS};
 pub use staticcheck::{pair_blocking_estimate, pair_blocking_estimate_scalar};
-pub use sweep::run_sweep;
+pub use sweep::{run_sweep, run_sweep_traced};
 pub use workload::{HoldingTime, TrafficPattern};
 
 /// Parses a scenario, runs its sweep and assembles the report — the

@@ -5,6 +5,16 @@
 //! steady-state rates are not diluted by the empty-network transient;
 //! time-series buckets always span the full run (the transient is
 //! exactly what they are for).
+//!
+//! Distribution-shaped metrics (reroute latencies, setup cost, path
+//! length, per-stage occupancy) are streamed into [`ft_obs::Hist`]
+//! log-bucketed histograms instead of per-sample vectors: the per-seed
+//! memory bound becomes O(occupied buckets) — a prerequisite for
+//! 10⁷-event runs — and quantiles merge *exactly* across seeds by
+//! summing bucket counts, so aggregate p50/p99/p999 are byte-identical
+//! however the seeds were spread over worker threads.
+
+use ft_obs::Hist;
 
 /// Per-bucket time-series counts (buckets partition `[0, duration]`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -64,11 +74,23 @@ pub struct Metrics {
     pub recovery_count: u64,
     /// Longest completed recovery episode.
     pub recovery_max: f64,
-    /// Per-reroute latency samples in churn epochs (fault/repair events
-    /// waited), one per counted reroute; basis for p50/p99.
-    pub reroute_samples_events: Vec<u64>,
-    /// Per-reroute latency samples in sim-time (kill → re-establish).
-    pub reroute_samples_time: Vec<f64>,
+    /// Reroute-latency distribution in churn epochs (fault/repair
+    /// events waited), one sample per counted reroute; basis for
+    /// p50/p99/p999. Epoch counts are small integers, so the
+    /// log-bucketed quantiles are exact below 64.
+    pub reroute_hist_events: Hist,
+    /// Reroute-latency distribution in sim-time (kill → re-establish).
+    pub reroute_hist_time: Hist,
+    /// Setup-cost distribution: bibfs frontier pops spent per arrival
+    /// connect attempt — the deterministic search-effort analogue of
+    /// setup latency (wall-clock would break byte-reproducibility).
+    pub setup_cost_hist: Hist,
+    /// Path-length distribution (switches) over established circuits.
+    pub path_len_hist: Hist,
+    /// Per-stage occupancy distributions: busy-vertex count of each
+    /// stage sampled at call arrival instants (PASTA: Poisson arrivals
+    /// see time averages).
+    pub stage_occupancy_hist: Vec<Hist>,
     /// Total switch count over established paths.
     pub total_path_len: u64,
     /// Longest established path (switches).
@@ -158,30 +180,18 @@ impl Metrics {
     }
 
     /// Nearest-rank `p`-th percentile of reroute latency in churn
-    /// epochs (fault/repair events waited). 0 with no samples.
+    /// epochs (fault/repair events waited). Exact for sample values
+    /// below 64 (the practical range); 0 with no samples.
     pub fn reroute_latency_events_pct(&self, p: f64) -> u64 {
-        let mut v = self.reroute_samples_events.clone();
-        v.sort_unstable();
-        percentile_sorted(&v, p).copied().unwrap_or(0)
+        self.reroute_hist_events.quantile(p) as u64
     }
 
-    /// Nearest-rank `p`-th percentile of reroute latency in sim-time.
-    /// 0 with no samples.
+    /// Nearest-rank `p`-th percentile of reroute latency in sim-time:
+    /// the lower edge of the histogram bucket holding that rank (within
+    /// 3.125% below the true sample). 0 with no samples.
     pub fn reroute_latency_time_pct(&self, p: f64) -> f64 {
-        let mut v = self.reroute_samples_time.clone();
-        v.sort_unstable_by(f64::total_cmp);
-        percentile_sorted(&v, p).copied().unwrap_or(0.0)
+        self.reroute_hist_time.quantile(p)
     }
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice: the smallest
-/// element with at least `p`% of the samples at or below it.
-fn percentile_sorted<T>(sorted: &[T], p: f64) -> Option<&T> {
-    if sorted.is_empty() {
-        return None;
-    }
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted.get(rank.clamp(1, sorted.len()) - 1)
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -241,23 +251,37 @@ mod tests {
 
     #[test]
     fn recovery_metrics() {
-        let m = Metrics {
+        let mut m = Metrics {
             dropped: 12,
             storms: 4,
             recovery_sum: 6.0,
             recovery_count: 3,
             recovery_max: 4.0,
-            reroute_samples_events: vec![5, 1, 3, 2, 4],
-            reroute_samples_time: vec![0.5, 0.1, 0.3, 0.2, 0.4],
             ..Metrics::default()
         };
+        for s in [5, 1, 3, 2, 4] {
+            m.reroute_hist_events.record(s as f64);
+        }
+        for s in [0.5, 0.1, 0.3, 0.2, 0.4] {
+            m.reroute_hist_time.record(s);
+        }
         assert!((m.time_to_recover_mean() - 2.0).abs() < 1e-12);
         assert!((m.dropped_per_storm() - 3.0).abs() < 1e-12);
-        // nearest rank over 5 samples: p50 → rank 3, p99 → rank 5
+        // nearest rank over 5 samples: p50 → rank 3, p99 → rank 5 —
+        // exact, because the samples are small integers.
         assert_eq!(m.reroute_latency_events_pct(50.0), 3);
         assert_eq!(m.reroute_latency_events_pct(99.0), 5);
-        assert!((m.reroute_latency_time_pct(50.0) - 0.3).abs() < 1e-12);
-        assert!((m.reroute_latency_time_pct(99.0) - 0.5).abs() < 1e-12);
+        // Continuous samples come back as their bucket's lower edge:
+        // within 1/32 below the true nearest-rank sample.
+        for (p, exact) in [(50.0, 0.3), (99.0, 0.5)] {
+            let got = m.reroute_latency_time_pct(p);
+            assert!(
+                got <= exact && got >= exact * (1.0 - 1.0 / 32.0),
+                "p{p}: {got}"
+            );
+        }
+        // Powers of two are bucket edges, hence exact.
+        assert_eq!(m.reroute_latency_time_pct(99.0), 0.5);
         // empty-sample / zero-count cases fall back to 0
         let z = Metrics::default();
         assert_eq!(z.time_to_recover_mean(), 0.0);

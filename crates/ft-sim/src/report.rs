@@ -370,6 +370,48 @@ impl Report {
                 &m.reroute_latency_time_pct(99.0).to_string(),
                 false,
             );
+            push_kv(
+                &mut out,
+                "      ",
+                "reroute_latency_events_p999",
+                &m.reroute_latency_events_pct(99.9).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "reroute_latency_time_p999",
+                &m.reroute_latency_time_pct(99.9).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "setup_cost_p50",
+                &m.setup_cost_hist.quantile(50.0).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "setup_cost_p99",
+                &m.setup_cost_hist.quantile(99.0).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "path_len_p50",
+                &m.path_len_hist.quantile(50.0).to_string(),
+                false,
+            );
+            push_kv(
+                &mut out,
+                "      ",
+                "path_len_p99",
+                &m.path_len_hist.quantile(99.0).to_string(),
+                false,
+            );
             let utilisation: Vec<String> = (0..m.stage_busy_time.len())
                 .map(|s| m.stage_utilisation(s, self.stage_sizes[s]).to_string())
                 .collect();
@@ -378,6 +420,18 @@ impl Report {
                 "      ",
                 "stage_utilisation",
                 &format!("[{}]", utilisation.join(", ")),
+                false,
+            );
+            let occupancy_p99: Vec<String> = m
+                .stage_occupancy_hist
+                .iter()
+                .map(|h| h.quantile(99.0).to_string())
+                .collect();
+            push_kv(
+                &mut out,
+                "      ",
+                "stage_occupancy_p99",
+                &format!("[{}]", occupancy_p99.join(", ")),
                 false,
             );
             let buckets: Vec<String> = m
@@ -444,15 +498,40 @@ impl Report {
                 mean_std(self.outcomes.iter().map(|o| o.metrics.dropped_per_storm())),
             ),
         ];
-        for (i, (name, (mean, std))) in stats.iter().enumerate() {
+        for (name, (mean, std)) in stats.iter() {
             push_kv(
                 &mut out,
                 "    ",
                 name,
                 &format!("{{\"mean\": {mean}, \"std\": {std}}}"),
-                i + 1 == stats.len(),
+                false,
             );
         }
+        // Cross-seed latency quantiles from the *merged* histograms —
+        // exact (not a mean of per-seed quantiles) and byte-identical
+        // however the seeds were partitioned over workers.
+        let mut events = ft_obs::Hist::new();
+        let mut time = ft_obs::Hist::new();
+        for o in &self.outcomes {
+            events.merge(&o.metrics.reroute_hist_events);
+            time.merge(&o.metrics.reroute_hist_time);
+        }
+        push_kv(
+            &mut out,
+            "    ",
+            "reroute_latency_quantiles",
+            &format!(
+                "{{\"events_p50\": {}, \"events_p99\": {}, \"events_p999\": {}, \
+                 \"time_p50\": {}, \"time_p99\": {}, \"time_p999\": {}}}",
+                events.quantile(50.0) as u64,
+                events.quantile(99.0) as u64,
+                events.quantile(99.9) as u64,
+                time.quantile(50.0),
+                time.quantile(99.0),
+                time.quantile(99.9),
+            ),
+            true,
+        );
         out.push_str("  }\n");
         out.push_str("}\n");
         out
@@ -504,6 +583,11 @@ mod tests {
             "\"dropped_per_storm\"",
             "\"reroute_latency_events_p99\"",
             "\"reroute_latency_time_p50\"",
+            "\"reroute_latency_events_p999\"",
+            "\"setup_cost_p50\"",
+            "\"path_len_p99\"",
+            "\"stage_occupancy_p99\"",
+            "\"reroute_latency_quantiles\"",
         ] {
             assert!(a.contains(key), "missing {key} in\n{a}");
         }

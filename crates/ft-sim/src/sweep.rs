@@ -8,8 +8,9 @@
 //! runs are independent, so `threads` affects wall clock only, never
 //! the report bytes.
 
-use crate::engine::{run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
+use crate::engine::{run_seed_obs, run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
 use crate::fabric::Fabric;
+use ft_obs::TraceBuf;
 
 /// Runs every seed of `seeds` on `threads` workers (0 = one per
 /// available core). Outcomes come back in `seeds` order.
@@ -50,6 +51,55 @@ pub fn run_sweep(
         .collect()
 }
 
+/// [`run_sweep`] with an NDJSON trace of every seed's event stream.
+///
+/// Each seed gets its own [`TraceBuf`] opened with a
+/// `{"ev":"seed",...}` header; the buffers are concatenated in `seeds`
+/// order after all workers finish, so the returned trace is
+/// byte-identical for every `threads` value.
+pub fn run_sweep_traced(
+    fabric: &Fabric,
+    cfg: &SimConfig,
+    seeds: &[u64],
+    threads: usize,
+) -> (Vec<SeedOutcome>, String) {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let threads = threads.clamp(1, seeds.len().max(1));
+    let run_one = |seed: u64, ws: &mut SimWorkspace| {
+        let mut buf = TraceBuf::new();
+        buf.begin_seed(seed);
+        let outcome = run_seed_obs(fabric, cfg, seed, ws, &mut buf);
+        (outcome, buf.into_string())
+    };
+    if threads <= 1 || seeds.len() <= 1 {
+        let mut ws = SimWorkspace::default();
+        let (outcomes, traces): (Vec<_>, Vec<_>) =
+            seeds.iter().map(|&s| run_one(s, &mut ws)).unzip();
+        return (outcomes, traces.concat());
+    }
+    let mut slots: Vec<Option<(SeedOutcome, String)>> = vec![None; seeds.len()];
+    let chunk = seeds.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (seed_block, out_block) in seeds.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                let mut ws = SimWorkspace::default();
+                for (&seed, slot) in seed_block.iter().zip(out_block.iter_mut()) {
+                    *slot = Some(run_one(seed, &mut ws));
+                }
+            });
+        }
+    });
+    let (outcomes, traces): (Vec<_>, Vec<_>) = slots
+        .into_iter()
+        .map(|o| o.expect("sweep worker left a seed unfilled"))
+        .unzip();
+    (outcomes, traces.concat())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +132,20 @@ mod tests {
         assert_eq!(serial, auto);
         let got: Vec<u64> = serial.iter().map(|o| o.seed).collect();
         assert_eq!(got, seeds);
+    }
+
+    #[test]
+    fn traced_sweep_is_thread_count_independent() {
+        let fabric = Fabric::clos_strict(2, 2);
+        let cfg = cfg();
+        let seeds: Vec<u64> = (1..=5).collect();
+        let (serial_out, serial_trace) = run_sweep_traced(&fabric, &cfg, &seeds, 1);
+        let (parallel_out, parallel_trace) = run_sweep_traced(&fabric, &cfg, &seeds, 4);
+        assert_eq!(serial_out, parallel_out);
+        assert_eq!(serial_trace, parallel_trace);
+        // The trace is the untraced sweep's outcomes plus bytes on the side.
+        assert_eq!(serial_out, run_sweep(&fabric, &cfg, &seeds, 1));
+        assert_eq!(serial_trace.matches("\"ev\":\"seed\"").count(), seeds.len());
     }
 
     #[test]

@@ -44,6 +44,7 @@ extract "$RUN_DIR"/BENCH_*.json | sort >"$RUN_DIR/current.tsv"
 # coverage, so their absence from the current run is a hard failure.
 REQUIRED_BENCHES="
 sim_churn_1k_calls
+sim_churn_1k_calls_traced
 sim_churn_1k_calls_faulty
 sim_churn_100k_calls
 sim_churn_100k_calls_faulty

@@ -17,6 +17,10 @@
 //!   engine behind the `ftsim` scenario CLI.
 //! * [`exp`] — the declarative parameter-grid experiment runner behind
 //!   the `ftexp` study CLI (sweeps, cell cache, JSON/CSV tables).
+//! * [`obs`] — observability: the zero-cost [`obs::Observer`] trace
+//!   hook, deterministic NDJSON traces with the `trace_diff` first
+//!   divergence locator, streaming log-bucketed histograms, and the
+//!   stderr profiling/accounting formatters.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour, and
 //! `docs/ARCHITECTURE.md` for the paper-section → module map.
@@ -27,4 +31,5 @@ pub use ft_expander as expander;
 pub use ft_failure as failure;
 pub use ft_graph as graph;
 pub use ft_networks as networks;
+pub use ft_obs as obs;
 pub use ft_sim as sim;

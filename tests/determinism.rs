@@ -365,3 +365,61 @@ sweep fault_rate = 0.002, 0.01
         "run accounting must never leak into the study bytes"
     );
 }
+
+/// The PR-8 observability layer extends the contract to the NDJSON
+/// event trace: tracing a sweep must not perturb the event stream or
+/// the report (the golden fingerprints above stay pinned with the
+/// no-op observer because tracing is write-only), and the trace itself
+/// is byte-identical across reruns and thread counts. Different seeds
+/// diverge at the very first event — the seed header — which is what
+/// makes `trace_diff` useful as a bisection tool.
+#[test]
+fn ndjson_trace_is_byte_identical_across_runs_and_threads() {
+    use fault_tolerant_switching::obs::{first_divergence, TraceDiff};
+    use fault_tolerant_switching::sim;
+
+    const SCENARIO: &str = "\
+network = clos-strict 2 3
+arrival_rate = 4
+holding = exp 0.8
+fault_rate = 0.003
+mttr = 10
+duration = 60
+seeds = 2
+seed_base = 5
+buckets = 4
+";
+    let s = sim::Scenario::parse(SCENARIO).unwrap();
+    let fabric = s.fabric.build();
+    let seeds = s.seed_list();
+
+    // tracing is write-only: outcomes match the untraced sweep exactly,
+    // so the golden fingerprints pinned above cover the traced path too
+    let untraced = sim::run_sweep(&fabric, &s.config, &seeds, 1);
+    let (traced, trace) = sim::run_sweep_traced(&fabric, &s.config, &seeds, 1);
+    assert_eq!(untraced, traced);
+    assert_eq!(traced[0].fingerprint, 0x42539ac153522201);
+    assert_eq!(traced[1].fingerprint, 0x273cb6c362afa936);
+
+    // byte-identical across a rerun and across worker counts
+    let (_, rerun) = sim::run_sweep_traced(&fabric, &s.config, &seeds, 1);
+    let (_, parallel) = sim::run_sweep_traced(&fabric, &s.config, &seeds, 4);
+    assert!(matches!(
+        first_divergence(&trace, &rerun),
+        TraceDiff::Identical { .. }
+    ));
+    assert_eq!(trace, parallel, "trace must not depend on thread count");
+
+    // structure: one seed header per seed, every line is one JSON object
+    assert_eq!(trace.matches("{\"ev\":\"seed\",\"seed\":").count(), 2);
+    for line in trace.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    // a perturbed seed diverges at the first event (the seed header)
+    let (_, other) = sim::run_sweep_traced(&fabric, &s.config, &[7, 8], 1);
+    match first_divergence(&trace, &other) {
+        TraceDiff::Divergence { index, .. } => assert_eq!(index, 0),
+        TraceDiff::Identical { .. } => panic!("different seeds must diverge"),
+    }
+}
