@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ft_sim::{
-    run_seed_obs, run_seed_with, Fabric, FaultSpec, HoldingTime, RetryPolicy, SimConfig,
-    SimWorkspace, TrafficPattern,
+    run_seed_obs, run_seed_with, Fabric, FaultSpec, HoldingTime, RerouteMode, RetryPolicy,
+    SimConfig, SimWorkspace, TrafficPattern,
 };
 use std::hint::black_box;
 
@@ -143,8 +143,7 @@ fn bench_sim_churn_100k_faulty(c: &mut Criterion) {
 /// retries and admission shedding reacting — the mass-kill /
 /// mass-reroute path (stage sweep, victim collection, retry events,
 /// repair-driven revival) end to end.
-fn bench_reroute_storm(c: &mut Criterion) {
-    let fabric = Fabric::clos_strict(4, 4);
+fn storm_cfg() -> SimConfig {
     let mut cfg = cfg_1k_calls();
     cfg.faults = FaultSpec::Storm {
         rate: 0.05,
@@ -157,9 +156,34 @@ fn bench_reroute_storm(c: &mut Criterion) {
         shed_depth: 64,
     };
     cfg.mttr = 5.0;
+    cfg
+}
+
+fn bench_reroute_storm(c: &mut Criterion) {
+    let fabric = Fabric::clos_strict(4, 4);
+    let cfg = storm_cfg();
     let mut ws = SimWorkspace::default();
     let mut seed = 0u64;
     c.bench_function("reroute_storm", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
+        })
+    });
+}
+
+/// The identical storm workload with the min-cost reroute planner: each
+/// kill wave builds the vertex-split cost network over the idle fabric
+/// and reroutes victims by successive-shortest-path augmentation, so
+/// this measures the full mincost batch (snapshot + Dijkstra + freeze)
+/// against greedy `reroute_storm` above.
+fn bench_reroute_storm_mincost(c: &mut Criterion) {
+    let fabric = Fabric::clos_strict(4, 4);
+    let mut cfg = storm_cfg();
+    cfg.reroute = RerouteMode::Mincost;
+    let mut ws = SimWorkspace::default();
+    let mut seed = 0u64;
+    c.bench_function("reroute_storm_mincost", |b| {
         b.iter(|| {
             seed += 1;
             black_box(run_seed_with(&fabric, &cfg, seed, &mut ws))
@@ -174,6 +198,7 @@ criterion_group!(
     bench_sim_churn_faulty,
     bench_sim_churn_100k,
     bench_sim_churn_100k_faulty,
-    bench_reroute_storm
+    bench_reroute_storm,
+    bench_reroute_storm_mincost
 );
 criterion_main!(benches);

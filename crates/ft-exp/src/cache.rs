@@ -18,10 +18,10 @@ use std::path::{Path, PathBuf};
 
 /// Format tag written to (and required of) every cache file. Bumped to
 /// v2 when the recovery metrics (storms/shed/degraded_time/…) joined
-/// the per-seed rows, and to v3 when the reroute-latency histograms
-/// (compact `idx:count` sparse encodings) did — older files are clean
-/// misses.
-const VERSION: &str = "ftexp cell-cache v3";
+/// the per-seed rows, to v3 when the reroute-latency histograms
+/// (compact `idx:count` sparse encodings) did, and to v4 when the
+/// `moved` reroute-churn counter did — older files are clean misses.
+const VERSION: &str = "ftexp cell-cache v4";
 
 /// The cache file path for a cell hash.
 pub fn cell_path(dir: &Path, hash: u64) -> PathBuf {
@@ -56,6 +56,7 @@ pub fn render(hash: u64, data: &CellData) -> String {
         push(&mut out, "rejected_busy", &row.rejected_busy.to_string());
         push(&mut out, "dropped", &row.dropped.to_string());
         push(&mut out, "rerouted", &row.rerouted.to_string());
+        push(&mut out, "moved", &row.moved.to_string());
         push(&mut out, "abandoned", &row.abandoned.to_string());
         push(&mut out, "faults", &row.faults.to_string());
         push(&mut out, "repairs", &row.repairs.to_string());
@@ -116,7 +117,7 @@ pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
         return None;
     }
     /// Per-seed fields following each `seed` line (completeness check).
-    const SEED_FIELDS: usize = 25;
+    const SEED_FIELDS: usize = 26;
     let mut header: Vec<(String, String)> = Vec::new();
     let mut seeds: Vec<SeedRow> = Vec::new();
     let mut fields_in_row = SEED_FIELDS;
@@ -146,6 +147,7 @@ pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
                     "rejected_busy" => row.rejected_busy = v.parse().ok()?,
                     "dropped" => row.dropped = v.parse().ok()?,
                     "rerouted" => row.rerouted = v.parse().ok()?,
+                    "moved" => row.moved = v.parse().ok()?,
                     "abandoned" => row.abandoned = v.parse().ok()?,
                     "faults" => row.faults = v.parse().ok()?,
                     "repairs" => row.repairs = v.parse().ok()?,
@@ -243,6 +245,7 @@ mod tests {
                     rejected_busy: 6,
                     dropped: 3,
                     rerouted: 2,
+                    moved: 4,
                     abandoned: 1,
                     faults: 5,
                     repairs: 4,

@@ -247,14 +247,14 @@ fn spaced_values(start: &str, stop: &str, count: &str, log: bool) -> Result<Vec<
 /// scenario is re-rendered from its *parsed* form (not the spec bytes),
 /// so `0.5` and `.5` in the spec name the same cell; `threads` is
 /// deliberately excluded because it must not affect results. Bumped to
-/// `v2` when the `faults`/`retry` directives joined the scenario: the
-/// injector and degradation ladder change results, so they must change
-/// the cell key.
+/// `v2` when the `faults`/`retry` directives joined the scenario, and
+/// to `v3` when the `reroute` planner did: anything that changes the
+/// event stream must change the cell key.
 pub fn canonical_cell_text(s: &Scenario, static_trials: u64) -> String {
     format!(
-        "ftexp-cell v2\nnetwork = {}\npattern = {}\nholding = {}\narrival_rate = {}\n\
-         fault_rate = {}\nfault_open_share = {}\nfaults = {}\nretry = {}\nmttr = {}\n\
-         duration = {}\nwarmup = {}\nbuckets = {}\nseeds = {}\nseed_base = {}\n\
+        "ftexp-cell v3\nnetwork = {}\npattern = {}\nholding = {}\narrival_rate = {}\n\
+         fault_rate = {}\nfault_open_share = {}\nfaults = {}\nretry = {}\nreroute = {}\n\
+         mttr = {}\nduration = {}\nwarmup = {}\nbuckets = {}\nseeds = {}\nseed_base = {}\n\
          static_trials = {}\n",
         s.fabric.to_spec_string(),
         pattern_spec(&s.config.pattern),
@@ -264,6 +264,7 @@ pub fn canonical_cell_text(s: &Scenario, static_trials: u64) -> String {
         s.config.fault_open_share,
         s.config.faults.to_spec_string(),
         s.config.retry.to_spec_string(),
+        s.config.reroute.to_spec_string(),
         s.config.mttr,
         s.config.duration,
         s.config.warmup,
@@ -427,6 +428,14 @@ sweep fault_rate = 0.001, 0.002, 0.004
         )
         .unwrap();
         assert_ne!(cell_hash(&a, 100), cell_hash(&e, 100));
+        // so is the reroute planner — and spelling out the greedy
+        // default names the same cell as omitting it
+        let f =
+            Scenario::parse("network = benes 2\narrival_rate = 0.5\nreroute = mincost\n").unwrap();
+        assert_ne!(cell_hash(&a, 100), cell_hash(&f, 100));
+        let g =
+            Scenario::parse("network = benes 2\narrival_rate = 0.5\nreroute = greedy\n").unwrap();
+        assert_eq!(cell_hash(&a, 100), cell_hash(&g, 100));
     }
 
     #[test]

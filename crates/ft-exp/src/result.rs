@@ -32,6 +32,9 @@ pub struct SeedRow {
     pub dropped: u64,
     /// Killed sessions re-routed before hangup.
     pub rerouted: u64,
+    /// Executed reroute operations (greedy attempts, or mincost
+    /// placements actually committed to the fabric).
+    pub moved: u64,
     /// Killed sessions lost for good.
     pub abandoned: u64,
     /// Switch-fault events.
@@ -91,6 +94,7 @@ impl SeedRow {
             rejected_busy: m.rejected_busy,
             dropped: m.dropped,
             rerouted: m.rerouted,
+            moved: m.moved,
             abandoned: m.abandoned,
             faults: m.faults,
             repairs: m.repairs,

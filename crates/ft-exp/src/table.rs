@@ -88,6 +88,7 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                         "        {{\"seed\": {}, \"events\": {}, \"fingerprint\": \"{:#018x}\", \
                          \"offered\": {}, \"connected\": {}, \"blocked\": {}, \
                          \"rejected_busy\": {}, \"dropped\": {}, \"rerouted\": {}, \
+                         \"moved\": {}, \
                          \"abandoned\": {}, \"faults\": {}, \"repairs\": {}, \
                          \"storms\": {}, \"shed\": {}, \"degraded_time\": {}, \
                          \"time_to_recover\": {}, \"dropped_per_storm\": {}, \
@@ -107,6 +108,7 @@ pub fn to_json(spec: &GridSpec, result: &StudyResult) -> String {
                         r.rejected_busy,
                         r.dropped,
                         r.rerouted,
+                        r.moved,
                         r.abandoned,
                         r.faults,
                         r.repairs,
@@ -203,7 +205,7 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
         out.push_str(&csv_field(&sweep.key));
     }
     out.push_str(
-        ",status,fabric,switches,terminals,seeds,offered,blocking_mean,blocking_std,\
+        ",status,fabric,switches,terminals,seeds,offered,moved,blocking_mean,blocking_std,\
          blocking_ci95,busy_rejection_mean,drop_rate_mean,carried_erlangs_mean,\
          mean_path_len_mean,reroute_latency_mean,util_max_mean,time_to_recover_mean,\
          dropped_per_storm_mean,reroute_latency_events_p50,reroute_latency_events_p99,\
@@ -219,7 +221,7 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
         match &report.data {
             Err(reason) => {
                 out.push_str(",skipped");
-                out.push_str(&",".repeat(26));
+                out.push_str(&",".repeat(27));
                 out.push(',');
                 out.push_str(&csv_field(reason));
             }
@@ -227,12 +229,13 @@ pub fn to_csv(spec: &GridSpec, result: &StudyResult) -> String {
                 let a = data.aggregate();
                 let (ev_hist, time_hist) = data.merged_reroute_hists();
                 out.push_str(&format!(
-                    ",ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    ",ok,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     csv_field(&data.fabric_label),
                     data.switches,
                     data.terminals,
                     data.seeds.len(),
                     a.offered_total,
+                    data.seeds.iter().map(|r| r.moved).sum::<u64>(),
                     a.blocking.mean,
                     a.blocking.std,
                     a.blocking.ci95,
@@ -305,6 +308,7 @@ mod tests {
             "\"skip_reason\"",
             "\"reroute_latency_events_p50\"",
             "\"reroute_latency_quantiles\"",
+            "\"moved\"",
         ] {
             assert!(a.contains(key), "missing {key} in\n{a}");
         }

@@ -17,9 +17,13 @@
 //! * [`traversal`] / [`distance`] — BFS machinery, directed and undirected
 //!   (the paper's `dist` ignores edge direction), zone decompositions
 //!   `B_h(v)` used by the Theorem 1 lower bound.
-//! * [`maxflow`] — Dinic's algorithm with vertex splitting, the engine for
-//!   vertex-disjoint path questions; [`matching`] — Hopcroft–Karp;
-//!   [`menger`] — disjoint-path helpers phrased for network verification.
+//! * [`maxflow`] — the max-flow kernel portfolio (Dinic + FIFO
+//!   push-relabel behind the [`FlowKernel`] selector) with vertex
+//!   splitting, the engine for vertex-disjoint path questions;
+//!   [`mincost`] — successive-shortest-path min-cost flow with
+//!   potentials, the minimal-disruption reroute planner; [`matching`] —
+//!   Hopcroft–Karp; [`menger`] — disjoint-path helpers phrased for
+//!   network verification.
 //! * [`unionfind`] — quotient construction for *closed* switch failures
 //!   (edge contraction).
 //! * [`tree`] — tree/forest utilities for the Lemma 1/2 lower-bound
@@ -36,6 +40,7 @@ pub mod ids;
 pub mod matching;
 pub mod maxflow;
 pub mod menger;
+pub mod mincost;
 pub mod paths;
 pub mod sliced;
 pub mod staged;
@@ -47,7 +52,8 @@ pub mod workspace;
 pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use ids::{EdgeId, VertexId};
-pub use maxflow::FlowWorkspace;
+pub use maxflow::{FlowKernel, FlowWorkspace, PrWorkspace};
+pub use mincost::{CostFlowNetwork, McfWorkspace};
 pub use paths::Path;
 pub use sliced::{sliced_reach_into, SlicedWorkspace, LANES};
 pub use staged::{StagedBuilder, StagedNetwork};

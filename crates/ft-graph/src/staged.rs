@@ -31,6 +31,9 @@ pub struct StagedNetwork {
     /// Lazily computed backward-level budget for the bidirectional
     /// point-to-point search (see [`Self::backward_budget`]).
     bwd_budget: OnceLock<u32>,
+    /// Lazily chosen max-flow kernel for disjoint-path queries on this
+    /// topology (see [`Self::flow_kernel`]).
+    flow_kernel: OnceLock<crate::maxflow::FlowKernel>,
 }
 
 impl StagedNetwork {
@@ -207,6 +210,30 @@ impl StagedNetwork {
         })
     }
 
+    /// The max-flow kernel disjoint-path queries on this topology should
+    /// run, computed once from the same static cost-model discipline as
+    /// [`Self::backward_budget`] — a pure function of the network, never
+    /// of any query's busy state, so every caller agrees and the choice
+    /// cannot change results (the kernels are equivalent; only work
+    /// differs).
+    ///
+    /// The model mirrors [`crate::maxflow::FlowKernel::resolve`] on the
+    /// vertex-split flow instance every disjoint-path query builds:
+    /// `2V + 2` flow nodes and `V + E + terminals` forward arcs. Dense
+    /// fabrics (the ν ≥ 2 𝒩 repair flows, high-degree expanders) resolve
+    /// to push-relabel; sparse ones (Beneš, butterflies, Clos at small
+    /// `n`) keep Dinic.
+    pub fn flow_kernel(&self) -> crate::maxflow::FlowKernel {
+        *self.flow_kernel.get_or_init(|| {
+            let nodes = 2 * self.graph.num_vertices() + 2;
+            let arcs = self.graph.num_vertices()
+                + self.graph.num_edges()
+                + self.inputs.len()
+                + self.outputs.len();
+            crate::maxflow::FlowKernel::Auto.resolve(nodes, arcs, None)
+        })
+    }
+
     fn staging(&self) -> &(Vec<u32>, bool) {
         self.staging.get_or_init(|| {
             let mut table = vec![0u32; self.graph.num_vertices()];
@@ -259,6 +286,7 @@ impl StagedNetwork {
             csr: OnceLock::new(),
             staging: OnceLock::new(),
             bwd_budget: OnceLock::new(),
+            flow_kernel: OnceLock::new(),
         }
     }
 
@@ -395,6 +423,7 @@ impl StagedBuilder {
             csr: OnceLock::new(),
             staging: OnceLock::new(),
             bwd_budget: OnceLock::new(),
+            flow_kernel: OnceLock::new(),
         }
     }
 }
@@ -504,6 +533,21 @@ mod tests {
             assert_eq!(s as usize, m.stage_of(v(u as u32)));
         }
         assert!(m.is_unit_staged());
+    }
+
+    #[test]
+    fn flow_kernel_choice_is_cached_and_matches_the_cost_model() {
+        let net = crossbar();
+        let expect = crate::maxflow::FlowKernel::Auto.resolve(
+            2 * net.graph().num_vertices() + 2,
+            net.graph().num_vertices() + net.graph().num_edges() + 4,
+            None,
+        );
+        assert_eq!(net.flow_kernel(), expect);
+        // a 2×2 crossbar's split instance is sparse: Dinic
+        assert_eq!(net.flow_kernel(), crate::maxflow::FlowKernel::Dinic);
+        // mirrors recompute (and agree — the model is direction-blind)
+        assert_eq!(net.mirror().flow_kernel(), net.flow_kernel());
     }
 
     #[test]

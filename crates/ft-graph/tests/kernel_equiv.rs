@@ -1,0 +1,334 @@
+//! Differential tests over the flow-kernel portfolio.
+//!
+//! The portfolio is also the oracle: on every instance the kernels can
+//! all express, they must agree — FIFO push-relabel, Dinic, and (on
+//! unit-capacity bipartite instances) Hopcroft–Karp. Agreement alone
+//! can hide a shared bug, so every flow each kernel returns is also
+//! checked by an independent feasibility audit (capacity, conservation,
+//! integrality) that never consults either kernel's internals; and the
+//! min-cost kernel is held to brute-force enumeration on small
+//! instances, plus the portfolio-level bound the reroute planner relies
+//! on: a min-cost flow never costs more than the flow Dinic happens to
+//! find at the same value.
+
+use ft_graph::gen;
+use ft_graph::ids::VertexId;
+use ft_graph::matching::hopcroft_karp;
+use ft_graph::maxflow::{
+    vertex_disjoint_paths_into, DisjointOptions, FlowKernel, FlowNetwork, FlowWorkspace,
+    PrWorkspace,
+};
+use ft_graph::mincost::{min_cost_flow, CostFlowNetwork};
+use ft_graph::paths::are_vertex_disjoint;
+use ft_graph::staged::{StagedBuilder, StagedNetwork};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// An arc as the test added it: `(u, v, cap, index)`. The feasibility
+/// audit works off this record, never off kernel state.
+type ArcRec = (u32, u32, u32, u32);
+
+/// A random capacitated instance: node count, arc records, and the
+/// network itself (plus parallel cost labels for the min-cost checks).
+fn random_instance(
+    r: &mut rand::rngs::SmallRng,
+    max_n: usize,
+    max_m: usize,
+) -> (FlowNetwork, Vec<ArcRec>, u32, u32) {
+    let n = r.random_range(2..=max_n);
+    let m = r.random_range(0..=max_m);
+    let mut net = FlowNetwork::new(n);
+    let mut arcs = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = r.random_range(0..n) as u32;
+        let mut v = r.random_range(0..n) as u32;
+        if u == v {
+            v = (v + 1) % n as u32;
+        }
+        let cap = r.random_range(1..=4u32);
+        let idx = net.add_arc(u, v, cap);
+        arcs.push((u, v, cap, idx));
+    }
+    let s = 0u32;
+    let t = (n - 1) as u32;
+    (net, arcs, s, t)
+}
+
+/// Independent audit of the flow a kernel left in `net`: every arc
+/// within capacity, conservation at every interior node, and the net
+/// outflow of `s` equal to both the claimed value and the net inflow of
+/// `t`. Works purely from the arc records and `flow_on`.
+fn audit_flow(net: &FlowNetwork, arcs: &[ArcRec], s: u32, t: u32, claimed: u64) {
+    let n = net.num_nodes();
+    let mut net_out = vec![0i64; n];
+    for &(u, v, cap, idx) in arcs {
+        let f = net.flow_on(idx);
+        assert!(f <= cap, "arc {u}->{v}: flow {f} exceeds cap {cap}");
+        net_out[u as usize] += f as i64;
+        net_out[v as usize] -= f as i64;
+    }
+    for w in 0..n as u32 {
+        if w == s || w == t {
+            continue;
+        }
+        assert_eq!(net_out[w as usize], 0, "conservation violated at {w}");
+    }
+    assert_eq!(
+        net_out[s as usize], claimed as i64,
+        "source outflow != value"
+    );
+    assert_eq!(
+        net_out[t as usize],
+        -(claimed as i64),
+        "sink inflow != value"
+    );
+}
+
+/// A random staged network: `widths` gives the stage sizes, each
+/// consecutive-stage switch present with probability 0.6.
+fn random_staged(r: &mut rand::rngs::SmallRng, widths: &[usize]) -> StagedNetwork {
+    let mut b = StagedBuilder::new();
+    let ranges: Vec<_> = widths.iter().map(|&w| b.add_stage(w)).collect();
+    for w in ranges.windows(2) {
+        for t in w[0].clone() {
+            for h in w[1].clone() {
+                if r.random_bool(0.6) {
+                    b.add_edge(VertexId(t), VertexId(h));
+                }
+            }
+        }
+    }
+    b.set_inputs(ranges[0].clone().map(VertexId).collect());
+    b.set_outputs(ranges[ranges.len() - 1].clone().map(VertexId).collect());
+    b.finish()
+}
+
+/// Runs one kernel over a staged instance and returns (count, paths).
+fn disjoint_with(
+    net: &StagedNetwork,
+    s: &[VertexId],
+    t: &[VertexId],
+    idle: &[bool],
+    kernel: FlowKernel,
+    fw: &mut FlowWorkspace,
+) -> (u32, Vec<Vec<VertexId>>) {
+    let r = vertex_disjoint_paths_into(
+        net.graph(),
+        s,
+        t,
+        |_| true,
+        |v| idle[v.index()],
+        DisjointOptions {
+            count_only: false,
+            limit: None,
+            kernel,
+        },
+        fw,
+    );
+    (r.count, r.paths)
+}
+
+proptest! {
+    /// The headline differential: random staged networks × random idle
+    /// masks × random source/sink cuts. Dinic and push-relabel must
+    /// return the same disjoint-path count, and each kernel's extracted
+    /// paths must independently check out (disjoint, idle-respecting,
+    /// real directed paths from a chosen source to a chosen sink).
+    #[test]
+    fn kernels_agree_on_staged_networks_under_idle_masks(
+        seed in 0u64..2000,
+        widths in proptest::collection::vec(1usize..6, 2..6),
+    ) {
+        let mut r = gen::rng(seed);
+        let net = random_staged(&mut r, &widths);
+        let n = net.graph().num_vertices();
+        let idle: Vec<bool> = (0..n).map(|_| r.random_bool(0.75)).collect();
+        // random source/sink cuts: shuffle and take a random prefix
+        let mut src = net.inputs().to_vec();
+        let mut dst = net.outputs().to_vec();
+        use rand::seq::SliceRandom;
+        src.shuffle(&mut r);
+        dst.shuffle(&mut r);
+        let s = &src[..r.random_range(1..=src.len())];
+        let t = &dst[..r.random_range(1..=dst.len())];
+        // ONE workspace reused across both kernels and all cases: the
+        // equivalence must survive whatever the other kernel left behind.
+        let mut fw = FlowWorkspace::new();
+        let (cd, pd) = disjoint_with(&net, s, t, &idle, FlowKernel::Dinic, &mut fw);
+        let (cp, pp) = disjoint_with(&net, s, t, &idle, FlowKernel::PushRelabel, &mut fw);
+        prop_assert_eq!(cd, cp, "Dinic {} != push-relabel {}", cd, cp);
+        for (label, count, paths) in [("dinic", cd, &pd), ("push-relabel", cp, &pp)] {
+            prop_assert_eq!(paths.len(), count as usize, "{}", label);
+            prop_assert!(are_vertex_disjoint(paths.iter().map(|p| p.as_slice())));
+            for p in paths {
+                prop_assert!(s.contains(&p[0]), "{}: bad start", label);
+                prop_assert!(t.contains(p.last().unwrap()), "{}: bad end", label);
+                for &v in p {
+                    prop_assert!(idle[v.index()], "{}: path crosses busy vertex", label);
+                }
+                for w in p.windows(2) {
+                    prop_assert!(net.graph().has_edge(w[0], w[1]), "{}: missing edge", label);
+                }
+            }
+        }
+    }
+
+    /// Unit-capacity bipartite instances admit a third, structurally
+    /// different oracle: Hopcroft–Karp. On 2-stage networks under idle
+    /// masks, matching size, Dinic, and push-relabel must all coincide.
+    #[test]
+    fn hopcroft_karp_agrees_on_bipartite_instances(
+        seed in 0u64..2000,
+        left in 1usize..7,
+        right in 1usize..7,
+    ) {
+        let mut r = gen::rng(seed);
+        let net = random_staged(&mut r, &[left, right]);
+        let n = net.graph().num_vertices();
+        let idle: Vec<bool> = (0..n).map(|_| r.random_bool(0.75)).collect();
+        // the bipartite adjacency over idle vertices only
+        let live_left: Vec<VertexId> =
+            net.inputs().iter().copied().filter(|v| idle[v.index()]).collect();
+        let live_right: Vec<VertexId> =
+            net.outputs().iter().copied().filter(|v| idle[v.index()]).collect();
+        let rpos = |v: VertexId| live_right.iter().position(|&x| x == v).map(|p| p as u32);
+        let adj: Vec<Vec<u32>> = live_left
+            .iter()
+            .map(|&l| {
+                net.graph()
+                    .out_edges(l)
+                    .iter()
+                    .filter_map(|&e| rpos(net.graph().endpoints(e).1))
+                    .collect()
+            })
+            .collect();
+        let m = hopcroft_karp(&adj, live_right.len());
+        let mut fw = FlowWorkspace::new();
+        let (cd, _) = disjoint_with(
+            &net, net.inputs(), net.outputs(), &idle, FlowKernel::Dinic, &mut fw);
+        let (cp, _) = disjoint_with(
+            &net, net.inputs(), net.outputs(), &idle, FlowKernel::PushRelabel, &mut fw);
+        prop_assert_eq!(m.size as u32, cd, "matching != dinic");
+        prop_assert_eq!(m.size as u32, cp, "matching != push-relabel");
+    }
+
+    /// On arbitrary-capacity random instances both kernels must return
+    /// the same value AND each must leave a flow that survives the
+    /// independent feasibility audit.
+    #[test]
+    fn both_kernels_leave_audited_maximum_flows(seed in 0u64..3000) {
+        let mut r = gen::rng(seed);
+        let (mut net, arcs, s, t) = random_instance(&mut r, 9, 24);
+        let dinic = {
+            let mut d = net.clone();
+            let v = d.max_flow(s, t, None) as u64;
+            audit_flow(&d, &arcs, s, t, v);
+            v
+        };
+        let mut prw = PrWorkspace::new();
+        let pr = net.push_relabel_into(s, t, &mut prw) as u64;
+        audit_flow(&net, &arcs, s, t, pr);
+        prop_assert_eq!(dinic, pr);
+    }
+
+    /// Min-cost flow vs brute force: on small instances, enumerate every
+    /// integral flow assignment, find the true maximum value and the
+    /// cheapest flow of that value, and demand the kernel match both —
+    /// and that its residual passes the same feasibility audit.
+    #[test]
+    fn min_cost_flow_matches_brute_force(seed in 0u64..1500) {
+        let mut r = gen::rng(seed);
+        let n = r.random_range(2..=5usize);
+        let m = r.random_range(0..=7usize);
+        let mut net = CostFlowNetwork::new(n);
+        let mut arcs: Vec<(u32, u32, u32, i64, u32)> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u = r.random_range(0..n) as u32;
+            let mut v = r.random_range(0..n) as u32;
+            if u == v {
+                v = (v + 1) % n as u32;
+            }
+            let cap = r.random_range(1..=2u32);
+            let cost = r.random_range(0..=4i64);
+            let idx = net.add_arc(u, v, cap, cost);
+            arcs.push((u, v, cap, cost, idx));
+        }
+        let (s, t) = (0u32, (n - 1) as u32);
+        // brute force: every per-arc flow in 0..=cap, keep conserving
+        // assignments, track (max value, min cost at max value)
+        let mut best_value = 0i64;
+        let mut best_cost = 0i64;
+        let total: usize = arcs.iter().map(|a| a.2 as usize + 1).product();
+        for code in 0..total {
+            let mut rem = code;
+            let mut net_out = vec![0i64; n];
+            let mut cost = 0i64;
+            for &(u, v, cap, c, _) in &arcs {
+                let f = (rem % (cap as usize + 1)) as i64;
+                rem /= cap as usize + 1;
+                net_out[u as usize] += f;
+                net_out[v as usize] -= f;
+                cost += f * c;
+            }
+            if (0..n).any(|w| w != s as usize && w != t as usize && net_out[w] != 0) {
+                continue;
+            }
+            let value = net_out[s as usize];
+            if value > best_value || (value == best_value && cost < best_cost) {
+                best_value = value;
+                best_cost = cost;
+            }
+        }
+        let got = min_cost_flow(&mut net, s, t, None);
+        prop_assert_eq!(got.flow as i64, best_value, "flow value not maximum");
+        prop_assert_eq!(got.value, best_cost, "cost not minimal");
+        // independent audit of what the kernel left behind
+        let mut net_out = vec![0i64; n];
+        let mut cost = 0i64;
+        for &(u, v, cap, c, idx) in &arcs {
+            let f = net.flow_on(idx);
+            prop_assert!(f <= cap);
+            net_out[u as usize] += f as i64;
+            net_out[v as usize] -= f as i64;
+            cost += f as i64 * c;
+        }
+        for (w, &flux) in net_out.iter().enumerate() {
+            if w != s as usize && w != t as usize {
+                prop_assert_eq!(flux, 0);
+            }
+        }
+        prop_assert_eq!(net_out[s as usize], got.flow as i64);
+        prop_assert_eq!(cost, got.value);
+    }
+
+    /// The minimal-disruption bound the reroute planner rests on: under
+    /// any nonnegative cost labelling, the min-cost kernel's flow at
+    /// value F costs no more than the flow Dinic happens to find at the
+    /// same value F. (The engine-level statement — mincost reroutes
+    /// never move more circuits than greedy — is pinned in ft-sim; this
+    /// is its kernel-level core.)
+    #[test]
+    fn mincost_never_costs_more_than_dinics_flow(seed in 0u64..1500) {
+        let mut r = gen::rng(seed);
+        let (mut fnet, arcs, s, t) = random_instance(&mut r, 8, 18);
+        let costs: Vec<i64> = arcs.iter().map(|_| r.random_range(0..=5i64)).collect();
+        let value = fnet.max_flow(s, t, None);
+        let dinic_cost: i64 = arcs
+            .iter()
+            .zip(&costs)
+            .map(|(&(_, _, _, idx), &c)| fnet.flow_on(idx) as i64 * c)
+            .sum();
+        let mut cnet = CostFlowNetwork::new(fnet.num_nodes());
+        for (&(u, v, cap, _), &c) in arcs.iter().zip(&costs) {
+            cnet.add_arc(u, v, cap, c);
+        }
+        let got = min_cost_flow(&mut cnet, s, t, None);
+        prop_assert_eq!(got.flow, value, "kernels disagree on max-flow value");
+        prop_assert!(
+            got.value <= dinic_cost,
+            "min-cost {} exceeds Dinic's incidental cost {}",
+            got.value,
+            dinic_cost
+        );
+    }
+}

@@ -124,7 +124,7 @@ mod tests {
                             |_| true,
                             DisjointOptions {
                                 count_only: true,
-                                limit: None,
+                                ..DisjointOptions::default()
                             },
                         );
                         if r.count < 2 {

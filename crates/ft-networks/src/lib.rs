@@ -35,4 +35,4 @@ pub use clos::Clos;
 pub use crossbar::crossbar;
 pub use grid::DirectedGrid;
 pub use multibutterfly::Multibutterfly;
-pub use router::{CircuitRouter, RouteError, SessionId};
+pub use router::{CircuitRouter, MincostBatch, RouteError, SessionId};

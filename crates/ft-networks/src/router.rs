@@ -9,9 +9,10 @@
 //! connect/disconnect churn.
 
 use ft_graph::ids::VertexId;
+use ft_graph::mincost::augment_unit_into;
 use ft_graph::traversal::{bfs_into, bibfs_into, Direction};
 use ft_graph::workspace::TraversalWorkspace;
-use ft_graph::StagedNetwork;
+use ft_graph::{CostFlowNetwork, McfWorkspace, StagedNetwork};
 
 /// `owner` sentinel: the vertex carries no circuit.
 const NO_OWNER: u32 = u32::MAX;
@@ -230,6 +231,12 @@ impl<'a> CircuitRouter<'a> {
         let mut path = self.spare.pop().unwrap_or_default();
         let ok = self.ws.path_to_into(csr, output, &mut path);
         debug_assert!(ok, "reached target must reconstruct");
+        Ok(self.commit_path(path))
+    }
+
+    /// Marks a found idle path busy and registers it as a session —
+    /// the shared tail of [`Self::connect`] and [`Self::mincost_place`].
+    fn commit_path(&mut self, path: Vec<VertexId>) -> SessionId {
         let slot = match self.free.pop() {
             Some(slot) => {
                 debug_assert!(self.sessions[slot as usize].is_none());
@@ -245,7 +252,75 @@ impl<'a> CircuitRouter<'a> {
             self.owner[v.index()] = slot;
         }
         self.sessions[slot as usize] = Some(path);
-        Ok(SessionId(slot))
+        SessionId(slot)
+    }
+
+    /// Snapshots the idle fabric into `batch`'s min-cost-flow network:
+    /// every idle vertex becomes a unit-capacity split arc of cost 1
+    /// (cost = fabric vertices occupied) and every switch whose two
+    /// endpoints are idle becomes a free unit arc between the splits.
+    /// Subsequent [`Self::mincost_place`] calls place circuits on this
+    /// snapshot; rebuild it whenever the idle set changes outside those
+    /// calls. Allocation-free once `batch` has grown to the fabric size.
+    pub fn begin_mincost_batch(&self, batch: &mut MincostBatch) {
+        let n = self.alive.len();
+        batch.net.reset(2 * n);
+        for v in 0..n {
+            if self.idle[v] {
+                let a = batch.net.add_arc(2 * v as u32, 2 * v as u32 + 1, 1, 1);
+                debug_assert_eq!(a % 2, 0);
+            }
+        }
+        for e in 0..self.csr.num_edges() {
+            let (t, h) = self.csr.endpoints(ft_graph::EdgeId::from(e));
+            if self.idle[t.index()] && self.idle[h.index()] {
+                batch
+                    .net
+                    .add_arc(2 * t.index() as u32 + 1, 2 * h.index() as u32, 1, 0);
+            }
+        }
+        batch.ws.begin(2 * n);
+    }
+
+    /// Attempts to place `input → output` on the batch snapshot by one
+    /// min-cost augmentation. On success the placement is *executed*:
+    /// the circuit is committed exactly as [`Self::connect`] would
+    /// (same slot, owner and idle bookkeeping) and its arcs are frozen
+    /// in the snapshot so later placements in the batch can never
+    /// repack it. On failure nothing changes — neither the fabric nor
+    /// the snapshot — which is the mode's minimal-disruption guarantee.
+    pub fn mincost_place(
+        &mut self,
+        batch: &mut MincostBatch,
+        input: VertexId,
+        output: VertexId,
+    ) -> Result<SessionId, RouteError> {
+        if !self.is_idle(input) {
+            return Err(RouteError::InputUnavailable(input));
+        }
+        if !self.is_idle(output) {
+            return Err(RouteError::OutputUnavailable(output));
+        }
+        let s = 2 * input.index() as u32;
+        let t = 2 * output.index() as u32 + 1;
+        if augment_unit_into(&mut batch.net, s, t, &mut batch.ws, &mut batch.arcs).is_none() {
+            return Err(RouteError::Blocked(input, output));
+        }
+        let mut path = self.spare.pop().unwrap_or_default();
+        for &ai in &batch.arcs {
+            let from = batch.net.arc_from(ai);
+            if from.is_multiple_of(2) && batch.net.arc_to(ai) == from + 1 {
+                path.push(VertexId::from(from as usize / 2));
+            }
+            // Freeze the whole placed path — split AND switch arcs — so
+            // no later augmentation can thread residual reversals of
+            // this circuit (which would fabricate paths that cross a
+            // vertex without occupying it).
+            batch.net.freeze_arc(ai);
+        }
+        debug_assert_eq!(path.first(), Some(&input));
+        debug_assert_eq!(path.last(), Some(&output));
+        Ok(self.commit_path(path))
     }
 
     /// Releases slot `slot`'s circuit, restoring idleness along its
@@ -363,6 +438,27 @@ impl<'a> CircuitRouter<'a> {
     /// The underlying network.
     pub fn network(&self) -> &StagedNetwork {
         self.net
+    }
+}
+
+/// Reusable state for one min-cost placement wave
+/// ([`CircuitRouter::begin_mincost_batch`] /
+/// [`CircuitRouter::mincost_place`]): the idle-fabric cost network, the
+/// successive-shortest-path workspace, and the per-augmentation arc
+/// buffer. Own one per simulation and rebuild it each wave — the
+/// buffers grow to the fabric size once and are then reused.
+#[derive(Clone, Debug, Default)]
+pub struct MincostBatch {
+    net: CostFlowNetwork,
+    ws: McfWorkspace,
+    arcs: Vec<u32>,
+}
+
+impl MincostBatch {
+    /// An empty batch; sized lazily by the first
+    /// [`CircuitRouter::begin_mincost_batch`].
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -542,6 +638,77 @@ mod tests {
             n,
             connects
         );
+    }
+
+    #[test]
+    fn mincost_place_matches_connect_bookkeeping() {
+        let c = Clos::strictly_nonblocking(2, 3);
+        let net = &c.net;
+        let mut greedy = CircuitRouter::new(net);
+        let mut planned = CircuitRouter::new(net);
+        let mut batch = MincostBatch::new();
+        planned.begin_mincost_batch(&mut batch);
+        for i in 0..c.terminals() {
+            let (input, output) = (net.inputs()[i], net.outputs()[i]);
+            let g = greedy.connect(input, output).unwrap();
+            let m = planned.mincost_place(&mut batch, input, output).unwrap();
+            let gp = greedy.session_path(g).unwrap();
+            let mp = planned.session_path(m).unwrap();
+            assert_eq!(mp.first(), Some(&input));
+            assert_eq!(mp.last(), Some(&output));
+            // unit-staged fabric: minimal vertex cost == shortest path
+            assert_eq!(gp.len(), mp.len(), "pair {i}");
+        }
+        assert_eq!(planned.active_sessions(), greedy.active_sessions());
+        // the committed circuits tear down through the normal path
+        assert!(planned.disconnect(SessionId(0)));
+        assert!(planned.is_idle(net.inputs()[0]));
+        planned.connect(net.inputs()[0], net.outputs()[0]).unwrap();
+    }
+
+    #[test]
+    fn mincost_blocked_probe_leaves_fabric_untouched() {
+        // The butterfly is not a superconcentrator: some second pair
+        // cannot be added vertex-disjointly. A failed mincost probe
+        // must leave both fabric and snapshot exactly as they were.
+        let b = crate::butterfly::Butterfly::new(2);
+        let net = &b.net;
+        let mut blocked_seen = false;
+        for i1 in 0..4 {
+            for i2 in 0..4 {
+                for o1 in 0..4 {
+                    for o2 in 0..4 {
+                        if i1 == i2 || o1 == o2 {
+                            continue;
+                        }
+                        let mut router = CircuitRouter::new(net);
+                        let mut batch = MincostBatch::new();
+                        router.begin_mincost_batch(&mut batch);
+                        router
+                            .mincost_place(&mut batch, net.inputs()[i1], net.outputs()[o1])
+                            .unwrap();
+                        match router.mincost_place(&mut batch, net.inputs()[i2], net.outputs()[o2])
+                        {
+                            Ok(_) => {}
+                            Err(RouteError::Blocked(a, z)) => {
+                                blocked_seen = true;
+                                assert_eq!(router.active_sessions(), 1);
+                                assert!(router.is_idle(a) && router.is_idle(z));
+                                // fabric untouched: the pair that was
+                                // placed still connects after a retry of
+                                // the blocked pair through `connect`
+                                assert!(matches!(
+                                    router.connect(net.inputs()[i2], net.outputs()[o2]),
+                                    Err(RouteError::Blocked(_, _))
+                                ));
+                            }
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(blocked_seen, "butterfly unexpectedly superconcentrates");
     }
 
     #[test]

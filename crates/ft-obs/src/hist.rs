@@ -434,6 +434,75 @@ mod tests {
     }
 
     #[test]
+    fn cursor_fast_path_respects_bucket_boundaries() {
+        // Walk a value across an octave boundary one bucket-edge at a
+        // time. Each exact lower edge must land in its own bucket: a
+        // cursor fast path that matched on "close enough" instead of
+        // exact index equality would fold neighbouring edges together.
+        let edges: Vec<f64> = (FIRST_NORMAL..FIRST_NORMAL + 3 * SUBBUCKETS)
+            .map(bucket_lower_edge)
+            .collect();
+        let mut h = Hist::new();
+        for &e in &edges {
+            h.record(e); // cursor points at the previous bucket: miss
+            h.record(e); // same bucket: fast-path hit
+        }
+        assert_eq!(h.count(), 2 * edges.len() as u64);
+        assert_eq!(h.occupied(), edges.len());
+        for (idx, c) in h.iter() {
+            assert_eq!(c, 2, "bucket {idx} must hold exactly its two edges");
+        }
+        // The value just below an edge belongs to the previous bucket
+        // even when the cursor sits on the edge's own bucket.
+        let edge = bucket_lower_edge(FIRST_NORMAL + SUBBUCKETS);
+        let below = f64::from_bits(edge.to_bits() - 1);
+        let mut h = Hist::new();
+        h.record(edge);
+        h.record(below);
+        assert_eq!(
+            h.iter().collect::<Vec<_>>(),
+            vec![
+                (FIRST_NORMAL + SUBBUCKETS - 1, 1),
+                (FIRST_NORMAL + SUBBUCKETS, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn cursor_survives_merge_and_insertion_shifts() {
+        // merge() resets the cursor to 0; the next record must still
+        // route through the correct bucket rather than trusting a
+        // stale position into the rebuilt vector.
+        let mut a = Hist::new();
+        a.record(7.0);
+        a.record(7.0); // cursor on 7.0's bucket
+        let mut b = Hist::new();
+        b.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        a.record(7.0); // cursor points at 1.0's bucket after the merge
+        let mut expect = Hist::new();
+        for v in [7.0, 7.0, 1.0, 100.0, 7.0] {
+            expect.record(v);
+        }
+        assert_eq!(a, expect);
+
+        // Inserting a bucket *before* the cursor shifts the vector; a
+        // follow-up record of the old value must not double-count into
+        // the newcomer's slot.
+        let mut h = Hist::new();
+        h.record(50.0); // cursor = 0 (only bucket)
+        h.record(2.0); // inserts before it, cursor = 0 (new bucket)
+        h.record(50.0); // cursor miss: must find 50.0's shifted slot
+        let mut expect = Hist::new();
+        for v in [2.0, 50.0, 50.0] {
+            expect.record(v);
+        }
+        assert_eq!(h, expect);
+        assert_eq!(h.to_compact_string(), expect.to_compact_string());
+    }
+
+    #[test]
     fn record_n_equals_repeated_record() {
         let mut a = Hist::new();
         a.record_n(2.5, 4);

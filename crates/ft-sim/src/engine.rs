@@ -29,13 +29,13 @@
 
 use crate::events::{Event, EventKind, EventQueue};
 use crate::fabric::Fabric;
-use crate::inject::{FaultInjector, FaultSpec, InjectCtx, RetryPolicy, Strike};
+use crate::inject::{FaultInjector, FaultSpec, InjectCtx, RerouteMode, RetryPolicy, Strike};
 use crate::metrics::{Bucket, Metrics};
 use crate::workload::{exp_draw, HoldingTime, TrafficPattern};
 use ft_failure::{AliveTracker, FailureInstance, SwitchState};
 use ft_graph::gen::{random_permutation, rng};
 use ft_graph::{Digraph, EdgeId, KernelStats, VertexId};
-use ft_networks::{CircuitRouter, RouteError, SessionId};
+use ft_networks::{CircuitRouter, MincostBatch, RouteError, SessionId};
 use ft_obs::{Hist, Noop, Observer, TraceEvent};
 use rand::rngs::SmallRng;
 
@@ -65,6 +65,9 @@ pub struct SimConfig {
     pub faults: FaultSpec,
     /// Reaction policy for fault-killed calls (degradation ladder).
     pub retry: RetryPolicy,
+    /// Placement planner for the kill-time reroute wave (greedy
+    /// per-victim search vs min-cost batch planning).
+    pub reroute: RerouteMode,
 }
 
 impl Default for SimConfig {
@@ -84,6 +87,7 @@ impl Default for SimConfig {
             buckets: 10,
             faults: FaultSpec::Iid,
             retry: RetryPolicy::OnRepair,
+            reroute: RerouteMode::Greedy,
         }
     }
 }
@@ -153,6 +157,9 @@ pub struct SimWorkspace {
     dense_hist: Vec<u64>,
     /// Flat indices of nonzero `dense_hist` entries, first-touch order.
     dense_touched: Vec<u32>,
+    /// Min-cost placement state, rebuilt per kill wave when
+    /// `reroute = mincost` (untouched by the greedy mode).
+    batch: MincostBatch,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -838,6 +845,13 @@ impl<'a, O: Observer> Engine<'a, O> {
             });
             self.ws.victims.push(call);
         }
+        // Min-cost mode snapshots the idle fabric ONCE per kill wave
+        // (after the victims' paths were released above) and places the
+        // wave's reroutes by successive min-cost augmentations on it.
+        let mincost = matches!(self.cfg.reroute, RerouteMode::Mincost);
+        if mincost && !self.ws.victims.is_empty() {
+            self.router.begin_mincost_batch(&mut self.ws.batch);
+        }
         for i in 0..self.ws.victims.len() {
             let call = self.ws.victims[i];
             if measured {
@@ -845,7 +859,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             }
             self.bucket().dropped += 1;
             self.active_now -= 1;
-            self.route_after_kill(call, measured);
+            self.route_after_kill(call, measured, mincost);
         }
         if self.cfg.mttr > 0.0 {
             let dt = exp_draw(&mut self.rng, self.cfg.mttr);
@@ -858,20 +872,28 @@ impl<'a, O: Observer> Engine<'a, O> {
     }
 
     /// The degradation ladder's admission step for one killed call: an
-    /// immediate reroute attempt, then — per the retry policy — either
+    /// immediate reroute attempt — greedy search or min-cost batch
+    /// placement per `mincost` — then, per the retry policy, either
     /// park in the pending queue for repair-triggered retries, or
     /// schedule deterministic exponential-backoff retries (shedding
     /// outright when the queue is past the overload threshold).
-    fn route_after_kill(&mut self, call: Call, counted: bool) {
+    fn route_after_kill(&mut self, call: Call, counted: bool, mincost: bool) {
         match self.cfg.retry {
-            RetryPolicy::OnRepair => self.try_reroute(
-                call.src,
-                call.dst,
-                call.hangup_time,
-                self.churn_epoch,
-                self.now,
-                counted,
-            ),
+            RetryPolicy::OnRepair => {
+                if !self.kill_time_attempt(call, counted, mincost) {
+                    self.ws.pending.push(PendingCall {
+                        src: call.src,
+                        dst: call.dst,
+                        hangup_time: call.hangup_time,
+                        killed_at_epoch: self.churn_epoch,
+                        killed_at_time: self.now,
+                        counted,
+                        token: 0,
+                        retries_left: 0,
+                        next_delay: 0.0,
+                    });
+                }
+            }
             RetryPolicy::Backoff {
                 budget,
                 base,
@@ -891,14 +913,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                     }
                     return;
                 }
-                if self.try_reroute_inner(
-                    call.src,
-                    call.dst,
-                    call.hangup_time,
-                    self.churn_epoch,
-                    self.now,
-                    counted,
-                ) {
+                if self.kill_time_attempt(call, counted, mincost) {
                     return;
                 }
                 if budget == 0 {
@@ -1032,7 +1047,40 @@ impl<'a, O: Observer> Engine<'a, O> {
         }
     }
 
-    fn try_reroute(
+    /// The immediate reroute attempt of one kill-wave victim: greedy
+    /// per-victim search, or a min-cost placement on the wave's batch
+    /// snapshot. Later attempts (backoff retries, on-repair drains) are
+    /// always greedy — the batch snapshot is only valid within the
+    /// wave that built it.
+    fn kill_time_attempt(&mut self, call: Call, counted: bool, mincost: bool) -> bool {
+        if mincost {
+            self.try_mincost_place(
+                call.src,
+                call.dst,
+                call.hangup_time,
+                self.churn_epoch,
+                self.now,
+                counted,
+            )
+        } else {
+            self.try_reroute_inner(
+                call.src,
+                call.dst,
+                call.hangup_time,
+                self.churn_epoch,
+                self.now,
+                counted,
+            )
+        }
+    }
+
+    /// Attempts to place a killed call by one min-cost augmentation on
+    /// the current kill wave's batch snapshot. A successful placement
+    /// is committed (same bookkeeping as a greedy reroute) and counts
+    /// as one `moved` operation; a failed probe is planning-only — it
+    /// touches neither the fabric nor the metrics beyond the trace
+    /// event, which is the mode's minimal-disruption guarantee.
+    fn try_mincost_place(
         &mut self,
         src: usize,
         dst: usize,
@@ -1040,19 +1088,47 @@ impl<'a, O: Observer> Engine<'a, O> {
         killed_at: u64,
         killed_at_time: f64,
         counted: bool,
-    ) {
-        if !self.try_reroute_inner(src, dst, hangup_time, killed_at, killed_at_time, counted) {
-            self.ws.pending.push(PendingCall {
-                src,
-                dst,
-                hangup_time,
-                killed_at_epoch: killed_at,
-                killed_at_time,
-                counted,
-                token: 0,
-                retries_left: 0,
-                next_delay: 0.0,
-            });
+    ) -> bool {
+        let input = self.fabric.net().inputs()[src];
+        let output = self.fabric.net().outputs()[dst];
+        match self.router.mincost_place(&mut self.ws.batch, input, output) {
+            Ok(id) => {
+                if counted {
+                    self.metrics.moved += 1;
+                    self.metrics.rerouted += 1;
+                    self.metrics.reroute_latency_events += self.churn_epoch - killed_at;
+                    self.metrics
+                        .reroute_hist_events
+                        .record((self.churn_epoch - killed_at) as f64);
+                    self.metrics
+                        .reroute_hist_time
+                        .record(self.now - killed_at_time);
+                }
+                let token = self.token_counter; // the token admit assigns
+                self.admit(id, src, dst, hangup_time);
+                if O::ENABLED {
+                    let path = self.take_path(id);
+                    self.emit(TraceEvent::Reroute {
+                        token,
+                        src: src as u32,
+                        dst: dst as u32,
+                        ok: true,
+                        path: &path,
+                    });
+                    self.trace_path = path;
+                }
+                true
+            }
+            Err(_) => {
+                self.emit(TraceEvent::Reroute {
+                    token: 0,
+                    src: src as u32,
+                    dst: dst as u32,
+                    ok: false,
+                    path: &[],
+                });
+                false
+            }
         }
     }
 
@@ -1071,6 +1147,13 @@ impl<'a, O: Observer> Engine<'a, O> {
     ) -> bool {
         let input = self.fabric.net().inputs()[src];
         let output = self.fabric.net().outputs()[dst];
+        if counted {
+            // Every greedy attempt — successful or not — executes a
+            // search against the live fabric; that is the disruption
+            // the `moved` counter measures (min-cost placement probes
+            // are planning-only and count successes alone).
+            self.metrics.moved += 1;
+        }
         match self.router.connect(input, output) {
             Ok(id) => {
                 if counted {
@@ -1143,6 +1226,7 @@ mod tests {
             buckets: 5,
             faults: FaultSpec::Iid,
             retry: RetryPolicy::OnRepair,
+            reroute: RerouteMode::Greedy,
         }
     }
 
@@ -1215,6 +1299,52 @@ mod tests {
         assert_eq!(m.dropped, m.rerouted + m.abandoned);
         // The strict Clos has spare middle capacity: most drops reroute.
         assert!(m.rerouted > 0);
+    }
+
+    #[test]
+    fn mincost_reroute_keeps_identities_and_moves_no_more_than_greedy() {
+        let fabric = Fabric::clos_strict(2, 3);
+        let mut cfg = base_cfg();
+        cfg.arrival_rate = 6.0;
+        cfg.holding = HoldingTime::Exponential { mean: 2.0 };
+        cfg.faults = FaultSpec::Storm {
+            rate: 0.05,
+            window: 2.0,
+            stage: Some(1),
+        };
+        cfg.mttr = 8.0;
+        cfg.duration = 300.0;
+        let greedy = run_seed(&fabric, &cfg, 13);
+        cfg.reroute = RerouteMode::Mincost;
+        let mincost = run_seed(&fabric, &cfg, 13);
+        for out in [&greedy, &mincost] {
+            let m = &out.metrics;
+            assert!(m.dropped > 0, "storms produced no drops");
+            assert_eq!(m.dropped, m.rerouted + m.abandoned);
+        }
+        assert!(greedy.metrics.moved >= greedy.metrics.rerouted);
+        assert!(
+            mincost.metrics.moved <= greedy.metrics.moved,
+            "mincost moved {} > greedy moved {}",
+            mincost.metrics.moved,
+            greedy.metrics.moved
+        );
+    }
+
+    #[test]
+    fn greedy_mode_is_byte_identical_to_default() {
+        // `reroute = greedy` is the pre-portfolio behaviour: the enum
+        // only branches at the kill wave, so the whole outcome — not
+        // just the fingerprint — must be identical.
+        let fabric = Fabric::clos_strict(2, 2);
+        let mut cfg = base_cfg();
+        cfg.fault_rate = 0.01;
+        cfg.mttr = 5.0;
+        cfg.duration = 200.0;
+        let a = run_seed(&fabric, &cfg, 42);
+        cfg.reroute = RerouteMode::Greedy;
+        let b = run_seed(&fabric, &cfg, 42);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -221,6 +221,39 @@ impl RetryPolicy {
     }
 }
 
+/// How the engine replaces the circuits a strike kills — the placement
+/// planner for the kill-time reroute wave.
+///
+/// Parsed from `reroute = greedy | mincost`. Orthogonal to
+/// [`RetryPolicy`], which decides *when* further attempts happen;
+/// this decides *how* the batch of victims dying at one strike is
+/// placed back onto the fabric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RerouteMode {
+    /// The original policy (the default): victims are rerouted one at a
+    /// time in kill order, each by an independent shortest-path search
+    /// over whatever capacity the previous victims left behind.
+    #[default]
+    Greedy,
+    /// Minimal-disruption batch placement: one min-cost-flow network is
+    /// built over the idle fabric per kill wave and each victim is
+    /// placed by a successive-shortest-path augmentation (cost = fabric
+    /// vertices occupied), so no reroute is *executed* unless a
+    /// placement exists — failed probing never touches the fabric.
+    Mincost,
+}
+
+impl RerouteMode {
+    /// The mode as it appears in scenario text (the parser's inverse;
+    /// `ftexp` hashes this into cell cache keys).
+    pub fn to_spec_string(&self) -> &'static str {
+        match self {
+            RerouteMode::Greedy => "greedy",
+            RerouteMode::Mincost => "mincost",
+        }
+    }
+}
+
 /// Read-only view of engine state an injector may consult when drawing
 /// schedules or choosing victims.
 pub struct InjectCtx<'a, 'n> {
@@ -664,6 +697,9 @@ mod tests {
             .to_spec_string(),
             "budget 3 backoff 0.5 shed 16"
         );
+        assert_eq!(RerouteMode::Greedy.to_spec_string(), "greedy");
+        assert_eq!(RerouteMode::Mincost.to_spec_string(), "mincost");
+        assert_eq!(RerouteMode::default(), RerouteMode::Greedy);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod workload;
 pub use engine::{run_seed, run_seed_obs, run_seed_with, SeedOutcome, SimConfig, SimWorkspace};
 pub use events::{Event, EventKind, EventQueue};
 pub use fabric::Fabric;
-pub use inject::{FaultInjector, FaultSpec, InjectCtx, RetryPolicy, Strike};
+pub use inject::{FaultInjector, FaultSpec, InjectCtx, RerouteMode, RetryPolicy, Strike};
 pub use metrics::{erlang_b, Bucket, Metrics};
 pub use report::Report;
 pub use scenario::{FabricSpec, Scenario, ScenarioBuilder, SCENARIO_KEYS};

@@ -192,6 +192,13 @@ impl Report {
             &json_str(&c.retry.to_spec_string()),
             false,
         );
+        push_kv(
+            &mut out,
+            "    ",
+            "reroute",
+            &json_str(c.reroute.to_spec_string()),
+            false,
+        );
         push_kv(&mut out, "    ", "duration", &c.duration.to_string(), false);
         push_kv(&mut out, "    ", "warmup", &c.warmup.to_string(), false);
         push_kv(
@@ -254,6 +261,7 @@ impl Report {
                 &m.rerouted.to_string(),
                 false,
             );
+            push_kv(&mut out, "      ", "moved", &m.moved.to_string(), false);
             push_kv(
                 &mut out,
                 "      ",
@@ -576,6 +584,8 @@ mod tests {
             "\"buckets\"",
             "\"faults\": \"iid\"",
             "\"retry\": \"on-repair\"",
+            "\"reroute\": \"greedy\"",
+            "\"moved\"",
             "\"storms\"",
             "\"degraded_time\"",
             "\"recovery_episodes\"",

@@ -31,6 +31,8 @@
 //! `targeted RATE`.
 //! Recognised `retry` policies: `on-repair` (the default),
 //! `budget N backoff BASE [shed DEPTH]`.
+//! Recognised `reroute` planners: `greedy` (the default),
+//! `mincost`.
 //! `threads = 0` means one worker per available core.
 //!
 //! Every diagnostic — malformed directive, unknown key, *and*
@@ -42,7 +44,7 @@
 
 use crate::engine::SimConfig;
 use crate::fabric::Fabric;
-use crate::inject::{FaultSpec, RetryPolicy};
+use crate::inject::{FaultSpec, RerouteMode, RetryPolicy};
 use crate::workload::{HoldingTime, TrafficPattern};
 
 /// Which fabric a scenario builds (kept symbolic so reports can echo it).
@@ -121,6 +123,7 @@ pub const SCENARIO_KEYS: &[&str] = &[
     "buckets",
     "faults",
     "retry",
+    "reroute",
     "seeds",
     "seed_base",
     "threads",
@@ -184,6 +187,7 @@ impl ScenarioBuilder {
             "buckets" => self.config.buckets = parse_int(value)?,
             "faults" => self.config.faults = parse_faults(&words)?,
             "retry" => self.config.retry = parse_retry(&words)?,
+            "reroute" => self.config.reroute = parse_reroute(&words)?,
             "seeds" => self.seeds = parse_int(value)? as u64,
             "seed_base" => self.seed_base = parse_int(value)? as u64,
             "threads" => self.threads = parse_int(value)?,
@@ -532,6 +536,18 @@ fn parse_retry(words: &[&str]) -> Result<RetryPolicy, String> {
     }
 }
 
+fn parse_reroute(words: &[&str]) -> Result<RerouteMode, String> {
+    let usage = "reroute = greedy | mincost";
+    match words {
+        ["greedy"] => Ok(RerouteMode::Greedy),
+        ["mincost"] => Ok(RerouteMode::Mincost),
+        _ => Err(format!(
+            "unrecognised reroute `{}`; {usage}",
+            words.join(" ")
+        )),
+    }
+}
+
 fn parse_holding(words: &[&str]) -> Result<HoldingTime, String> {
     let usage = "holding = exp MEAN | pareto SHAPE MEAN";
     match words {
@@ -692,6 +708,31 @@ threads = 2
         );
         let s = Scenario::parse("network = clos-strict 2 2\nretry = on-repair\n").unwrap();
         assert_eq!(s.config.retry, RetryPolicy::OnRepair);
+    }
+
+    #[test]
+    fn reroute_directives_parse() {
+        let s = Scenario::parse("network = clos-strict 2 2\nreroute = mincost\n").unwrap();
+        assert_eq!(s.config.reroute, RerouteMode::Mincost);
+        assert_eq!(s.config.reroute.to_spec_string(), "mincost");
+        let s = Scenario::parse("network = clos-strict 2 2\nreroute = greedy\n").unwrap();
+        assert_eq!(s.config.reroute, RerouteMode::Greedy);
+        // omitted entirely: the greedy default
+        let s = Scenario::parse("network = clos-strict 2 2\n").unwrap();
+        assert_eq!(s.config.reroute, RerouteMode::Greedy);
+    }
+
+    #[test]
+    fn malformed_reroute_directives_carry_line_numbers() {
+        for text in [
+            "network = clos-strict 2 2\nreroute = cheapest\n",
+            "network = clos-strict 2 2\nreroute = mincost extra\n",
+            "network = clos-strict 2 2\nreroute =\n",
+        ] {
+            let err = Scenario::parse(text).unwrap_err();
+            assert!(err.starts_with("line 2:"), "{text} -> {err}");
+            assert!(err.contains("unrecognised reroute"), "{text} -> {err}");
+        }
     }
 
     #[test]

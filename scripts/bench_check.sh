@@ -49,8 +49,11 @@ sim_churn_1k_calls_faulty
 sim_churn_100k_calls
 sim_churn_100k_calls_faulty
 reroute_storm
+reroute_storm_mincost
 router_connect_pair_ftn_nu2
 bfs_forward_ftn_nu2_reused
+dinic_repair_nu2
+push_relabel_repair_nu2
 mc_bridge_10k_sliced
 sample_sliced_1M_edges/eps0.2
 "
