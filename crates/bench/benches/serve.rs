@@ -1,0 +1,47 @@
+//! Service-layer throughput: full request round-trips over loopback
+//! TCP through the ftserve frontend → bounded queue → engine path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_serve::{Client, EngineConfig, Server, ServerConfig, Status};
+use ft_sim::FabricSpec;
+use std::hint::black_box;
+
+/// One lockstep connect + disconnect round-trip per iteration: two
+/// frames each way through a real socket, one engine admission, one
+/// routed path, one release. The pair always routes — the fabric is
+/// idle between iterations — so this pins the *service overhead* per
+/// circuit (framing, thread hand-offs, queue, router), not blocking
+/// behaviour.
+fn bench_serve_connects(c: &mut Criterion) {
+    let fabric = FabricSpec::parse("clos-strict 4 4").unwrap().build();
+    let server = Server::start(
+        fabric,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_depth: 64,
+            engine: EngineConfig {
+                deterministic: true,
+                snapshot_path: None,
+                snapshot_every: 0,
+            },
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut id = 0u64;
+    c.bench_function("serve_connects_per_sec", |b| {
+        b.iter(|| {
+            id += 1;
+            let up = client.connect_circuit(id, 0, 1, 0).expect("io");
+            assert_eq!(up.status, Status::Ok);
+            let down = client.disconnect_circuit(id).expect("io");
+            assert_eq!(down.status, Status::Ok);
+            black_box((up.tag, down.tag))
+        })
+    });
+    let _ = client.shutdown(0);
+    let _ = server.wait();
+}
+
+criterion_group!(benches, bench_serve_connects);
+criterion_main!(benches);

@@ -112,12 +112,14 @@ fn run() -> Result<(), String> {
     let json = to_json(&spec, &result);
     print!("{json}");
     if let Some(path) = out_path {
-        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        // Temp sibling + rename: an interrupted run must never leave a
+        // torn table that downstream tooling half-parses.
+        ft_obs::write_atomic(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("ftexp: JSON table written to {path}");
     }
     if let Some(path) = csv_path {
         let csv = to_csv(&spec, &result);
-        std::fs::write(&path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+        ft_obs::write_atomic(&path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("ftexp: CSV table written to {path}");
     }
     Ok(())

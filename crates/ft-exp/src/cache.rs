@@ -9,8 +9,9 @@
 //! (integers verbatim, `f64` through Rust's shortest-round-trip
 //! formatting), which is what lets a cache-warm run render the
 //! byte-identical aggregate report a cold run does — pinned by
-//! `tests/determinism.rs`. A file that fails any check (version, hash,
-//! structure) is treated as a miss and silently recomputed.
+//! `tests/determinism.rs`. A file that fails any check (trailing
+//! checksum, version, hash, structure) is treated as a miss and
+//! recomputed.
 
 use crate::result::{CellData, SeedRow};
 use ft_failure::Estimate;
@@ -19,9 +20,24 @@ use std::path::{Path, PathBuf};
 /// Format tag written to (and required of) every cache file. Bumped to
 /// v2 when the recovery metrics (storms/shed/degraded_time/…) joined
 /// the per-seed rows, to v3 when the reroute-latency histograms
-/// (compact `idx:count` sparse encodings) did, and to v4 when the
-/// `moved` reroute-churn counter did — older files are clean misses.
-const VERSION: &str = "ftexp cell-cache v4";
+/// (compact `idx:count` sparse encodings) did, to v4 when the
+/// `moved` reroute-churn counter did, and to v5 when the trailing
+/// `ok <fnv1a>` checksum line was added (a truncation that clips the
+/// final histogram value mid-digit still parses as a valid shorter
+/// histogram, so structure checks alone cannot catch every torn tail)
+/// — older files are clean misses.
+const VERSION: &str = "ftexp cell-cache v5";
+
+/// FNV-1a over raw bytes — the checksum in the trailing `ok` line.
+/// Same constants as [`crate::grid::cell_hash`].
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
 
 /// The cache file path for a cell hash.
 pub fn cell_path(dir: &Path, hash: u64) -> PathBuf {
@@ -99,6 +115,8 @@ pub fn render(hash: u64, data: &CellData) -> String {
             &row.reroute_hist_time.to_compact_string(),
         );
     }
+    let sum = fnv1a(out.as_bytes());
+    out.push_str(&format!("ok {sum:016x}\n"));
     out
 }
 
@@ -112,7 +130,17 @@ fn push(out: &mut String, key: &str, value: &str) {
 /// Parses a cache file back into a [`CellData`]. `None` = malformed or
 /// wrong version/hash — callers treat it as a miss.
 pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
-    let mut lines = text.lines();
+    // The trailing `ok <fnv1a>` line is verified first: any torn or
+    // bit-flipped byte anywhere in the file is a miss before field
+    // parsing even starts.
+    let body = text.strip_suffix('\n')?;
+    let nl = body.rfind('\n')?;
+    let (content, last) = body.split_at(nl + 1);
+    let sum = last.strip_prefix("ok ")?;
+    if u64::from_str_radix(sum, 16).ok()? != fnv1a(content.as_bytes()) {
+        return None;
+    }
+    let mut lines = content.lines();
     if lines.next()? != VERSION {
         return None;
     }
@@ -208,21 +236,43 @@ pub fn parse(text: &str, expect_hash: u64) -> Option<CellData> {
 }
 
 /// Loads a cell from `dir`, verifying version and hash. `None` = miss.
+///
+/// An *absent* file is a silent miss (the normal cold-cache case). A
+/// file that exists but fails any check — unreadable bytes, wrong
+/// version, bit-flipped content, truncation — is still a miss (the
+/// cell recomputes), but it leaves a one-line note on stderr: silent
+/// degradation would hide a corrupting disk or a torn writer from the
+/// operator forever.
 pub fn load(dir: &Path, hash: u64) -> Option<CellData> {
-    let text = std::fs::read_to_string(cell_path(dir, hash)).ok()?;
-    parse(&text, hash)
+    let path = cell_path(dir, hash);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!(
+                "ftexp: cache file {} unreadable ({e}); recomputing cell",
+                path.display()
+            );
+            return None;
+        }
+    };
+    let parsed = parse(&text, hash);
+    if parsed.is_none() {
+        eprintln!(
+            "ftexp: cache file {} corrupt or stale; recomputing cell",
+            path.display()
+        );
+    }
+    parsed
 }
 
 /// Stores a completed cell in `dir` (best-effort: an unwritable cache
 /// degrades to recomputation, never to failure). The write goes to a
 /// temporary sibling and is renamed into place, so an interrupted run
 /// can never leave a half-written file under the final name — and the
-/// `seed_rows` header catches truncation even if it somehow does.
+/// trailing checksum catches truncation even if it somehow does.
 pub fn store(dir: &Path, hash: u64, data: &CellData) -> std::io::Result<()> {
-    let path = cell_path(dir, hash);
-    let tmp = path.with_extension("ftcell.tmp");
-    std::fs::write(&tmp, render(hash, data))?;
-    std::fs::rename(&tmp, &path)
+    ft_obs::write_atomic(cell_path(dir, hash), render(hash, data))
 }
 
 #[cfg(test)]
@@ -325,5 +375,63 @@ mod tests {
         data.static_est = None;
         let text = render(7, &data);
         assert_eq!(parse(&text, 7).unwrap(), data);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftexp_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Bit-flip every byte of a committed cache file in turn: with the
+    /// trailing checksum line, *every* single-bit corruption — content,
+    /// checksum digits, even the final newline — must be a clean
+    /// recomputation miss, never a panic and never a silent hit.
+    #[test]
+    fn bit_flipped_committed_file_is_always_a_miss() {
+        let dir = scratch_dir("bitflip");
+        let data = sample();
+        store(&dir, 42, &data).unwrap();
+        let path = cell_path(&dir, 42);
+        let clean = std::fs::read(&path).unwrap();
+        assert!(load(&dir, 42).is_some(), "clean stored file must hit");
+        for pos in 0..clean.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bytes = clean.clone();
+                bytes[pos] ^= bit;
+                std::fs::write(&path, &bytes).unwrap();
+                assert!(
+                    load(&dir, 42).is_none(),
+                    "bit flip at byte {pos} (mask {bit:#04x}) must miss"
+                );
+            }
+        }
+        // invalid UTF-8 is an unreadable file, not a crash
+        std::fs::write(&path, [0xFFu8, 0xFE, b'\n']).unwrap();
+        assert!(load(&dir, 42).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Truncate a committed cache file at every byte boundary: always a
+    /// miss (the seed_rows header catches even row-aligned prefixes),
+    /// never a panic, and a subsequent store repairs the cell.
+    #[test]
+    fn truncated_committed_file_is_always_a_miss() {
+        let dir = scratch_dir("truncate");
+        let data = sample();
+        store(&dir, 9, &data).unwrap();
+        let path = cell_path(&dir, 9);
+        let clean = std::fs::read(&path).unwrap();
+        for len in 0..clean.len() {
+            std::fs::write(&path, &clean[..len]).unwrap();
+            assert!(
+                load(&dir, 9).is_none(),
+                "truncation to {len} bytes must be a miss"
+            );
+        }
+        store(&dir, 9, &data).unwrap();
+        assert_eq!(load(&dir, 9).unwrap(), data, "re-store must repair");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

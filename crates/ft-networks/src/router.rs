@@ -360,6 +360,34 @@ impl<'a> CircuitRouter<'a> {
         self.release_slot(id.0 as usize, visit)
     }
 
+    /// The `(input, output)` terminal pair of a live session — the
+    /// first and last vertices of its path. `None` for unknown or
+    /// already-released sessions.
+    pub fn session_endpoints(&self, id: SessionId) -> Option<(VertexId, VertexId)> {
+        let path = self.session_path(id)?;
+        Some((*path.first()?, *path.last()?))
+    }
+
+    /// Drains the router: tears down every live circuit and returns
+    /// the released sessions as `(id, input, output)` triples in
+    /// ascending slot order (deterministic regardless of connect
+    /// history). This is the first half of a graceful topology swap —
+    /// the caller re-establishes ("migrates") the returned endpoint
+    /// pairs on a router over the replacement network and drops the
+    /// pairs that no longer route there.
+    pub fn drain(&mut self) -> Vec<(SessionId, VertexId, VertexId)> {
+        let mut out = Vec::with_capacity(self.active_sessions());
+        for slot in 0..self.sessions.len() {
+            let id = SessionId(slot as u32);
+            if let Some((input, output)) = self.session_endpoints(id) {
+                out.push((id, input, output));
+                let released = self.release_slot(slot, |_| {});
+                debug_assert!(released);
+            }
+        }
+        out
+    }
+
     /// The live session whose circuit crosses `v`, if any — O(1) via
     /// the vertex → session index.
     #[inline]
@@ -754,5 +782,49 @@ mod tests {
         let revived = router.set_alive_mask(&vec![true; net.graph().num_vertices()]);
         assert!(revived.is_empty());
         router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
+    }
+
+    #[test]
+    fn session_endpoints_are_the_connected_pair() {
+        let c = Clos::strictly_nonblocking(2, 2);
+        let net = &c.net;
+        let mut router = CircuitRouter::new(net);
+        let id = router.connect(net.inputs()[1], net.outputs()[0]).unwrap();
+        assert_eq!(
+            router.session_endpoints(id),
+            Some((net.inputs()[1], net.outputs()[0]))
+        );
+        router.disconnect(id);
+        assert_eq!(router.session_endpoints(id), None);
+    }
+
+    #[test]
+    fn drain_releases_everything_in_slot_order_and_migrates() {
+        let c = Clos::strictly_nonblocking(2, 2); // 4 terminals
+        let net = &c.net;
+        let mut router = CircuitRouter::new(net);
+        let mut ids = Vec::new();
+        // connect out of terminal order so slot order != connect order
+        for i in [2usize, 0, 3, 1] {
+            ids.push(router.connect(net.inputs()[i], net.outputs()[i]).unwrap());
+        }
+        router.disconnect(ids[1]); // free a slot (and the 0→0 pair)
+        let reconnected = router.connect(net.inputs()[0], net.outputs()[0]).unwrap();
+        assert_eq!(reconnected, ids[1], "free list must reuse the slot");
+        let drained = router.drain();
+        assert_eq!(router.active_sessions(), 0);
+        assert_eq!(drained.len(), 4);
+        // ascending slot order, each triple carrying its endpoint pair
+        for w in drained.windows(2) {
+            assert!(w[0].0 .0 < w[1].0 .0);
+        }
+        assert_eq!(drained[1], (ids[1], net.inputs()[0], net.outputs()[0]));
+        // the second half of a topology swap: re-establish every pair
+        // on a fresh router (here over the same network)
+        let mut next = CircuitRouter::new(net);
+        for &(_, input, output) in &drained {
+            next.connect(input, output).unwrap();
+        }
+        assert_eq!(next.active_sessions(), 4);
     }
 }

@@ -1,0 +1,90 @@
+//! Crash-consistent file output: write to a temporary sibling, rename
+//! into place.
+//!
+//! Every artifact the CLIs persist — JSON reports, CSV tables, NDJSON
+//! traces, cell-cache files, server metric snapshots — is consumed by
+//! downstream tooling that parses it wholesale (`cmp` in CI, the cache
+//! loader, the snapshot restorer). A process killed mid-`write` must
+//! therefore never leave a torn file under the final name: the torn
+//! bytes would half-parse instead of cleanly missing. [`write_atomic`]
+//! gives every call site the same discipline the ft-exp cell cache
+//! pioneered: the content lands under a `.tmp`-suffixed sibling first
+//! and is renamed over the destination, which is atomic on POSIX
+//! filesystems (the destination either holds the old content or the
+//! complete new content, never a prefix).
+
+use std::ffi::OsString;
+use std::io;
+use std::path::Path;
+
+/// Writes `contents` to `path` via a temporary sibling + rename, so an
+/// interrupted writer can never leave a partial file at `path`.
+///
+/// The sibling lives in the same directory (renames across filesystems
+/// are not atomic) and carries a `.tmp` suffix appended to the full
+/// file name, so distinct targets in one directory never collide. On
+/// any error the sibling is removed best-effort.
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp_name = OsString::from(path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("no file name in {}", path.display()),
+        )
+    })?);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents.as_ref()).and_then(|()| {
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ft_obs_atomicio_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_content_and_removes_sibling() {
+        let dir = scratch_dir("basic");
+        let path = dir.join("report.json");
+        write_atomic(&path, "{\"ok\": true}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}\n");
+        assert!(
+            !dir.join("report.json.tmp").exists(),
+            "temporary sibling must not survive"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replaces_existing_file_wholesale() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("table.csv");
+        write_atomic(&path, "old").unwrap();
+        write_atomic(&path, "new content, longer").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "new content, longer"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_parent_directory_errors_without_torn_target() {
+        let dir = scratch_dir("noparent");
+        let path = dir.join("absent").join("out.json");
+        assert!(write_atomic(&path, "x").is_err());
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,15 +15,22 @@
 //! * **Profiling** — [`Profiler`] wall-clock phase sections and the
 //!   [`KvLine`] accounting-line formatter, rendered to stderr only so
 //!   reports and study tables stay byte-stable.
+//! * **Crash-consistent output** — [`write_atomic`], the
+//!   temp-sibling-then-rename discipline every persisted artifact
+//!   (reports, CSV tables, traces, cache cells, server snapshots) goes
+//!   through so an interrupted run never leaves a torn file under a
+//!   final name.
 //!
 //! The crate is a dependency leaf (std only): `ft-sim`, `ft-exp`, and
 //! the binaries layer it over the engine without cycles.
 
+pub mod atomicio;
 pub mod diff;
 pub mod event;
 pub mod hist;
 pub mod profile;
 
+pub use atomicio::write_atomic;
 pub use diff::{first_divergence, TraceDiff};
 pub use event::{Noop, Observer, TraceBuf, TraceEvent};
 pub use hist::{bucket_index, bucket_lower_edge, Hist, NUM_BUCKETS};

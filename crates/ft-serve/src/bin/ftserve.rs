@@ -1,0 +1,117 @@
+//! `ftserve` — the crash-tolerant circuit-switching server.
+//!
+//! ```text
+//! usage: ftserve SCENARIO [--addr HOST:PORT] [--port-file PATH]
+//!                [--queue-depth N] [--snapshot PATH] [--snapshot-every N]
+//!                [--report PATH] [--deterministic]
+//!
+//!   SCENARIO         an ftsim scenario file; the server boots its
+//!                    fabric, and its `retry = … shed N` depth (if any)
+//!                    is the default queue depth
+//!   --addr A         bind address (default 127.0.0.1:0, ephemeral)
+//!   --port-file P    write the bound address to P (atomically) once
+//!                    listening — scripts race-freely discover the port
+//!   --queue-depth N  engine queue bound; connects past it are shed
+//!   --snapshot P     crash-consistent counter snapshot file: restored
+//!                    at boot if present, rewritten periodically
+//!   --snapshot-every N   snapshot cadence in jobs (default 64)
+//!   --report P       also write the final report to P (atomically)
+//!   --deterministic  no deadlines, no wall-clock output — lockstep
+//!                    replays produce byte-identical reports
+//! ```
+//!
+//! The final report goes to stdout at shutdown; diagnostics to stderr.
+//! Exit status 0 = graceful shutdown. See `docs/SERVICE.md`.
+
+use std::process::ExitCode;
+
+use ft_serve::{Server, ServerConfig};
+use ft_sim::RetryPolicy;
+
+fn usage() -> &'static str {
+    "usage: ftserve SCENARIO [--addr HOST:PORT] [--port-file PATH] [--queue-depth N] [--snapshot PATH] [--snapshot-every N] [--report PATH] [--deterministic]"
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_path: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut queue_depth: Option<usize> = None;
+    cfg.engine.snapshot_every = 64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--port-file" => port_file = Some(it.next().ok_or("--port-file needs a path")?),
+            "--queue-depth" => {
+                let n = it.next().ok_or("--queue-depth needs a count")?;
+                queue_depth = Some(n.parse().map_err(|_| format!("bad queue depth `{n}`"))?);
+            }
+            "--snapshot" => {
+                cfg.engine.snapshot_path = Some(it.next().ok_or("--snapshot needs a path")?.into());
+            }
+            "--snapshot-every" => {
+                let n = it.next().ok_or("--snapshot-every needs a count")?;
+                cfg.engine.snapshot_every = n
+                    .parse()
+                    .map_err(|_| format!("bad snapshot cadence `{n}`"))?;
+            }
+            "--report" => report_path = Some(it.next().ok_or("--report needs a path")?),
+            "--deterministic" => cfg.engine.deterministic = true,
+            other if scenario_path.is_none() => scenario_path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let scenario_path = scenario_path.ok_or_else(|| usage().to_string())?;
+    let text = std::fs::read_to_string(&scenario_path)
+        .map_err(|e| format!("reading {scenario_path}: {e}"))?;
+    let scenario = ft_sim::Scenario::parse(&text)?;
+    // The scenario's shed depth is the natural backpressure bound: the
+    // service degrades where the simulation said it should.
+    cfg.queue_depth = queue_depth.unwrap_or(match scenario.config.retry {
+        RetryPolicy::Backoff { shed_depth, .. } if shed_depth > 0 => shed_depth,
+        _ => 64,
+    });
+    let fabric = scenario.fabric.build();
+    eprintln!(
+        "ftserve: {} ({} terminals), queue depth {}{}",
+        fabric.label(),
+        fabric.terminals(),
+        cfg.queue_depth,
+        if cfg.engine.deterministic {
+            ", deterministic"
+        } else {
+            ""
+        }
+    );
+    let server = Server::start(fabric, cfg).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.addr();
+    eprintln!("ftserve: listening on {addr}");
+    if let Some(path) = &port_file {
+        ft_obs::write_atomic(path, format!("{addr}\n"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let report = server.wait();
+    print!("{report}");
+    if let Some(path) = &report_path {
+        ft_obs::write_atomic(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("ftserve: report written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ftserve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

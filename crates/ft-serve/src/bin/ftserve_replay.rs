@@ -1,0 +1,353 @@
+//! `ftserve-replay` — replays an ftsim workload stream against a live
+//! `ftserve` at wall-clock speed.
+//!
+//! ```text
+//! usage: ftserve-replay ADDR SCENARIO [--seed N] [--speed X] [--stream FILE]
+//!                       [--deterministic] [--deadline-ms N] [--flood N]
+//!                       [--reload-at T --reload-spec SPEC]
+//!                       [--snapshot-at-end] [--shutdown] [--fetch-report]
+//!
+//!   ADDR             the server's HOST:PORT (or a --port-file's content)
+//!   SCENARIO         the ftsim scenario the stream came from (supplies
+//!                    the retry/backoff policy; also generates the
+//!                    stream when --stream is absent)
+//!   --seed N         stream seed (default: the scenario's first seed)
+//!   --speed X        wall-clock speed multiplier (default 1.0; 4.0
+//!                    replays a 120 s scenario in 30 s)
+//!   --stream FILE    replay this `ftsim --export-stream` NDJSON file
+//!                    instead of regenerating the stream
+//!   --deterministic  lockstep: no pacing, no retries, no jitter —
+//!                    with a --deterministic server, final reports are
+//!                    byte-identical across runs
+//!   --deadline-ms N  per-connect queueing deadline (default 0 = none)
+//!   --flood N        before the replay, blast N pipelined connects to
+//!                    exercise the shed path (ids ≥ 2^60, disconnected
+//!                    again afterwards)
+//!   --reload-at T    at virtual time T, issue a graceful reload…
+//!   --reload-spec S  …onto fabric spec S (e.g. "clos-strict 4 4")
+//!   --snapshot-at-end  force a snapshot after the stream
+//!   --shutdown       finish with a graceful SHUTDOWN
+//!   --fetch-report   print the server's final report JSON to stdout
+//! ```
+//!
+//! Client-side degradation mirrors the simulator's `RetryPolicy`: a
+//! `Blocked`/`Shed` connect retries up to the scenario's budget with
+//! exponential backoff plus jitter (scaled by `--speed`). A replay
+//! accounting line goes to stderr at the end.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ft_serve::{Client, Request, Status};
+use ft_sim::stream::{parse_ndjson, StreamKind};
+use ft_sim::RetryPolicy;
+use rand::Rng;
+
+fn usage() -> &'static str {
+    "usage: ftserve-replay ADDR SCENARIO [--seed N] [--speed X] [--stream FILE] [--deterministic] [--deadline-ms N] [--flood N] [--reload-at T --reload-spec SPEC] [--snapshot-at-end] [--shutdown] [--fetch-report]"
+}
+
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    blocked: u64,
+    busy: u64,
+    shed: u64,
+    deadline_expired: u64,
+    unknown: u64,
+    noop: u64,
+    other: u64,
+    retries: u64,
+    gave_up: u64,
+}
+
+impl Tally {
+    fn count(&mut self, status: Status) {
+        match status {
+            Status::Ok => self.ok += 1,
+            Status::Blocked => self.blocked += 1,
+            Status::Busy => self.busy += 1,
+            Status::Shed => self.shed += 1,
+            Status::DeadlineExpired => self.deadline_expired += 1,
+            Status::UnknownCircuit => self.unknown += 1,
+            Status::Noop => self.noop += 1,
+            _ => self.other += 1,
+        }
+    }
+}
+
+struct Opts {
+    speed: f64,
+    deterministic: bool,
+    deadline_ms: u32,
+    budget: u32,
+    backoff_base: f64,
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut seed: Option<u64> = None;
+    let mut speed = 1.0f64;
+    let mut stream_file: Option<String> = None;
+    let mut deterministic = false;
+    let mut deadline_ms = 0u32;
+    let mut flood = 0u64;
+    let mut reload_at: Option<f64> = None;
+    let mut reload_spec: Option<String> = None;
+    let mut snapshot_at_end = false;
+    let mut shutdown = false;
+    let mut fetch_report = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            "--seed" => {
+                let n = it.next().ok_or("--seed needs a value")?;
+                seed = Some(n.parse().map_err(|_| format!("bad seed `{n}`"))?);
+            }
+            "--speed" => {
+                let x = it.next().ok_or("--speed needs a value")?;
+                speed = x.parse().map_err(|_| format!("bad speed `{x}`"))?;
+                if speed <= 0.0 {
+                    return Err("--speed must be positive".into());
+                }
+            }
+            "--stream" => stream_file = Some(it.next().ok_or("--stream needs a path")?),
+            "--deterministic" => deterministic = true,
+            "--deadline-ms" => {
+                let n = it.next().ok_or("--deadline-ms needs a value")?;
+                deadline_ms = n.parse().map_err(|_| format!("bad deadline `{n}`"))?;
+            }
+            "--flood" => {
+                let n = it.next().ok_or("--flood needs a count")?;
+                flood = n.parse().map_err(|_| format!("bad flood count `{n}`"))?;
+            }
+            "--reload-at" => {
+                let t = it.next().ok_or("--reload-at needs a time")?;
+                reload_at = Some(t.parse().map_err(|_| format!("bad reload time `{t}`"))?);
+            }
+            "--reload-spec" => reload_spec = Some(it.next().ok_or("--reload-spec needs a spec")?),
+            "--snapshot-at-end" => snapshot_at_end = true,
+            "--shutdown" => shutdown = true,
+            "--fetch-report" => fetch_report = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(usage().to_string());
+    }
+    let addr = positional[0].trim().to_string();
+    let scenario_text = std::fs::read_to_string(&positional[1])
+        .map_err(|e| format!("reading {}: {e}", positional[1]))?;
+    let scenario = ft_sim::Scenario::parse(&scenario_text)?;
+    let seed = seed.unwrap_or_else(|| scenario.seed_list()[0]);
+    let events = match &stream_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            parse_ndjson(&text)?
+        }
+        None => ft_sim::stream::export_stream(&scenario, seed),
+    };
+    if reload_at.is_some() != reload_spec.is_some() {
+        return Err("--reload-at and --reload-spec go together".into());
+    }
+    let (budget, backoff_base) = match scenario.config.retry {
+        RetryPolicy::Backoff { budget, base, .. } => (budget, base),
+        _ => (3, 0.5),
+    };
+    let opts = Opts {
+        speed,
+        deterministic,
+        deadline_ms,
+        budget,
+        backoff_base,
+    };
+
+    let mut client = Client::connect(&addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut tally = Tally::default();
+    let mut jitter = ft_graph::gen::rng(seed ^ 0x5eed_5eed);
+
+    if flood > 0 {
+        flood_connects(&addr, flood, &mut tally)?;
+    }
+
+    let start = Instant::now();
+    let mut reload_pending = reload_at;
+    let mut control_tag = 1u64 << 40;
+    for ev in &events {
+        if let Some(at) = reload_pending {
+            if ev.time >= at {
+                reload_pending = None;
+                control_tag += 1;
+                let resp = client
+                    .reload(control_tag, reload_spec.as_deref().unwrap())
+                    .map_err(|e| format!("reload: {e}"))?;
+                eprintln!("ftserve-replay: reload at t={at} → {}", resp.status.label());
+            }
+        }
+        if !opts.deterministic {
+            let target = Duration::from_secs_f64(ev.time / opts.speed);
+            let elapsed = start.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+        tally.sent += 1;
+        match ev.kind {
+            StreamKind::Connect { id, src, dst } => {
+                play_connect(&mut client, &opts, &mut tally, &mut jitter, id, src, dst)?;
+            }
+            StreamKind::Disconnect { id } => {
+                let resp = client
+                    .disconnect_circuit(id)
+                    .map_err(|e| format!("disconnect {id}: {e}"))?;
+                tally.count(resp.status);
+            }
+            StreamKind::Fault { switch, open } => {
+                control_tag += 1;
+                let resp = client
+                    .fault(control_tag, switch, open)
+                    .map_err(|e| format!("fault {switch}: {e}"))?;
+                tally.count(resp.status);
+            }
+            StreamKind::Repair { switch } => {
+                control_tag += 1;
+                let resp = client
+                    .repair(control_tag, switch)
+                    .map_err(|e| format!("repair {switch}: {e}"))?;
+                tally.count(resp.status);
+            }
+        }
+    }
+    if let Some(spec) = reload_pending.and(reload_spec.as_deref()) {
+        // The reload time fell past the last event: still honour it.
+        control_tag += 1;
+        let resp = client
+            .reload(control_tag, spec)
+            .map_err(|e| format!("reload: {e}"))?;
+        eprintln!("ftserve-replay: trailing reload → {}", resp.status.label());
+    }
+    if snapshot_at_end {
+        control_tag += 1;
+        let resp = client
+            .snapshot(control_tag)
+            .map_err(|e| format!("snapshot: {e}"))?;
+        eprintln!("ftserve-replay: snapshot → {}", resp.status.label());
+    }
+    if fetch_report {
+        control_tag += 1;
+        let resp = client
+            .report(control_tag)
+            .map_err(|e| format!("report: {e}"))?;
+        print!("{}", resp.body_text());
+    }
+    if shutdown {
+        control_tag += 1;
+        let resp = client
+            .shutdown(control_tag)
+            .map_err(|e| format!("shutdown: {e}"))?;
+        eprintln!("ftserve-replay: shutdown → {}", resp.status.label());
+    }
+    let line = ft_obs::KvLine::new("ftserve-replay")
+        .kv("events", tally.sent)
+        .kv("ok", tally.ok)
+        .kv("blocked", tally.blocked)
+        .kv("busy", tally.busy)
+        .kv("shed", tally.shed)
+        .kv("deadline_expired", tally.deadline_expired)
+        .kv("unknown", tally.unknown)
+        .kv("noop", tally.noop)
+        .kv("other", tally.other)
+        .kv("retries", tally.retries)
+        .kv("gave_up", tally.gave_up)
+        .finish();
+    eprintln!("{line}");
+    Ok(())
+}
+
+/// One connect with the simulator's degradation ladder: `Blocked`/
+/// `Shed` retries up to the budget with exponential backoff + jitter
+/// (skipped entirely in deterministic mode — one attempt, no sleeps).
+fn play_connect(
+    client: &mut Client,
+    opts: &Opts,
+    tally: &mut Tally,
+    jitter: &mut impl Rng,
+    id: u64,
+    src: u32,
+    dst: u32,
+) -> Result<(), String> {
+    let mut attempt = 0u32;
+    loop {
+        let resp = client
+            .connect_circuit(id, src, dst, opts.deadline_ms)
+            .map_err(|e| format!("connect {id}: {e}"))?;
+        tally.count(resp.status);
+        let transient = matches!(resp.status, Status::Blocked | Status::Shed);
+        if !transient || opts.deterministic {
+            return Ok(());
+        }
+        if attempt >= opts.budget {
+            tally.gave_up += 1;
+            return Ok(());
+        }
+        let backoff =
+            opts.backoff_base * f64::from(1u32 << attempt.min(16)) * (0.5 + jitter.random::<f64>());
+        std::thread::sleep(Duration::from_secs_f64(backoff / opts.speed));
+        attempt += 1;
+        tally.retries += 1;
+    }
+}
+
+/// Blasts `n` pipelined connects (no per-frame response wait) on a
+/// dedicated connection so the engine queue fills and the frontend's
+/// shed path fires, then collects the `n` responses and releases
+/// whatever connected.
+fn flood_connects(addr: &str, n: u64, tally: &mut Tally) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("flood connect: {e}"))?;
+    let base = 1u64 << 60;
+    for i in 0..n {
+        let req = Request::Connect {
+            tag: base + i,
+            src: 0,
+            dst: 0,
+            deadline_ms: 0,
+        };
+        c.send_raw(&req.encode())
+            .map_err(|e| format!("flood send: {e}"))?;
+    }
+    let mut connected = Vec::new();
+    for _ in 0..n {
+        let resp = c.read_response().map_err(|e| format!("flood read: {e}"))?;
+        tally.count(resp.status);
+        if resp.status == Status::Ok {
+            connected.push(resp.tag);
+        }
+    }
+    for tag in connected {
+        let resp = c
+            .disconnect_circuit(tag)
+            .map_err(|e| format!("flood cleanup: {e}"))?;
+        tally.count(resp.status);
+    }
+    eprintln!(
+        "ftserve-replay: flood of {n} done (shed so far {})",
+        tally.shed
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ftserve-replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

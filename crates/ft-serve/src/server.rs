@@ -1,0 +1,234 @@
+//! The TCP frontend: accept loop, per-connection reader/writer pairs,
+//! and the backpressure boundary.
+//!
+//! No async runtime — the container carries only vendored std-adjacent
+//! crates — so the shape is classic thread-per-connection: an acceptor
+//! thread spawns one reader (and one writer) thread per client, all
+//! feeding the single engine thread through a bounded
+//! [`sync_channel`](std::sync::mpsc::sync_channel). The queue bound IS
+//! the service's admission control: when it is full, `CONNECT` requests
+//! are answered [`Status::Shed`] directly from the frontend (the engine
+//! never sees them), while control-plane requests block — you can
+//! always fetch metrics from, reload, or shut down a saturated server.
+//!
+//! Robustness properties the tests pin:
+//! * a malformed frame gets a typed [`Status::BadFrame`] answer and the
+//!   connection keeps serving (an oversized length prefix also answers,
+//!   then closes, since the stream position is unrecoverable);
+//! * a mid-frame disconnect or slow-loris writer affects only its own
+//!   connection — reads time out in 250 ms slices and re-poll the
+//!   shutdown flag, so even an idle peer never blocks teardown;
+//! * every accepted request is answered exactly once, in engine order,
+//!   per connection (responses to one connection are serialised by its
+//!   writer thread).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ft_sim::Fabric;
+
+use crate::engine::{self, EngineConfig, Job, SharedFlags};
+use crate::protocol::{read_frame_with, write_frame, Request, Response, Status};
+
+/// How long a frontend read blocks before re-polling the shutdown flag.
+const READ_SLICE: Duration = Duration::from_millis(250);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (use port 0 for an ephemeral port).
+    pub addr: String,
+    /// Engine queue depth — the backpressure bound. Connects past it
+    /// are shed; the simulator's `retry = … shed N` knob is the
+    /// conventional source of this number.
+    pub queue_depth: usize,
+    /// Engine determinism/snapshot settings.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_depth: 64,
+            engine: EngineConfig {
+                deterministic: false,
+                snapshot_path: None,
+                snapshot_every: 0,
+            },
+        }
+    }
+}
+
+/// A running server: engine + acceptor + frontends.
+pub struct Server {
+    addr: SocketAddr,
+    engine: JoinHandle<String>,
+    acceptor: JoinHandle<()>,
+    shared: Arc<SharedFlags>,
+}
+
+impl Server {
+    /// Binds, spawns the engine and acceptor, returns immediately.
+    pub fn start(fabric: Fabric, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(SharedFlags::default());
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
+
+        let engine_shared = Arc::clone(&shared);
+        let engine_cfg = cfg.engine.clone();
+        let engine =
+            std::thread::spawn(move || engine::run(fabric, job_rx, &engine_shared, &engine_cfg));
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::spawn(move || {
+            accept_loop(listener, addr, job_tx, accept_shared);
+        });
+
+        Ok(Server {
+            addr,
+            engine,
+            acceptor,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared flag block (tests read the shed counter directly).
+    pub fn shared(&self) -> &SharedFlags {
+        &self.shared
+    }
+
+    /// Blocks until the engine exits (graceful shutdown or all
+    /// frontends gone), then joins the acceptor and returns the final
+    /// report. In-flight writer threads get a short grace period so a
+    /// `SHUTDOWN` response reaches its client before the process exits.
+    pub fn wait(self) -> String {
+        let report = self.engine.join().expect("engine thread panicked");
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()` with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        self.acceptor.join().expect("acceptor thread panicked");
+        std::thread::sleep(Duration::from_millis(200));
+        report
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    job_tx: SyncSender<Job>,
+    shared: Arc<SharedFlags>,
+) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let tx = job_tx.clone();
+        let sh = Arc::clone(&shared);
+        std::thread::spawn(move || serve_connection(stream, tx, sh));
+    }
+    let _ = addr;
+}
+
+/// One client connection: reader loop on this thread, writer thread
+/// draining the per-connection response channel.
+fn serve_connection(stream: TcpStream, job_tx: SyncSender<Job>, shared: Arc<SharedFlags>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_SLICE));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+    let writer = std::thread::spawn(move || write_loop(stream, resp_rx));
+
+    loop {
+        let stop = || shared.shutdown.load(Ordering::SeqCst);
+        match read_frame_with(&mut reader, stop) {
+            Ok(Some(payload)) => {
+                match Request::decode(&payload) {
+                    Ok(req) => {
+                        if !dispatch(req, &job_tx, &resp_tx, &shared) {
+                            break; // engine gone: stop reading
+                        }
+                    }
+                    Err(tag) => {
+                        // Malformed payload inside a well-framed
+                        // message: typed answer, keep serving.
+                        shared.bad_frames.fetch_add(1, Ordering::SeqCst);
+                        if resp_tx.send(Response::new(Status::BadFrame, tag)).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(None) => break, // clean EOF between frames
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Oversized/zero length prefix: the stream position is
+                // unrecoverable. Answer, then close.
+                shared.bad_frames.fetch_add(1, Ordering::SeqCst);
+                let _ = resp_tx.send(Response::new(Status::BadFrame, 0));
+                break;
+            }
+            Err(_) => break, // mid-frame EOF, shutdown interrupt, or I/O error
+        }
+    }
+    drop(resp_tx);
+    let _ = writer.join();
+}
+
+/// Routes one decoded request into the engine queue, applying the
+/// backpressure policy. Returns `false` when the engine is gone.
+fn dispatch(
+    req: Request,
+    job_tx: &SyncSender<Job>,
+    resp_tx: &mpsc::Sender<Response>,
+    shared: &SharedFlags,
+) -> bool {
+    let job = Job {
+        reply: resp_tx.clone(),
+        enqueued: Instant::now(),
+        req,
+    };
+    match &job.req {
+        Request::Connect { tag, .. } => {
+            let tag = *tag;
+            match job_tx.try_send(job) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) => {
+                    // Backpressure: shed the admission at the frontend.
+                    shared.shed.fetch_add(1, Ordering::SeqCst);
+                    resp_tx.send(Response::new(Status::Shed, tag)).is_ok()
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        }
+        // Control plane blocks instead of shedding: a saturated server
+        // must still answer metrics, reloads and shutdowns.
+        _ => job_tx.send(job).is_ok(),
+    }
+}
+
+fn write_loop(mut stream: TcpStream, resp_rx: Receiver<Response>) {
+    // Writes use the default (blocking, no timeout) path: a slow reader
+    // stalls only its own writer thread.
+    let _ = stream.set_write_timeout(None);
+    while let Ok(resp) = resp_rx.recv() {
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            break;
+        }
+        let _ = stream.flush();
+    }
+}

@@ -2,12 +2,15 @@
 //! engine and emit a JSON report.
 //!
 //! ```text
-//! usage: ftsim SCENARIO [--out PATH] [--threads N] [--trace FILE] [--profile]
+//! usage: ftsim SCENARIO [--out PATH] [--threads N] [--trace FILE]
+//!              [--export-stream FILE] [--profile]
 //!
 //!   SCENARIO      path to a scenario spec (`-` reads stdin)
 //!   --out PATH    also write the JSON report to PATH
 //!   --threads N   override the scenario's worker count
 //!   --trace FILE  write the deterministic NDJSON event trace to FILE
+//!   --export-stream FILE  write the first seed's replayable workload
+//!                 stream (NDJSON, see `ft_sim::stream`) for `ftserve-replay`
 //!   --profile     print per-phase wall-clock and kernel counters to stderr
 //! ```
 //!
@@ -19,7 +22,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: ftsim SCENARIO [--out PATH] [--threads N] [--trace FILE] [--profile]\n       (SCENARIO = path to a spec file, or `-` for stdin)"
+    "usage: ftsim SCENARIO [--out PATH] [--threads N] [--trace FILE] [--export-stream FILE] [--profile]\n       (SCENARIO = path to a spec file, or `-` for stdin)"
 }
 
 fn run() -> Result<(), String> {
@@ -28,6 +31,7 @@ fn run() -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut threads_override: Option<usize> = None;
     let mut trace_path: Option<String> = None;
+    let mut stream_path: Option<String> = None;
     let mut profile = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -45,6 +49,9 @@ fn run() -> Result<(), String> {
             }
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--export-stream" => {
+                stream_path = Some(it.next().ok_or("--export-stream needs a path")?);
             }
             "--profile" => profile = true,
             other if scenario_path.is_none() => scenario_path = Some(other.to_string()),
@@ -78,6 +85,19 @@ fn run() -> Result<(), String> {
         scenario.config.duration,
     );
     let seeds = scenario.seed_list();
+    if let Some(path) = &stream_path {
+        // The replayable stream of the sweep's first seed, rendered
+        // before the sweep so `--export-stream` works even on scenarios
+        // too heavy to simulate here.
+        let stream = ft_sim::stream::export_stream(&scenario, seeds[0]);
+        let ndjson = ft_sim::stream::render_ndjson(&stream);
+        ft_obs::write_atomic(path, &ndjson).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "ftsim: stream written to {path} ({} events, seed {})",
+            stream.len(),
+            seeds[0]
+        );
+    }
     let mut trace: Option<String> = None;
     let outcomes = prof.section("sweep", || {
         if trace_path.is_some() {
@@ -97,11 +117,13 @@ fn run() -> Result<(), String> {
     let json = prof.section("render", || report.to_json());
     print!("{json}");
     if let Some(path) = out_path {
-        std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        // Temp sibling + rename: an interrupted run must never leave a
+        // torn report that downstream tooling half-parses.
+        ft_obs::write_atomic(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("ftsim: report written to {path}");
     }
     if let (Some(path), Some(trace)) = (&trace_path, &trace) {
-        std::fs::write(path, trace).map_err(|e| format!("writing {path}: {e}"))?;
+        ft_obs::write_atomic(path, trace).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!(
             "ftsim: trace written to {path} ({} lines)",
             trace.lines().count()

@@ -32,7 +32,11 @@
 //!   parses and the byte-reproducible JSON report it emits;
 //! * [`staticcheck`] — the PASTA cross-check: a snapshot Monte Carlo
 //!   estimate at the stationary unavailability that temporal blocking
-//!   must reproduce (and that `ftexp` studies report per cell).
+//!   must reproduce (and that `ftexp` studies report per cell);
+//! * [`stream`] — deterministic workload-stream export (`ftsim
+//!   --export-stream`): the connect/disconnect/fault/repair schedule
+//!   of one seed rendered as replayable NDJSON for the `ftserve`
+//!   replay client.
 //!
 //! **Determinism guarantee:** all randomness flows through one seeded
 //! RNG in event order, event ties break by insertion sequence, and the
@@ -50,6 +54,7 @@ pub mod metrics;
 pub mod report;
 pub mod scenario;
 pub mod staticcheck;
+pub mod stream;
 pub mod sweep;
 pub mod workload;
 
@@ -61,6 +66,7 @@ pub use metrics::{erlang_b, Bucket, Metrics};
 pub use report::Report;
 pub use scenario::{FabricSpec, Scenario, ScenarioBuilder, SCENARIO_KEYS};
 pub use staticcheck::{pair_blocking_estimate, pair_blocking_estimate_scalar};
+pub use stream::{export_stream, StreamEvent, StreamKind};
 pub use sweep::{run_sweep, run_sweep_traced};
 pub use workload::{HoldingTime, TrafficPattern};
 

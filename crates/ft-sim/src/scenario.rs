@@ -88,6 +88,15 @@ impl FabricSpec {
             FabricSpec::Ftn(nu, w, d, g) => format!("ftn {nu} {w} {d} {g}"),
         }
     }
+
+    /// Parses a bare fabric spec (the value side of a `network =`
+    /// directive, e.g. `clos-strict 4 4`) — the inverse of
+    /// [`FabricSpec::to_spec_string`]. The `ftserve` reload request
+    /// carries specs in this form.
+    pub fn parse(spec: &str) -> Result<FabricSpec, String> {
+        let words: Vec<&str> = spec.split_whitespace().collect();
+        parse_network(&words)
+    }
 }
 
 /// A parsed scenario: fabric, simulation parameters, seeds, threading.

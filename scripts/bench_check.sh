@@ -56,6 +56,7 @@ dinic_repair_nu2
 push_relabel_repair_nu2
 mc_bridge_10k_sliced
 sample_sliced_1M_edges/eps0.2
+serve_connects_per_sec
 "
 for b in $REQUIRED_BENCHES; do
     if ! cut -f1 "$RUN_DIR/current.tsv" | grep -qx "$b"; then

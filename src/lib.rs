@@ -17,6 +17,9 @@
 //!   engine behind the `ftsim` scenario CLI.
 //! * [`exp`] — the declarative parameter-grid experiment runner behind
 //!   the `ftexp` study CLI (sweeps, cell cache, JSON/CSV tables).
+//! * [`serve`] — `ftserve`: the crash-tolerant online circuit-switching
+//!   TCP service (deadlines, backpressure shedding, graceful topology
+//!   reload, crash-consistent snapshots) and its replay client.
 //! * [`obs`] — observability: the zero-cost [`obs::Observer`] trace
 //!   hook, deterministic NDJSON traces with the `trace_diff` first
 //!   divergence locator, streaming log-bucketed histograms, and the
@@ -32,4 +35,5 @@ pub use ft_failure as failure;
 pub use ft_graph as graph;
 pub use ft_networks as networks;
 pub use ft_obs as obs;
+pub use ft_serve as serve;
 pub use ft_sim as sim;
