@@ -24,6 +24,7 @@ fn bench_serve_connects(c: &mut Criterion) {
                 snapshot_path: None,
                 snapshot_every: 0,
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! usage: ftserve SCENARIO [--addr HOST:PORT] [--port-file PATH]
-//!                [--queue-depth N] [--snapshot PATH] [--snapshot-every N]
-//!                [--report PATH] [--deterministic]
+//!                [--queue-depth N] [--max-conns N] [--snapshot PATH]
+//!                [--snapshot-every N] [--report PATH] [--deterministic]
 //!
 //!   SCENARIO         an ftsim scenario file; the server boots its
 //!                    fabric, and its `retry = … shed N` depth (if any)
@@ -12,6 +12,8 @@
 //!   --port-file P    write the bound address to P (atomically) once
 //!                    listening — scripts race-freely discover the port
 //!   --queue-depth N  engine queue bound; connects past it are shed
+//!   --max-conns N    concurrent-connection cap (default 256); extra
+//!                    connections are closed at accept
 //!   --snapshot P     crash-consistent counter snapshot file: restored
 //!                    at boot if present, rewritten periodically
 //!   --snapshot-every N   snapshot cadence in jobs (default 64)
@@ -29,7 +31,7 @@ use ft_serve::{Server, ServerConfig};
 use ft_sim::RetryPolicy;
 
 fn usage() -> &'static str {
-    "usage: ftserve SCENARIO [--addr HOST:PORT] [--port-file PATH] [--queue-depth N] [--snapshot PATH] [--snapshot-every N] [--report PATH] [--deterministic]"
+    "usage: ftserve SCENARIO [--addr HOST:PORT] [--port-file PATH] [--queue-depth N] [--max-conns N] [--snapshot PATH] [--snapshot-every N] [--report PATH] [--deterministic]"
 }
 
 fn run() -> Result<(), String> {
@@ -52,6 +54,10 @@ fn run() -> Result<(), String> {
             "--queue-depth" => {
                 let n = it.next().ok_or("--queue-depth needs a count")?;
                 queue_depth = Some(n.parse().map_err(|_| format!("bad queue depth `{n}`"))?);
+            }
+            "--max-conns" => {
+                let n = it.next().ok_or("--max-conns needs a count")?;
+                cfg.max_connections = n.parse().map_err(|_| format!("bad connection cap `{n}`"))?;
             }
             "--snapshot" => {
                 cfg.engine.snapshot_path = Some(it.next().ok_or("--snapshot needs a path")?.into());

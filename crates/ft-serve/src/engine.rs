@@ -125,6 +125,10 @@ pub struct SharedFlags {
     pub shed: AtomicU64,
     /// Malformed frames answered at the frontends.
     pub bad_frames: AtomicU64,
+    /// Connections closed at accept because the concurrent-connection
+    /// cap was reached. Not part of the wire report (the engine never
+    /// saw these clients); tests and operators read it here.
+    pub refused: AtomicU64,
     /// Set by the engine on shutdown; frontends and the acceptor poll it.
     pub shutdown: AtomicBool,
 }
@@ -170,7 +174,9 @@ enum GenExit {
 /// State that survives generations (reloads) within one process.
 struct Persistent {
     counters: Counters,
-    /// Path lengths (hops) of every successfully connected circuit.
+    /// Path lengths (hops) of every successfully connected circuit,
+    /// recorded once at admission — reload migration re-places circuits
+    /// without re-recording, so `count()` tracks `connected`.
     path_hist: Hist,
     /// Live circuits by client id → terminal pair; `BTreeMap` so
     /// migration order is deterministic.
@@ -291,15 +297,15 @@ fn render_report(
     out.push_str(&format!("    \"count\": {},\n", state.path_hist.count()));
     out.push_str(&format!(
         "    \"p50\": {:.3},\n",
-        state.path_hist.quantile(0.5)
+        state.path_hist.quantile(50.0)
     ));
     out.push_str(&format!(
         "    \"p90\": {:.3},\n",
-        state.path_hist.quantile(0.9)
+        state.path_hist.quantile(90.0)
     ));
     out.push_str(&format!(
         "    \"p99\": {:.3}\n",
-        state.path_hist.quantile(0.99)
+        state.path_hist.quantile(99.0)
     ));
     out.push_str("  }\n");
     out.push_str("}\n");
@@ -324,8 +330,8 @@ fn render_metrics(
         line = line.kv(key, value);
     }
     line = line
-        .kv_f1("hops_p50", state.path_hist.quantile(0.5))
-        .kv_f1("hops_p99", state.path_hist.quantile(0.99));
+        .kv_f1("hops_p50", state.path_hist.quantile(50.0))
+        .kv_f1("hops_p99", state.path_hist.quantile(99.0));
     if !cfg.deterministic {
         line = line.kv("uptime_ms", started.elapsed().as_millis());
     }
@@ -377,9 +383,9 @@ fn run_generation(
             Some(sid) => {
                 sessions.insert(id, sid);
                 claim_slot(&mut slot_owner, sid, id);
-                if let Some(hops) = router.session_path(sid).map(|p| p.len()) {
-                    state.path_hist.record(hops as f64);
-                }
+                // No path_hist record here: the circuit was already
+                // counted at admission, and a circuit surviving N
+                // reloads must not weigh N+1 times.
                 migrated += 1;
             }
             None => {

@@ -20,13 +20,17 @@
 //!   shutdown flag, so even an idle peer never blocks teardown;
 //! * every accepted request is answered exactly once, in engine order,
 //!   per connection (responses to one connection are serialised by its
-//!   writer thread).
+//!   writer thread);
+//! * concurrent connections are capped ([`ServerConfig::max_connections`]):
+//!   a raw connect flood is refused at accept (connection closed,
+//!   [`SharedFlags::refused`] incremented) rather than spawning threads
+//!   without bound.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -38,6 +42,12 @@ use crate::protocol::{read_frame_with, write_frame, Request, Response, Status};
 /// How long a frontend read blocks before re-polling the shutdown flag.
 const READ_SLICE: Duration = Duration::from_millis(250);
 
+/// How long [`Server::wait`] waits for lingering connection threads
+/// (a writer blocked on a peer that stopped reading) before detaching
+/// them. Comfortably above `READ_SLICE` so healthy readers always
+/// make it out.
+const JOIN_GRACE: Duration = Duration::from_millis(1000);
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -47,6 +57,12 @@ pub struct ServerConfig {
     /// are shed; the simulator's `retry = … shed N` knob is the
     /// conventional source of this number.
     pub queue_depth: usize,
+    /// Concurrent-connection cap. Connections accepted past it are
+    /// closed immediately ([`SharedFlags::refused`]) instead of
+    /// spawning an unbounded thread per socket — a connection flood
+    /// degrades at the acceptor, the same never-wedge discipline the
+    /// queue bound applies one layer down.
+    pub max_connections: usize,
     /// Engine determinism/snapshot settings.
     pub engine: EngineConfig,
 }
@@ -56,6 +72,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             queue_depth: 64,
+            max_connections: 256,
             engine: EngineConfig {
                 deterministic: false,
                 snapshot_path: None,
@@ -71,6 +88,9 @@ pub struct Server {
     engine: JoinHandle<String>,
     acceptor: JoinHandle<()>,
     shared: Arc<SharedFlags>,
+    /// Live connection threads, shared with the acceptor (which reaps
+    /// finished ones and enforces the cap) and joined by [`wait`].
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -79,6 +99,7 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(SharedFlags::default());
+        let conns = Arc::new(Mutex::new(Vec::new()));
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
 
         let engine_shared = Arc::clone(&shared);
@@ -87,8 +108,16 @@ impl Server {
             std::thread::spawn(move || engine::run(fabric, job_rx, &engine_shared, &engine_cfg));
 
         let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let max_connections = cfg.max_connections.max(1);
         let acceptor = std::thread::spawn(move || {
-            accept_loop(listener, addr, job_tx, accept_shared);
+            accept_loop(
+                listener,
+                job_tx,
+                accept_shared,
+                accept_conns,
+                max_connections,
+            );
         });
 
         Ok(Server {
@@ -96,6 +125,7 @@ impl Server {
             engine,
             acceptor,
             shared,
+            conns,
         })
     }
 
@@ -110,36 +140,70 @@ impl Server {
     }
 
     /// Blocks until the engine exits (graceful shutdown or all
-    /// frontends gone), then joins the acceptor and returns the final
-    /// report. In-flight writer threads get a short grace period so a
-    /// `SHUTDOWN` response reaches its client before the process exits.
+    /// frontends gone), then joins the acceptor and every connection
+    /// thread (each joins its own writer first), so the final
+    /// `SHUTDOWN` response is flushed before this returns. Readers
+    /// re-poll the shutdown flag every `READ_SLICE`, so the joins
+    /// are bounded — and instant when all clients have hung up. A
+    /// connection wedged by a peer that stopped reading is detached
+    /// after `JOIN_GRACE` rather than held against shutdown.
     pub fn wait(self) -> String {
         let report = self.engine.join().expect("engine thread panicked");
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the acceptor out of `accept()` with a throwaway connect.
         let _ = TcpStream::connect(self.addr);
         self.acceptor.join().expect("acceptor thread panicked");
-        std::thread::sleep(Duration::from_millis(200));
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        let deadline = Instant::now() + JOIN_GRACE;
+        for h in handles {
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
+            // else: detached — its writer is blocked on an unreachable
+            // peer; process teardown reclaims it.
+        }
         report
     }
 }
 
 fn accept_loop(
     listener: TcpListener,
-    addr: SocketAddr,
     job_tx: SyncSender<Job>,
     shared: Arc<SharedFlags>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_connections: usize,
 ) {
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
+        let mut handles = conns.lock().expect("conns lock");
+        // Reap finished connection threads; the survivors are the live
+        // connection count the cap applies to.
+        let mut live = Vec::with_capacity(handles.len() + 1);
+        for h in handles.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        *handles = live;
+        if handles.len() >= max_connections {
+            // Connection cap: close at accept instead of spawning yet
+            // another thread — a raw connect flood degrades here, before
+            // it can exhaust threads the queue bound never sees.
+            shared.refused.fetch_add(1, Ordering::SeqCst);
+            continue; // `stream` drops → RST/FIN to the client
+        }
         let tx = job_tx.clone();
         let sh = Arc::clone(&shared);
-        std::thread::spawn(move || serve_connection(stream, tx, sh));
+        handles.push(std::thread::spawn(move || serve_connection(stream, tx, sh)));
     }
-    let _ = addr;
 }
 
 /// One client connection: reader loop on this thread, writer thread

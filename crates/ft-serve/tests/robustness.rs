@@ -19,11 +19,7 @@ fn start_server(queue_depth: usize) -> Server {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             queue_depth,
-            engine: EngineConfig {
-                deterministic: false,
-                snapshot_path: None,
-                snapshot_every: 0,
-            },
+            ..ServerConfig::default()
         },
     )
     .expect("bind")
@@ -192,6 +188,43 @@ fn pipelined_flood_sheds_instead_of_wedging() {
 }
 
 #[test]
+fn connection_cap_refuses_excess_connections() {
+    let fabric = FabricSpec::parse("clos-strict 4 4").unwrap().build();
+    let server = Server::start(
+        fabric,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+    assert_eq!(a.metrics(1).unwrap().status, Status::Ok);
+    assert_eq!(b.metrics(2).unwrap().status, Status::Ok);
+    // The third connection completes the TCP handshake (listener
+    // backlog) but the acceptor closes it unanswered.
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert!(
+        c.metrics(3).is_err(),
+        "over-cap connection must be closed, not served"
+    );
+    assert!(server.shared().refused.load(Ordering::SeqCst) >= 1);
+    // Hanging up frees a slot: the next accept reaps the finished
+    // thread and serves again.
+    drop(a);
+    std::thread::sleep(Duration::from_millis(50));
+    let mut d = Client::connect(server.addr()).unwrap();
+    assert_eq!(d.metrics(4).unwrap().status, Status::Ok);
+    // Free both live slots so finish()'s shutdown connection fits.
+    drop(b);
+    drop(d);
+    std::thread::sleep(Duration::from_millis(50));
+    finish(server);
+}
+
+#[test]
 fn deterministic_servers_produce_byte_identical_reports() {
     let script = |server: Server| -> String {
         let mut c = Client::connect(server.addr()).unwrap();
@@ -218,6 +251,7 @@ fn deterministic_servers_produce_byte_identical_reports() {
                     snapshot_path: None,
                     snapshot_every: 0,
                 },
+                ..ServerConfig::default()
             },
         )
         .unwrap()
